@@ -1,0 +1,654 @@
+(* Benchmark harness regenerating every evaluation figure of the paper
+   (Arbel & Attiya, PODC 2014, Section 5), plus micro-benchmarks and
+   ablations. See EXPERIMENTS.md for the experiment index and the expected
+   shapes.
+
+     dune exec bench/main.exe                 -- everything, scaled down
+     dune exec bench/main.exe -- fig8         -- RCU implementation impact
+     dune exec bench/main.exe -- fig9         -- single-writer workload
+     dune exec bench/main.exe -- fig10        -- the 2x3 throughput grid
+     dune exec bench/main.exe -- micro        -- bechamel op latencies
+     dune exec bench/main.exe -- ablation     -- restarts & grace periods
+     dune exec bench/main.exe -- fig10 --paper  -- full paper-scale runs
+
+   The container runs on a single core, so the thread sweep exercises
+   algorithmic serialization (lock hold times, grace-period waits, retries)
+   rather than parallel speedup; the *relative ranking* of the structures
+   is the reproduced result. *)
+
+module W = Repro_workload.Workload
+module Runner = Repro_workload.Runner
+module Report = Repro_workload.Report
+module Dict = Repro_dict.Dict
+
+type scale = {
+  threads : int list;
+  duration : float;
+  repeats : int;
+  small_range : int;
+  large_range : int;
+}
+
+let default_scale =
+  {
+    threads = [ 1; 2; 4; 8 ];
+    duration = 0.3;
+    repeats = 1;
+    small_range = 8_192;
+    large_range = 65_536;
+  }
+
+(* The paper's setup: 5-second runs, 5 repetitions, key ranges 2*10^5 and
+   2*10^6, up to 64 threads. *)
+let paper_scale =
+  {
+    threads = [ 1; 4; 16; 64 ];
+    duration = 5.0;
+    repeats = 5;
+    small_range = 200_000;
+    large_range = 2_000_000;
+  }
+
+let sweep ?(out = Format.std_formatter) scale ~title ~csv ~role ~key_range
+    dicts =
+  let series =
+    List.map
+      (fun (module D : Dict.DICT) ->
+        let points =
+          List.map
+            (fun threads ->
+              let cfg =
+                W.config ~key_range ~role ~threads ~duration:scale.duration ()
+              in
+              let r = Runner.run_avg ~repeats:scale.repeats (module D) cfg in
+              (threads, r.Runner.throughput))
+            scale.threads
+        in
+        { Report.label = D.name; points })
+      dicts
+  in
+  if csv then Report.print_csv ~out ~title ~threads:scale.threads series
+  else Report.print_table ~out ~title ~threads:scale.threads series
+
+(* --- Figure 8: Citrus over stock URCU vs the paper's new RCU --- *)
+
+let fig8 scale csv =
+  Format.printf
+    "@.Figure 8: impact of the RCU implementation on Citrus@.\
+     (50%% contains, key range %d; the urcu curve should collapse as@.\
+     updaters serialize on the global grace-period lock)@."
+    scale.small_range;
+  sweep scale ~title:"fig8: citrus vs citrus-urcu (50% contains)" ~csv
+    ~role:(W.Uniform W.contains_50) ~key_range:scale.small_range
+    [
+      (module Dict.Citrus_epoch);
+      (module Dict.Citrus_urcu);
+      (module Dict.Citrus_qsbr);
+    ]
+
+(* --- Figure 9: single writer, readers otherwise --- *)
+
+let fig9 scale csv =
+  Format.printf
+    "@.Figure 9: single-writer workload (one thread 50%% insert / 50%%@.\
+     delete, every other thread 100%% contains) - the setup that most@.\
+     favours the coarse-grained RCU trees@.";
+  List.iter
+    (fun (label, range) ->
+      sweep scale
+        ~title:(Printf.sprintf "fig9: single writer, key range %s" label)
+        ~csv
+        ~role:(W.Single_writer W.update_only)
+        ~key_range:range Dict.paper_set)
+    [
+      ("small", scale.small_range);
+      ("large", scale.large_range);
+    ]
+
+(* --- Figure 10: the 2x3 grid --- *)
+
+let fig10 scale csv =
+  Format.printf
+    "@.Figure 10: throughput under three operation distributions and two@.\
+     key ranges. Expected shapes: 100%% contains favours the RCU trees;@.\
+     at 98%% contains red-black and bonsai stop scaling (global write@.\
+     lock); at 50%% contains Citrus pays synchronize_rcu but keeps pace@.\
+     with the fine-grained trees.@.";
+  List.iter
+    (fun (range_label, range) ->
+      List.iter
+        (fun (mix_label, mix) ->
+          sweep scale
+            ~title:
+              (Printf.sprintf "fig10: %s contains, key range %s" mix_label
+                 range_label)
+            ~csv ~role:(W.Uniform mix) ~key_range:range Dict.paper_set)
+        [
+          ("100%", W.read_only);
+          ("98%", W.contains_98);
+          ("50%", W.contains_50);
+        ])
+    [
+      ("small", scale.small_range);
+      ("large", scale.large_range);
+    ]
+
+(* --- Micro: bechamel single-thread operation latency --- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Format.printf
+    "@.Micro-benchmark: single-thread operation latency (bechamel,@.\
+     monotonic clock; one Test.make per structure and operation)@.";
+  let tests =
+    List.concat_map
+      (fun (module D : Dict.DICT) ->
+        let n = 4096 in
+        let t = D.create () in
+        let h = D.register t in
+        (* Prefill the even keys in shuffled order — ascending insertion
+           would degenerate the unbalanced trees into lists and measure
+           shape, not synchronization. *)
+        let evens = Array.init (n / 2) (fun i -> 2 * i) in
+        let rng = Repro_sync.Rng.create 0xC0FFEEL in
+        for i = Array.length evens - 1 downto 1 do
+          let j = Repro_sync.Rng.int rng (i + 1) in
+          let tmp = evens.(i) in
+          evens.(i) <- evens.(j);
+          evens.(j) <- tmp
+        done;
+        Array.iter (fun k -> ignore (D.insert h k k)) evens;
+        let key = ref 0 in
+        let contains_test =
+          Test.make
+            ~name:(D.name ^ "/contains")
+            (Staged.stage (fun () ->
+                 key := (!key + 7919) land (n - 1);
+                 ignore (D.contains h !key)))
+        in
+        let update_test =
+          Test.make
+            ~name:(D.name ^ "/insert+delete")
+            (Staged.stage (fun () ->
+                 (* Odd keys are absent by construction: each cycle inserts
+                    and deletes a key at a random in-range position. *)
+                 key := (!key + 7919) land (n - 1);
+                 let k = !key lor 1 in
+                 ignore (D.insert h k k);
+                 ignore (D.delete h k)))
+        in
+        [ contains_test; update_test ])
+      Dict.all
+  in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> est
+          | Some _ | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "%-32s %12s@." "benchmark" "ns/op";
+  List.iter (fun (name, ns) -> Format.printf "%-32s %12.1f@." name ns) rows
+
+(* --- Latency percentiles --- *)
+
+let latency scale =
+  Format.printf
+    "@.Operation latency percentiles (ns), %d threads, 50%% contains, key@.\
+     range %d. Watch the delete p99: Citrus deletes of two-child nodes@.\
+     pay a full grace period; structures without grace periods do not.@."
+    (List.fold_left max 1 scale.threads)
+    scale.small_range;
+  let threads = List.fold_left max 1 scale.threads in
+  Format.printf "%-12s %-9s %10s %10s %10s %10s %10s@." "structure" "op"
+    "mean" "p50" "p99" "p99.9" "max";
+  List.iter
+    (fun (module D : Dict.DICT) ->
+      let cfg =
+        W.config ~key_range:scale.small_range ~threads
+          ~duration:scale.duration ~role:(W.Uniform W.contains_50) ()
+      in
+      let per_op = Repro_workload.Latency.measure (module D) cfg in
+      List.iter
+        (fun (op, s) ->
+          let op_name =
+            match op with
+            | W.Contains -> "contains"
+            | W.Insert -> "insert"
+            | W.Delete -> "delete"
+          in
+          Format.printf "%-12s %-9s %10.0f %10.0f %10.0f %10.0f %10.0f@."
+            D.name op_name s.Repro_workload.Latency.mean_ns
+            s.Repro_workload.Latency.p50 s.Repro_workload.Latency.p99
+            s.Repro_workload.Latency.p999 s.Repro_workload.Latency.max_ns)
+        per_op)
+    Dict.all
+
+(* --- Throughput over time --- *)
+
+let timeline scale =
+  Format.printf
+    "@.Throughput over time (20ms samples, delete-heavy workload): stalls@.\
+     from long grace periods show as dips. Bars normalized per row.@.";
+  let threads = List.fold_left max 1 scale.threads in
+  List.iter
+    (fun (module D : Dict.DICT) ->
+      let cfg =
+        W.config ~key_range:2_048 ~threads
+          ~duration:(Float.max scale.duration 0.5)
+          ~role:(W.Uniform (W.mix ~contains:20 ~insert:40 ~delete:40))
+          ()
+      in
+      let r = Runner.run ~sample_interval:0.02 (module D) cfg in
+      let peak =
+        List.fold_left (fun m (_, v) -> Float.max m v) 1.0 r.Runner.samples
+      in
+      let bar v =
+        let w = int_of_float (v /. peak *. 30.0) in
+        String.make (max 0 w) '#'
+      in
+      Format.printf "%-12s peak %8s ops/s@." D.name (Report.si peak);
+      List.iter
+        (fun (at, v) ->
+          Format.printf "  %5.2fs %8s %s@." at (Report.si v) (bar v))
+        r.Runner.samples)
+    [ (module Dict.Citrus_epoch); (module Dict.Citrus_urcu) ]
+
+(* --- Skewed access (Zipfian) extension --- *)
+
+let skew scale =
+  Format.printf
+    "@.Skewed access: throughput under Zipfian key popularity (50%%@.\
+     contains, %d threads, key range %d). Hot keys concentrate lock and@.\
+     restart contention on a few nodes; structures whose updates touch@.\
+     more nodes (balancing, towers) suffer more.@."
+    (List.fold_left max 1 scale.threads)
+    scale.small_range;
+  let threads = List.fold_left max 1 scale.threads in
+  let dists =
+    [
+      ("uniform", W.Uniform_keys);
+      ("zipf-0.5", W.Zipf 0.5);
+      ("zipf-0.9", W.Zipf 0.9);
+      ("zipf-0.99", W.Zipf 0.99);
+    ]
+  in
+  Format.printf "%-14s" "distribution";
+  List.iter (fun (l, _) -> Format.printf " %9s" l) dists;
+  Format.printf "@.";
+  List.iter
+    (fun (module D : Dict.DICT) ->
+      Format.printf "%-14s" D.name;
+      List.iter
+        (fun (_, dist) ->
+          let cfg =
+            W.config ~key_range:scale.small_range ~key_dist:dist ~threads
+              ~duration:scale.duration ()
+          in
+          let r = Runner.run_avg ~repeats:scale.repeats (module D) cfg in
+          Format.printf " %9s" (Report.si r.Runner.throughput))
+        dists;
+      Format.printf "@.")
+    Dict.paper_set
+
+(* --- RCU flavour comparison (read-side and grace-period costs) --- *)
+
+let rcu_bench scale =
+  Format.printf
+    "@.RCU flavour comparison: read-side critical section cost (1 thread)@.\
+     and synchronize throughput against a fixed reader population.@.";
+  Format.printf "%-12s %18s %22s@." "flavour" "read cycle (ns)"
+    "synchronize/s (2 readers)";
+  List.iter
+    (fun (name, (module R : Repro_rcu.Rcu.S)) ->
+      (* Read-side cost: tight read_lock/read_unlock loop. *)
+      let r = R.create () in
+      let th = R.register r in
+      let iters = 2_000_000 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        R.read_lock th;
+        R.read_unlock th
+      done;
+      let read_ns =
+        (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+      in
+      R.unregister th;
+      (* Grace-period throughput with active readers. *)
+      let r = R.create () in
+      let stop = Atomic.make false in
+      let readers =
+        List.init 2 (fun _ ->
+            Domain.spawn (fun () ->
+                let th = R.register r in
+                while not (Atomic.get stop) do
+                  R.read_lock th;
+                  Domain.cpu_relax ();
+                  R.read_unlock th
+                done;
+                R.unregister th))
+      in
+      let th = R.register r in
+      let t0 = Unix.gettimeofday () in
+      let deadline = t0 +. scale.duration in
+      let gps = ref 0 in
+      while Unix.gettimeofday () < deadline do
+        R.synchronize r;
+        incr gps
+      done;
+      let wall = Unix.gettimeofday () -. t0 in
+      Atomic.set stop true;
+      List.iter Domain.join readers;
+      R.unregister th;
+      Format.printf "%-12s %18.1f %22.0f@." name read_ns
+        (float_of_int !gps /. wall))
+    Repro_rcu.Rcu.implementations;
+  Format.printf
+    "@.Node-lock comparison: uncontended acquire/release cycle (ns).@.";
+  let iters = 2_000_000 in
+  let tas = Repro_sync.Spinlock.create () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    Repro_sync.Spinlock.acquire tas;
+    Repro_sync.Spinlock.release tas
+  done;
+  let tas_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
+  let ticket = Repro_sync.Ticket_lock.create () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    Repro_sync.Ticket_lock.acquire ticket;
+    Repro_sync.Ticket_lock.release ticket
+  done;
+  let ticket_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
+  Format.printf "  test-and-set spinlock : %6.1f@." tas_ns;
+  Format.printf "  ticket lock           : %6.1f@." ticket_ns
+
+(* --- Ablations --- *)
+
+let ablation scale =
+  Format.printf
+    "@.Ablation A1: Citrus validation restarts and two-child deletes@.\
+     (the cost drivers of the design: restart rate shows tag/mark@.\
+     validation work, two-child deletes count grace periods paid)@.";
+  Format.printf "%8s %12s %12s %12s %12s %14s@." "threads" "ops/s" "restarts"
+    "1child-del" "2child-del" "grace-periods";
+  let module T = Repro_citrus.Citrus_int.Epoch in
+  List.iter
+    (fun threads ->
+      let key_range = 1024 in
+      let t = T.create ~max_threads:(threads + 1) () in
+      let setup = T.register t in
+      for k = 0 to (key_range / 2) - 1 do
+        ignore (T.insert setup (2 * k) k)
+      done;
+      let stop = Atomic.make false in
+      let bar = Repro_sync.Barrier.create (threads + 1) in
+      let ops = Repro_sync.Stats.create "ops" in
+      let workers =
+        List.init threads (fun i ->
+            Domain.spawn (fun () ->
+                let h = T.register t in
+                let rng = Repro_sync.Rng.create (Int64.of_int (i + 1)) in
+                Repro_sync.Barrier.wait bar;
+                let n = ref 0 in
+                while not (Atomic.get stop) do
+                  let k = Repro_sync.Rng.int rng key_range in
+                  (match Repro_sync.Rng.int rng 4 with
+                  | 0 -> ignore (T.insert h k k)
+                  | 1 -> ignore (T.delete h k)
+                  | _ -> ignore (T.mem h k));
+                  incr n
+                done;
+                Repro_sync.Stats.add ops i !n;
+                T.unregister h))
+      in
+      Repro_sync.Barrier.wait bar;
+      Unix.sleepf scale.duration;
+      Atomic.set stop true;
+      List.iter Domain.join workers;
+      let stats = T.stats t in
+      let get name = try List.assoc name stats with Not_found -> 0 in
+      Format.printf "%8d %12s %12d %12d %12d %14d@." threads
+        (Report.si
+           (float_of_int (Repro_sync.Stats.read ops) /. scale.duration))
+        (get "restarts")
+        (get "deletes_one_child")
+        (get "deletes_two_children")
+        (get "grace_periods");
+      T.unregister setup)
+    scale.threads;
+  Format.printf
+    "@.Ablation A2: grace-period cost - delete/insert-only workload@.\
+     (every two-child delete waits for readers; epoch-rcu vs urcu)@.";
+  sweep scale ~title:"ablation: update-only (50% insert / 50% delete)"
+    ~csv:false
+    ~role:(W.Uniform W.update_only)
+    ~key_range:1024
+    [ (module Dict.Citrus_epoch); (module Dict.Citrus_urcu) ];
+  Format.printf
+    "@.Ablation A3: maintenance rebalancing (the paper's future work #1).@.\
+     Keys arrive in ascending order - the worst case for an unbalanced@.\
+     tree. One extra domain runs relativistic maintenance rotations@.\
+     concurrently with the updaters and readers.@.";
+  Format.printf "%14s %10s %8s %10s@." "configuration" "lookups/s" "height"
+    "rotations";
+  let module T = Repro_citrus.Citrus_int.Epoch in
+  List.iter
+    (fun maintained ->
+      let t = T.create ~max_threads:8 () in
+      let n_keys = 20_000 in
+      let stop = Atomic.make false in
+      let maintenance =
+        if maintained then
+          Some
+            (Domain.spawn (fun () ->
+                 let h = T.register t in
+                 while not (Atomic.get stop) do
+                   if T.maintenance_pass h = 0 then Unix.sleepf 0.001
+                 done;
+                 T.unregister h))
+        else None
+      in
+      let inserter =
+        Domain.spawn (fun () ->
+            let h = T.register t in
+            for k = 1 to n_keys do
+              ignore (T.insert h k k)
+            done;
+            T.unregister h)
+      in
+      let lookups = Atomic.make 0 in
+      let reader =
+        Domain.spawn (fun () ->
+            let h = T.register t in
+            let rng = Repro_sync.Rng.create 5L in
+            while not (Atomic.get stop) do
+              ignore (T.mem h (1 + Repro_sync.Rng.int rng n_keys));
+              Atomic.incr lookups
+            done;
+            T.unregister h)
+      in
+      Domain.join inserter;
+      (* Measure lookups only after the insert phase (and in the
+         maintained configuration, after the tree has settled). *)
+      let before = Atomic.get lookups in
+      let t0 = Unix.gettimeofday () in
+      Unix.sleepf scale.duration;
+      let measured = Atomic.get lookups - before in
+      let wall = Unix.gettimeofday () -. t0 in
+      Atomic.set stop true;
+      Domain.join reader;
+      (match maintenance with Some d -> Domain.join d | None -> ());
+      let s = T.stats t in
+      Format.printf "%14s %10s %8d %10d@."
+        (if maintained then "maintained" else "plain")
+        (Report.si (float_of_int measured /. wall))
+        (T.height t)
+        (List.assoc "rotations" s))
+    [ false; true ]
+
+(* Update-contention sweep: the paper notes the URCU collapse "was observed
+   under different update contention"; this regenerates that observation. *)
+let contention scale =
+  Format.printf
+    "@.Update-contention sweep at %d threads, key range %d: throughput as@.\
+     the update fraction grows (papers' claim: the URCU gap widens with@.\
+     contention, the epoch-RCU Citrus degrades gracefully).@."
+    (List.fold_left max 1 scale.threads)
+    scale.small_range;
+  let threads = List.fold_left max 1 scale.threads in
+  Format.printf "%-14s" "updates%";
+  List.iter (fun u -> Format.printf " %9d" u) [ 0; 2; 10; 20; 50; 100 ];
+  Format.printf "@.";
+  List.iter
+    (fun (module D : Dict.DICT) ->
+      Format.printf "%-14s" D.name;
+      List.iter
+        (fun updates ->
+          let mix =
+            W.mix ~contains:(100 - updates)
+              ~insert:((updates / 2) + (updates mod 2))
+              ~delete:(updates / 2)
+          in
+          let cfg =
+            W.config ~key_range:scale.small_range ~role:(W.Uniform mix)
+              ~threads ~duration:scale.duration ()
+          in
+          let r = Runner.run_avg ~repeats:scale.repeats (module D) cfg in
+          Format.printf " %9s" (Report.si r.Runner.throughput))
+        [ 0; 2; 10; 20; 50; 100 ];
+      Format.printf "@.")
+    [
+      (module Dict.Citrus_epoch);
+      (module Dict.Citrus_urcu);
+      (module Dict.Nm);
+      (module Dict.Skiplist);
+    ]
+
+(* --- command line --- *)
+
+open Cmdliner
+
+let scale_term =
+  let paper =
+    Arg.(value & flag & info [ "paper" ] ~doc:"Run at full paper scale (5s x 5 repeats, key ranges 2e5/2e6, up to 64 threads). Hours of runtime.")
+  in
+  let threads =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "threads" ] ~docv:"N,N,.." ~doc:"Thread counts to sweep.")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Timed seconds per run.")
+  in
+  let repeats =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "repeats" ] ~docv:"N" ~doc:"Repetitions averaged per point.")
+  in
+  let combine paper threads duration repeats =
+    let base = if paper then paper_scale else default_scale in
+    {
+      base with
+      threads = Option.value threads ~default:base.threads;
+      duration = Option.value duration ~default:base.duration;
+      repeats = Option.value repeats ~default:base.repeats;
+    }
+  in
+  Term.(const combine $ paper $ threads $ duration $ repeats)
+
+let csv_term =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of tables.")
+
+let cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_term $ csv_term)
+
+let run_all scale csv =
+  fig8 scale csv;
+  fig9 scale csv;
+  fig10 scale csv;
+  ablation scale;
+  contention scale;
+  skew scale;
+  rcu_bench scale;
+  latency scale;
+  micro ()
+
+let all_cmd =
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment (default).")
+    Term.(const run_all $ scale_term $ csv_term)
+
+let micro_cmd =
+  Cmd.v (Cmd.info "micro" ~doc:"Bechamel single-thread latencies.")
+    Term.(const (fun _ _ -> micro ()) $ scale_term $ csv_term)
+
+let ablation_cmd =
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Citrus restart/grace-period ablations.")
+    Term.(const (fun scale _ -> ablation scale) $ scale_term $ csv_term)
+
+let latency_cmd =
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Per-operation latency percentiles.")
+    Term.(const (fun scale _ -> latency scale) $ scale_term $ csv_term)
+
+let rcu_cmd =
+  Cmd.v
+    (Cmd.info "rcu" ~doc:"RCU flavour and node-lock cost comparison.")
+    Term.(const (fun scale _ -> rcu_bench scale) $ scale_term $ csv_term)
+
+let contention_cmd =
+  Cmd.v
+    (Cmd.info "contention" ~doc:"Throughput vs update fraction sweep.")
+    Term.(const (fun scale _ -> contention scale) $ scale_term $ csv_term)
+
+let skew_cmd =
+  Cmd.v
+    (Cmd.info "skew" ~doc:"Throughput under Zipfian key popularity.")
+    Term.(const (fun scale _ -> skew scale) $ scale_term $ csv_term)
+
+let timeline_cmd =
+  Cmd.v
+    (Cmd.info "timeline" ~doc:"Throughput over time (grace-period stalls).")
+    Term.(const (fun scale _ -> timeline scale) $ scale_term $ csv_term)
+
+let main =
+  Cmd.group
+    ~default:Term.(const run_all $ scale_term $ csv_term)
+    (Cmd.info "bench" ~doc:"Reproduce the Citrus paper's evaluation.")
+    [
+      cmd "fig8" "RCU implementation impact on Citrus (Figure 8)." fig8;
+      cmd "fig9" "Single-writer workload (Figure 9)." fig9;
+      cmd "fig10" "Throughput grid (Figure 10)." fig10;
+      ablation_cmd;
+      contention_cmd;
+      skew_cmd;
+      timeline_cmd;
+      rcu_cmd;
+      latency_cmd;
+      micro_cmd;
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/grace_period.ml: Atomic Domain List Printf Repro_rcu Repro_sync

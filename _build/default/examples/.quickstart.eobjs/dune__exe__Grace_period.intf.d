@@ -1,0 +1,1 @@
+examples/grace_period.mli:

@@ -1,0 +1,1 @@
+examples/leaderboard.ml: Atomic Domain List Printf Repro_citrus Repro_rcu Repro_sync Repro_workload String Unix

@@ -1,0 +1,1 @@
+examples/session_store.ml: Atomic Domain Int64 List Printf Repro_citrus Repro_sync Unix

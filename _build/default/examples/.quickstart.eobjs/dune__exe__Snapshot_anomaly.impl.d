@@ -1,0 +1,1 @@
+examples/snapshot_anomaly.ml: Atomic Domain List Printf Repro_rcu Repro_sync String

@@ -1,0 +1,96 @@
+(* A game leaderboard over string player names: Citrus with a generic key
+   type, Zipf-skewed access (stars get most traffic), and a maintenance
+   domain keeping the tree balanced while the game runs.
+
+     dune exec examples/leaderboard.exe
+
+   Demonstrates three things the other examples don't:
+   - the functor over an arbitrary ordered key (string, not int);
+   - skewed real-world access patterns via the workload library's Zipfian
+     generator;
+   - maintenance rotations running concurrently with queries and updates. *)
+
+module Citrus_str = Repro_citrus.Citrus.Make (String) (Repro_rcu.Epoch_rcu)
+module W = Repro_workload.Workload
+module Rng = Repro_sync.Rng
+module Barrier = Repro_sync.Barrier
+
+let players = 2_000
+let name_of i = Printf.sprintf "player-%05d" i
+
+let () =
+  let board : int Citrus_str.t = Citrus_str.create () in
+  let setup = Citrus_str.register board in
+  (* Register players in ascending name order — adversarial for an
+     unbalanced BST; the maintenance domain will fix the shape. *)
+  for i = 0 to players - 1 do
+    ignore (Citrus_str.insert setup (name_of i) 0)
+  done;
+  Printf.printf "registered %d players; initial tree height %d\n%!" players
+    (Citrus_str.height board);
+
+  let stop = Atomic.make false in
+  let queries = Atomic.make 0 in
+  let score_updates = Atomic.make 0 in
+  let churn = Atomic.make 0 in
+  let start = Barrier.create 4 in
+
+  let maintenance =
+    Domain.spawn (fun () ->
+        let h = Citrus_str.register board in
+        Barrier.wait start;
+        while not (Atomic.get stop) do
+          if Citrus_str.maintenance_pass h = 0 then Unix.sleepf 0.002
+        done;
+        Citrus_str.unregister h)
+  in
+  (* Low ranks are the "stars": Zipf makes them absorb most lookups. *)
+  let zipf_cfg = W.config ~key_range:players ~key_dist:(W.Zipf 0.9) () in
+  let frontend seed =
+    Domain.spawn (fun () ->
+        let h = Citrus_str.register board in
+        let rng = Rng.create seed in
+        let next_rank = W.key_generator zipf_cfg rng in
+        Barrier.wait start;
+        while not (Atomic.get stop) do
+          let player = name_of (next_rank ()) in
+          match Rng.int rng 100 with
+          | r when r < 85 ->
+              (* Score lookup: wait-free. *)
+              ignore (Citrus_str.contains h player);
+              Atomic.incr queries
+          | r when r < 97 ->
+              (* Score change: delete + reinsert (values are immutable per
+                 node, like the paper's dictionary). *)
+              if Citrus_str.delete h player then begin
+                ignore (Citrus_str.insert h player (Rng.int rng 1_000_000));
+                Atomic.incr score_updates
+              end
+          | _ ->
+              (* Account churn: remove, will re-register next round. *)
+              if Citrus_str.delete h player then Atomic.incr churn
+              else ignore (Citrus_str.insert h player 0)
+        done;
+        Citrus_str.unregister h)
+  in
+  let f1 = frontend 11L and f2 = frontend 22L in
+  Barrier.wait start;
+  Unix.sleepf 0.5;
+  Atomic.set stop true;
+  List.iter Domain.join [ f1; f2; maintenance ];
+
+  Citrus_str.check_invariants board;
+  let h = Citrus_str.register board in
+  ignore (Citrus_str.balance h);
+  Citrus_str.unregister h;
+  Printf.printf "queries           : %d\n" (Atomic.get queries);
+  Printf.printf "score updates     : %d\n" (Atomic.get score_updates);
+  Printf.printf "account churn     : %d\n" (Atomic.get churn);
+  Printf.printf "players remaining : %d\n" (Citrus_str.size board);
+  Printf.printf "final tree height : %d (log2 %d ~ %d)\n"
+    (Citrus_str.height board) players 11;
+  List.iter
+    (fun (name, v) -> Printf.printf "  %-22s = %d\n" name v)
+    (Citrus_str.stats board);
+  assert (Citrus_str.height board < 40);
+  print_endline "leaderboard: OK"

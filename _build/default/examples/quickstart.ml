@@ -1,0 +1,45 @@
+(* Quickstart: the Citrus public API in thirty lines.
+
+     dune exec examples/quickstart.exe
+
+   A Citrus tree is shared between domains; each domain registers a handle
+   (carrying its RCU thread state) and then uses the dictionary API.
+   contains is wait-free; insert/delete lock only the nodes they change. *)
+
+module Citrus = Repro_citrus.Citrus_int.Epoch
+
+let () =
+  let tree = Citrus.create () in
+  let h = Citrus.register tree in
+
+  (* Plain dictionary operations. *)
+  assert (Citrus.insert h 1 "one");
+  assert (Citrus.insert h 2 "two");
+  assert (Citrus.insert h 3 "three");
+  assert (not (Citrus.insert h 2 "TWO"));
+  (* duplicate *)
+  assert (Citrus.contains h 2 = Some "two");
+  assert (Citrus.delete h 2);
+  assert (Citrus.contains h 2 = None);
+
+  (* Concurrent use: spawn domains, each with its own handle. *)
+  let workers =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let h = Citrus.register tree in
+            for k = 100 * i to (100 * i) + 99 do
+              ignore (Citrus.insert h k (string_of_int k))
+            done;
+            Citrus.unregister h))
+  in
+  List.iter Domain.join workers;
+
+  (* 400 worker keys (0..399) already cover 1 and 3; 2 was re-inserted by
+     worker 0 after the delete above. *)
+  Printf.printf "size = %d (expected 400)\n" (Citrus.size tree);
+  Citrus.check_invariants tree;
+  List.iter
+    (fun (name, v) -> Printf.printf "  %-22s = %d\n" name v)
+    (Citrus.stats tree);
+  Citrus.unregister h;
+  print_endline "quickstart: OK"

@@ -1,0 +1,107 @@
+(* A read-mostly web session store — the workload class RCU structures are
+   built for (the paper's 98-100% contains columns of Figure 10).
+
+     dune exec examples/session_store.exe
+
+   Four "frontend" domains answer requests: almost every request looks up a
+   session token (wait-free contains); a few log in (insert) or log out
+   (delete). One "reaper" domain sweeps expired sessions concurrently —
+   deletes of internal nodes trigger the successor-move + synchronize_rcu
+   machinery while the frontends keep reading, which is precisely the
+   scenario Citrus makes safe.
+
+   Sessions are keyed by token; the value packs the expiry round so the
+   reaper can decide staleness from the dictionary alone. *)
+
+module Citrus = Repro_citrus.Citrus_int.Epoch
+module Rng = Repro_sync.Rng
+module Barrier = Repro_sync.Barrier
+
+type session = { user : int; expires_at : int }
+
+let token_space = 4096
+let rounds = 40
+let frontends = 4
+
+let () =
+  let store : session Citrus.t = Citrus.create () in
+  let clock = Atomic.make 0 in
+  let requests = Atomic.make 0 in
+  let hits = Atomic.make 0 in
+  let logins = Atomic.make 0 in
+  let reaped = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let start = Barrier.create (frontends + 2) in
+
+  let frontend i =
+    Domain.spawn (fun () ->
+        let h = Citrus.register store in
+        let rng = Rng.create (Int64.of_int (1000 + i)) in
+        Barrier.wait start;
+        while not (Atomic.get stop) do
+          Atomic.incr requests;
+          let token = Rng.int rng token_space in
+          let now = Atomic.get clock in
+          match Rng.int rng 100 with
+          | r when r < 90 -> (
+              (* Authenticated request: wait-free session lookup. *)
+              match Citrus.contains h token with
+              | Some s when s.expires_at > now -> Atomic.incr hits
+              | Some _ | None -> ())
+          | r when r < 96 ->
+              (* Login: create a session lasting 5 rounds. *)
+              if
+                Citrus.insert h token
+                  { user = token * 31; expires_at = now + 5 }
+              then Atomic.incr logins
+          | _ ->
+              (* Logout. *)
+              ignore (Citrus.delete h token)
+        done;
+        Citrus.unregister h)
+  in
+
+  let reaper =
+    Domain.spawn (fun () ->
+        let h = Citrus.register store in
+        Barrier.wait start;
+        while not (Atomic.get stop) do
+          let now = Atomic.get clock in
+          (* Sweep the token space for expired sessions. Each delete of a
+             two-child node publishes a successor copy and waits for the
+             frontends' in-flight lookups via synchronize_rcu. *)
+          for token = 0 to token_space - 1 do
+            match Citrus.contains h token with
+            | Some s when s.expires_at <= now ->
+                if Citrus.delete h token then Atomic.incr reaped
+            | Some _ | None -> ()
+          done
+        done;
+        Citrus.unregister h)
+  in
+
+  let ticker =
+    Domain.spawn (fun () ->
+        Barrier.wait start;
+        for _ = 1 to rounds do
+          Unix.sleepf 0.01;
+          Atomic.incr clock
+        done;
+        Atomic.set stop true)
+  in
+
+  let fs = List.init frontends frontend in
+  Domain.join ticker;
+  List.iter Domain.join fs;
+  Domain.join reaper;
+
+  Citrus.check_invariants store;
+  Printf.printf "requests handled     : %d\n" (Atomic.get requests);
+  Printf.printf "session cache hits   : %d\n" (Atomic.get hits);
+  Printf.printf "logins               : %d\n" (Atomic.get logins);
+  Printf.printf "sessions reaped      : %d\n" (Atomic.get reaped);
+  Printf.printf "live sessions at end : %d\n" (Citrus.size store);
+  List.iter
+    (fun (name, v) -> Printf.printf "  citrus.%-20s = %d\n" name v)
+    (Citrus.stats store);
+  print_endline "session_store: OK (invariants hold)"

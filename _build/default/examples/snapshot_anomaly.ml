@@ -1,0 +1,124 @@
+(* Figure 1 of the paper, reproduced as a runnable experiment: why Citrus
+   supports single-key searches but not multi-key read-only traversals.
+
+     dune exec examples/snapshot_anomaly.exe
+
+   Two RCU readers collect the LEAVES of a small search tree by in-order
+   traversal while two updaters delete leaves 9 and 12. Deletion under RCU
+   unlinks with a single store; synchronize_rcu is only needed before
+   reclaiming memory (here the GC plays that role), so updates proceed
+   while the readers sit inside their read-side critical sections. The
+   interleaving is forced with barriers:
+
+     - reader r2 collects the left subtree (sees leaf 9), then pauses;
+     - delete(9) unlinks it, making 7 a leaf;
+     - reader r1 runs start-to-finish: leaves {7, 12};
+     - delete(12) unlinks it, making 15 a leaf;
+     - r2 resumes on the right subtree: total {9, 15}.
+
+   r1 = {7, 12} says "9 was deleted first"; r2 = {9, 15} says "12 was
+   deleted first". Both read-side critical sections were respected, yet no
+   sequential order of the four operations explains both results — RCU
+   alone does not give atomic multi-item reads. Citrus sidesteps the
+   problem by only offering single-key operations, whose linearizability
+   the paper proves. *)
+
+module Rcu = Repro_rcu.Epoch_rcu
+module Barrier = Repro_sync.Barrier
+
+(* The tree of Figure 1:   10
+                          /  \
+                         7    15
+                          \   /
+                           9 12     (9 and 12 are the doomed leaves) *)
+type node = {
+  key : int;
+  left : node option Atomic.t;
+  right : node option Atomic.t;
+}
+
+let node key left right =
+  { key; left = Atomic.make left; right = Atomic.make right }
+
+let () =
+  let n9 = node 9 None None in
+  let n12 = node 12 None None in
+  let n7 = node 7 None (Some n9) in
+  let n15 = node 15 (Some n12) None in
+  let root = node 10 (Some n7) (Some n15) in
+
+  let rcu = Rcu.create () in
+
+  (* In-order leaf collection with a pause point between the subtrees; the
+     whole traversal is one read-side critical section. *)
+  let collect th ~pause =
+    Rcu.read_lock th;
+    let acc = ref [] in
+    let rec go n =
+      match n with
+      | None -> ()
+      | Some n ->
+          let l = Atomic.get n.left and r = Atomic.get n.right in
+          (match (l, r) with
+          | None, None -> acc := n.key :: !acc
+          | _ -> ());
+          go l;
+          go r
+    in
+    go (Atomic.get root.left);
+    pause ();
+    go (Atomic.get root.right);
+    Rcu.read_unlock th;
+    List.rev !acc
+  in
+
+  let b1 = Barrier.create 2
+  and b2 = Barrier.create 2
+  and b3 = Barrier.create 2
+  and b4 = Barrier.create 2 in
+
+  let r2 =
+    Domain.spawn (fun () ->
+        let th = Rcu.register rcu in
+        let result =
+          collect th ~pause:(fun () ->
+              Barrier.wait b1 (* left subtree done: r2 saw leaf 9 *);
+              Barrier.wait b4 (* resume only after delete(12) *))
+        in
+        Rcu.unregister th;
+        result)
+  in
+  let r1 =
+    Domain.spawn (fun () ->
+        let th = Rcu.register rcu in
+        Barrier.wait b2 (* start only after delete(9) *);
+        let result = collect th ~pause:(fun () -> ()) in
+        Barrier.wait b3 (* r1 done; delete(12) may proceed *);
+        Rcu.unregister th;
+        result)
+  in
+  let updaters =
+    Domain.spawn (fun () ->
+        Barrier.wait b1 (* r2 has read the left subtree *);
+        Atomic.set n7.right None (* unlink leaf 9 *);
+        Barrier.wait b2;
+        Barrier.wait b3 (* r1 finished its traversal *);
+        Atomic.set n15.left None (* unlink leaf 12 *);
+        Barrier.wait b4;
+        (* Only reclamation needs the grace period; with both readers done
+           this returns immediately (the OCaml GC frees the nodes). *)
+        Rcu.synchronize rcu)
+  in
+  let r1_keys = Domain.join r1 in
+  let r2_keys = Domain.join r2 in
+  Domain.join updaters;
+  let show l = "{" ^ String.concat ", " (List.map string_of_int l) ^ "}" in
+  Printf.printf "r1 observed leaves %s\n" (show r1_keys);
+  Printf.printf "r2 observed leaves %s\n" (show r2_keys);
+  assert (r1_keys = [ 7; 12 ]);
+  assert (r2_keys = [ 9; 15 ]);
+  Printf.printf
+    "r1 says delete(9) happened first; r2 says delete(12) happened first.\n\
+     No sequential order of the four operations is consistent with both —\n\
+     which is why Citrus offers wait-free single-key contains, not\n\
+     multi-key snapshots.\n"

@@ -1,0 +1,1 @@
+lib/baselines/avl.ml: Array Atomic List Option Repro_sync

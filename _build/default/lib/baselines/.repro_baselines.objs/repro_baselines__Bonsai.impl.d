@@ -1,0 +1,1 @@
+lib/baselines/bonsai.ml: Atomic Option Repro_sync

@@ -1,0 +1,1 @@
+lib/baselines/cf_tree.ml: Atomic List Option Repro_sync

@@ -1,0 +1,1 @@
+lib/baselines/coarse_bst.mli:

@@ -1,0 +1,1 @@
+lib/baselines/ellen_bst.ml: Atomic List Option Repro_sync

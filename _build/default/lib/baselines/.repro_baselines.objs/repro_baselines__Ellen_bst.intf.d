@@ -1,0 +1,1 @@
+lib/baselines/ellen_bst.mli:

@@ -1,0 +1,1 @@
+lib/baselines/lazy_list.ml: Atomic List Option Repro_sync

@@ -1,0 +1,1 @@
+lib/baselines/nm_bst.ml: Atomic List Option Repro_sync

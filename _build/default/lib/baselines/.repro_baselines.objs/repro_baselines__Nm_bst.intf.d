@@ -1,0 +1,1 @@
+lib/baselines/nm_bst.mli:

@@ -1,0 +1,1 @@
+lib/baselines/rb_rcu.ml: Atomic List Option Repro_rcu Repro_sync

@@ -1,0 +1,1 @@
+lib/baselines/rb_rcu.mli: Repro_rcu

@@ -1,0 +1,1 @@
+lib/baselines/rcu_hash.ml: Array Atomic List Option Repro_sync

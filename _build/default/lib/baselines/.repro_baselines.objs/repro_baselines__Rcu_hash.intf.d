@@ -1,0 +1,1 @@
+lib/baselines/rcu_hash.mli:

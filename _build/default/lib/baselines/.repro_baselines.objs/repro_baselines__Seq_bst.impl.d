@@ -1,0 +1,1 @@
+lib/baselines/seq_bst.ml: Option

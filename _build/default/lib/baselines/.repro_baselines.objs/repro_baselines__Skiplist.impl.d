@@ -1,0 +1,1 @@
+lib/baselines/skiplist.ml: Array Atomic Int64 List Option Repro_sync

@@ -1,0 +1,645 @@
+module Spinlock = Repro_sync.Spinlock
+module Backoff = Repro_sync.Backoff
+
+(* Version word (OVL) bits: bit 0 = unlinked (permanent), bit 1 = shrinking
+   (a rotation is moving this node down), upper bits = shrink counter. A
+   reader that captured version [v] at a node may trust its position as long
+   as the node's version still equals [v]. *)
+let unlinked_bit = 1
+let shrinking_bit = 2
+let shrink_increment = 4
+let is_unlinked v = v land unlinked_bit <> 0
+let is_shrinking_or_unlinked v = v land (unlinked_bit lor shrinking_bit) <> 0
+
+let left = 0
+let right = 1
+
+type 'v node = {
+  key : int;
+  value : 'v option Atomic.t; (* None = routing node; written under lock *)
+  version : int Atomic.t;
+  height : int Atomic.t; (* written under lock; racy reads tolerated *)
+  parent : 'v node option Atomic.t; (* written under the child's new parent's lock *)
+  children : 'v node option Atomic.t array; (* written under this node's lock *)
+  lock : Spinlock.t;
+}
+
+type 'v t = { holder : 'v node }
+(* [holder] is Bronson's rootHolder: never rotated or unlinked, the real
+   root is its right child, so every node has a locked parent frame. *)
+
+let make_node key value parent height =
+  {
+    key;
+    value = Atomic.make value;
+    version = Atomic.make 0;
+    height = Atomic.make height;
+    parent = Atomic.make parent;
+    children = [| Atomic.make None; Atomic.make None |];
+    lock = Spinlock.create ();
+  }
+
+let create () = { holder = make_node min_int None None 0 }
+let child n d = Atomic.get n.children.(d)
+let set_child n d c = Atomic.set n.children.(d) c
+let node_height = function None -> 0 | Some n -> Atomic.get n.height
+
+let same_node a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> x == y
+  | None, Some _ | Some _, None -> false
+
+(* Spin until the node is no longer mid-rotation (unlinked is permanent and
+   returns immediately: the caller revalidates and retries higher up). *)
+let wait_until_not_changing n =
+  let v = Atomic.get n.version in
+  if v land shrinking_bit <> 0 then begin
+    let b = Backoff.create () in
+    while Atomic.get n.version = v do
+      Backoff.once b
+    done
+  end
+
+type 'v result = Retry | Found of 'v option
+
+(* Hand-over-hand optimistic descent (Bronson's attemptGet). [node_ovl] is
+   the version captured when we committed to [node]; any shrink of [node]
+   invalidates the frame and propagates Retry to the parent frame. *)
+let rec attempt_get key node dir node_ovl =
+  let rec loop () =
+    match child node dir with
+    | None -> if Atomic.get node.version <> node_ovl then Retry else Found None
+    | Some c ->
+        if c.key = key then
+          (* Value reads race with updates, like in the original: values are
+             only set while the node is reachable and cleared before unlink,
+             so the read is always linearizable within the interval. *)
+          Found (Atomic.get c.value)
+        else begin
+          let child_ovl = Atomic.get c.version in
+          if is_shrinking_or_unlinked child_ovl then begin
+            wait_until_not_changing c;
+            if Atomic.get node.version <> node_ovl then Retry else loop ()
+          end
+          else if not (same_node (child node dir) (Some c)) then
+            if Atomic.get node.version <> node_ovl then Retry else loop ()
+          else if Atomic.get node.version <> node_ovl then Retry
+          else begin
+            let next_dir = if key < c.key then left else right in
+            match attempt_get key c next_dir child_ovl with
+            | Retry -> loop ()
+            | Found _ as r -> r
+          end
+        end
+  in
+  loop ()
+
+let contains t key =
+  (* The holder never shrinks, so its frame never yields Retry. *)
+  match attempt_get key t.holder right (Atomic.get t.holder.version) with
+  | Found v -> v
+  | Retry -> assert false
+
+let mem t key = Option.is_some (contains t key)
+
+(* --- rebalancing (all _nl functions require the locks noted) --- *)
+
+(* Direction from [p] to its child [n]; caller holds p's lock. *)
+let dir_of p n = if same_node (child p left) (Some n) then left else right
+
+(* Unlink routing node [n] (value None, at most one child) from parent [p].
+   Locks held: p, n; caller has validated n.parent == p. *)
+let attempt_unlink_nl p n =
+  let nl = child n left and nr = child n right in
+  if not (same_node (child p left) (Some n) || same_node (child p right) (Some n))
+  then false
+  else
+    match (nl, nr) with
+    | Some _, Some _ -> false (* grew a second child; cannot unlink *)
+    | _ ->
+        if Atomic.get n.value <> None then false
+        else begin
+          let splice = match nl with Some _ -> nl | None -> nr in
+          set_child p (dir_of p n) splice;
+          (match splice with
+          | Some s -> Atomic.set s.parent (Some p)
+          | None -> ());
+          Atomic.set n.version (Atomic.get n.version lor unlinked_bit);
+          true
+        end
+
+(* Single right rotation: nl moves up, n moves down-right.
+   Locks held: parent, n, nl. Heights are the caller's (possibly stale)
+   readings — staleness only degrades balance, never correctness. *)
+let rotate_right_nl parent n nl hr hll nlr hlr =
+  Atomic.set n.version (Atomic.get n.version lor shrinking_bit);
+  set_child n left nlr;
+  (match nlr with Some x -> Atomic.set x.parent (Some n) | None -> ());
+  set_child nl right (Some n);
+  let d = dir_of parent n in
+  set_child parent d (Some nl);
+  Atomic.set nl.parent (Some parent);
+  Atomic.set n.parent (Some nl);
+  let hn_repl = 1 + max hlr hr in
+  Atomic.set n.height hn_repl;
+  Atomic.set nl.height (1 + max hll hn_repl);
+  Atomic.set n.version
+    ((Atomic.get n.version + shrink_increment) land lnot shrinking_bit);
+  (* Every participant may now be damaged (wrong height, imbalance, or a
+     newly childless routing node); the fix worklist re-evaluates each. *)
+  [ n; nl; parent ]
+
+(* Single left rotation (mirror image). Locks held: parent, n, nr. *)
+let rotate_left_nl parent n nr hl hrr nrl hrl =
+  Atomic.set n.version (Atomic.get n.version lor shrinking_bit);
+  set_child n right nrl;
+  (match nrl with Some x -> Atomic.set x.parent (Some n) | None -> ());
+  set_child nr left (Some n);
+  let d = dir_of parent n in
+  set_child parent d (Some nr);
+  Atomic.set nr.parent (Some parent);
+  Atomic.set n.parent (Some nr);
+  let hn_repl = 1 + max hl hrl in
+  Atomic.set n.height hn_repl;
+  Atomic.set nr.height (1 + max hn_repl hrr);
+  Atomic.set n.version
+    ((Atomic.get n.version + shrink_increment) land lnot shrinking_bit);
+  [ n; nr; parent ]
+
+(* Double rotation right-over-left: nlr becomes the subtree root.
+   Locks held: parent, n, nl, nlr. *)
+let rotate_right_over_left_nl parent n nl hr hll nlr hlrl =
+  let nlrl = child nlr left and nlrr = child nlr right in
+  let hlrr = node_height nlrr in
+  Atomic.set n.version (Atomic.get n.version lor shrinking_bit);
+  Atomic.set nl.version (Atomic.get nl.version lor shrinking_bit);
+  set_child n left nlrr;
+  (match nlrr with Some x -> Atomic.set x.parent (Some n) | None -> ());
+  set_child nl right nlrl;
+  (match nlrl with Some x -> Atomic.set x.parent (Some nl) | None -> ());
+  set_child nlr left (Some nl);
+  set_child nlr right (Some n);
+  let d = dir_of parent n in
+  set_child parent d (Some nlr);
+  Atomic.set nlr.parent (Some parent);
+  Atomic.set nl.parent (Some nlr);
+  Atomic.set n.parent (Some nlr);
+  let hn_repl = 1 + max hlrr hr in
+  Atomic.set n.height hn_repl;
+  let hl_repl = 1 + max hll hlrl in
+  Atomic.set nl.height hl_repl;
+  Atomic.set nlr.height (1 + max hl_repl hn_repl);
+  Atomic.set n.version
+    ((Atomic.get n.version + shrink_increment) land lnot shrinking_bit);
+  Atomic.set nl.version
+    ((Atomic.get nl.version + shrink_increment) land lnot shrinking_bit);
+  [ n; nl; nlr; parent ]
+
+(* Double rotation left-over-right (mirror). Locks: parent, n, nr, nrl. *)
+let rotate_left_over_right_nl parent n nr hl hrr nrl hrlr =
+  let nrll = child nrl left and nrlr = child nrl right in
+  let hrll = node_height nrll in
+  Atomic.set n.version (Atomic.get n.version lor shrinking_bit);
+  Atomic.set nr.version (Atomic.get nr.version lor shrinking_bit);
+  set_child n right nrll;
+  (match nrll with Some x -> Atomic.set x.parent (Some n) | None -> ());
+  set_child nr left nrlr;
+  (match nrlr with Some x -> Atomic.set x.parent (Some nr) | None -> ());
+  set_child nrl right (Some nr);
+  set_child nrl left (Some n);
+  let d = dir_of parent n in
+  set_child parent d (Some nrl);
+  Atomic.set nrl.parent (Some parent);
+  Atomic.set nr.parent (Some nrl);
+  Atomic.set n.parent (Some nrl);
+  let hn_repl = 1 + max hl hrll in
+  Atomic.set n.height hn_repl;
+  let hr_repl = 1 + max hrlr hrr in
+  Atomic.set nr.height hr_repl;
+  Atomic.set nrl.height (1 + max hn_repl hr_repl);
+  Atomic.set n.version
+    ((Atomic.get n.version + shrink_increment) land lnot shrinking_bit);
+  Atomic.set nr.version
+    ((Atomic.get nr.version + shrink_increment) land lnot shrinking_bit);
+  [ n; nr; nrl; parent ]
+
+(* Left-heavy repair. Locks held: parent, n; takes nl (and maybe nlr).
+   The "neither rotation applies" case (Bronson's fall-through) converts
+   the problem into a left-rotation of nl — performed after releasing nlr's
+   lock, with n acting as the parent frame. *)
+let rec rebalance_to_right_nl parent n nl hr0 =
+  Spinlock.acquire nl.lock;
+  let result =
+    let hl = Atomic.get nl.height in
+    if hl - hr0 <= 1 then `Done [ n ] (* already fixed; recheck n *)
+    else begin
+      let nlr = child nl right in
+      let hll = node_height (child nl left) in
+      let hlr0 = node_height nlr in
+      if hll >= hlr0 then `Done (rotate_right_nl parent n nl hr0 hll nlr hlr0)
+      else
+        match nlr with
+        | None -> `Done [ n ] (* stale heights; recheck *)
+        | Some nlr_node ->
+            Spinlock.acquire nlr_node.lock;
+            let r =
+              let hlr = Atomic.get nlr_node.height in
+              if hll >= hlr then `Done (rotate_right_nl parent n nl hr0 hll nlr hlr)
+              else begin
+                let hlrl = node_height (child nlr_node left) in
+                let b = hll - hlrl in
+                if b >= -1 && b <= 1 then
+                  `Done
+                    (rotate_right_over_left_nl parent n nl hr0 hll nlr_node hlrl)
+                else `Rotate_child_left hll
+              end
+            in
+            Spinlock.release nlr_node.lock;
+            r
+    end
+  in
+  match result with
+  | `Done damaged ->
+      Spinlock.release nl.lock;
+      damaged
+  | `Rotate_child_left hll ->
+      (* Locks held: parent, n, nl. First straighten nl by rotating it left
+         (n is nl's parent frame); the caller's loop will then retry. *)
+      let damaged =
+        match child nl right with
+        | None -> [ nl ] (* stale heights; recheck *)
+        | Some nlr -> n :: rebalance_to_left_nl n nl nlr hll
+      in
+      Spinlock.release nl.lock;
+      damaged
+
+(* Right-heavy repair (mirror). Locks held: parent, n; takes nr. *)
+and rebalance_to_left_nl parent n nr hl0 =
+  Spinlock.acquire nr.lock;
+  let result =
+    let hr = Atomic.get nr.height in
+    if hl0 - hr >= -1 then `Done [ n ]
+    else begin
+      let nrl = child nr left in
+      let hrr = node_height (child nr right) in
+      let hrl0 = node_height nrl in
+      if hrr >= hrl0 then `Done (rotate_left_nl parent n nr hl0 hrr nrl hrl0)
+      else
+        match nrl with
+        | None -> `Done [ n ]
+        | Some nrl_node ->
+            Spinlock.acquire nrl_node.lock;
+            let r =
+              let hrl = Atomic.get nrl_node.height in
+              if hrr >= hrl then
+                `Done (rotate_left_nl parent n nr hl0 hrr nrl hrl)
+              else begin
+                let hrlr = node_height (child nrl_node right) in
+                let b = hrr - hrlr in
+                if b >= -1 && b <= 1 then
+                  `Done
+                    (rotate_left_over_right_nl parent n nr hl0 hrr nrl_node hrlr)
+                else `Rotate_child_right hrr
+              end
+            in
+            Spinlock.release nrl_node.lock;
+            r
+    end
+  in
+  match result with
+  | `Done damaged ->
+      Spinlock.release nr.lock;
+      damaged
+  | `Rotate_child_right hrr ->
+      (* Locks held: parent, n, nr. Straighten nr by rotating it right
+         (n is nr's parent frame). *)
+      let damaged =
+        match child nr left with
+        | None -> [ nr ] (* stale heights; recheck *)
+        | Some nrl -> n :: rebalance_to_right_nl n nr nrl hrr
+      in
+      Spinlock.release nr.lock;
+      damaged
+
+(* Repair one node under parent+node locks; returns the damaged-candidate
+   worklist. *)
+let rebalance_nl parent n =
+  let nl = child n left and nr = child n right in
+  if (nl = None || nr = None) && Atomic.get n.value = None then
+    if attempt_unlink_nl parent n then [ parent ] else [ n ]
+  else begin
+    let hn = Atomic.get n.height in
+    let hl0 = node_height nl and hr0 = node_height nr in
+    let hn_repl = 1 + max hl0 hr0 in
+    if hl0 - hr0 > 1 then
+      match nl with
+      | Some nl -> rebalance_to_right_nl parent n nl hr0
+      | None -> [ n ] (* stale height reading; recheck *)
+    else if hl0 - hr0 < -1 then
+      match nr with
+      | Some nr -> rebalance_to_left_nl parent n nr hl0
+      | None -> [ n ]
+    else if hn_repl <> hn then begin
+      Atomic.set n.height hn_repl;
+      [ parent ]
+    end
+    else []
+  end
+
+type condition = Nothing | Fix_height | Unlink_or_rebalance
+
+let node_condition n =
+  let nl = child n left and nr = child n right in
+  if (nl = None || nr = None) && Atomic.get n.value = None then
+    Unlink_or_rebalance
+  else begin
+    let hn = Atomic.get n.height in
+    let hl0 = node_height nl and hr0 = node_height nr in
+    if hl0 - hr0 > 1 || hl0 - hr0 < -1 then Unlink_or_rebalance
+    else if 1 + max hl0 hr0 <> hn then Fix_height
+    else Nothing
+  end
+
+(* Walk the damage worklist, repairing each node under the proper locks
+   (Bronson's fixHeightAndRebalance, generalized to a worklist so no
+   damaged candidate of a rotation is ever dropped). *)
+let rec fix_height_and_rebalance t n =
+  if n != t.holder && not (is_unlinked (Atomic.get n.version)) then begin
+    match node_condition n with
+    | Nothing -> ()
+    | Fix_height -> (
+        Spinlock.acquire n.lock;
+        let next =
+          (* Recompute under the lock; if a structural repair is now needed,
+             fall back to the locked-parent path by returning n itself. *)
+          match node_condition n with
+          | Nothing -> None
+          | Unlink_or_rebalance -> Some n
+          | Fix_height ->
+              let h =
+                1 + max (node_height (child n left)) (node_height (child n right))
+              in
+              if h = Atomic.get n.height then None
+              else begin
+                Atomic.set n.height h;
+                Atomic.get n.parent
+              end
+        in
+        Spinlock.release n.lock;
+        match next with
+        | Some next -> fix_height_and_rebalance t next
+        | None -> ())
+    | Unlink_or_rebalance -> (
+        match Atomic.get n.parent with
+        | None -> () (* concurrently unlinked from the holder *)
+        | Some p ->
+            Spinlock.acquire p.lock;
+            if
+              is_unlinked (Atomic.get p.version)
+              || not (same_node (Atomic.get n.parent) (Some p))
+            then begin
+              (* Stale parent; retry with a fresh reading. *)
+              Spinlock.release p.lock;
+              fix_height_and_rebalance t n
+            end
+            else begin
+              Spinlock.acquire n.lock;
+              let damaged = rebalance_nl p n in
+              Spinlock.release n.lock;
+              Spinlock.release p.lock;
+              List.iter (fix_height_and_rebalance t) damaged
+            end)
+  end
+
+(* --- updates --- *)
+
+let rec attempt_insert key value node dir node_ovl t =
+  let rec loop () =
+    if Atomic.get node.version <> node_ovl then Retry
+    else
+      match child node dir with
+      | None -> (
+          Spinlock.acquire node.lock;
+          if Atomic.get node.version <> node_ovl then begin
+            Spinlock.release node.lock;
+            Retry
+          end
+          else
+            match child node dir with
+            | Some _ ->
+                (* A child appeared without a shrink; re-examine. *)
+                Spinlock.release node.lock;
+                loop ()
+            | None ->
+                let leaf = make_node key (Some value) (Some node) 1 in
+                set_child node dir (Some leaf);
+                Spinlock.release node.lock;
+                fix_height_and_rebalance t node;
+                Found (Some ()))
+      | Some c ->
+          if c.key = key then begin
+            (* Re-populate a routing node, or report a duplicate. *)
+            Spinlock.acquire c.lock;
+            if is_unlinked (Atomic.get c.version) then begin
+              Spinlock.release c.lock;
+              loop () (* c is gone; re-read the child slot *)
+            end
+            else if Atomic.get c.value <> None then begin
+              Spinlock.release c.lock;
+              Found None (* duplicate *)
+            end
+            else begin
+              Atomic.set c.value (Some value);
+              Spinlock.release c.lock;
+              Found (Some ())
+            end
+          end
+          else begin
+            let child_ovl = Atomic.get c.version in
+            if is_shrinking_or_unlinked child_ovl then begin
+              wait_until_not_changing c;
+              if Atomic.get node.version <> node_ovl then Retry else loop ()
+            end
+            else if not (same_node (child node dir) (Some c)) then
+              if Atomic.get node.version <> node_ovl then Retry else loop ()
+            else if Atomic.get node.version <> node_ovl then Retry
+            else begin
+              let next_dir = if key < c.key then left else right in
+              match attempt_insert key value c next_dir child_ovl t with
+              | Retry -> loop ()
+              | Found _ as r -> r
+            end
+          end
+  in
+  loop ()
+
+let insert t key value =
+  if key = min_int then invalid_arg "Avl.insert: min_int is reserved";
+  match
+    attempt_insert key value t.holder right (Atomic.get t.holder.version) t
+  with
+  | Found (Some ()) -> true
+  | Found None -> false
+  | Retry -> assert false (* the holder never shrinks *)
+
+let rec attempt_remove key node dir node_ovl t =
+  let rec loop () =
+    if Atomic.get node.version <> node_ovl then Retry
+    else
+      match child node dir with
+      | None -> if Atomic.get node.version <> node_ovl then Retry else Found None
+      | Some c ->
+          if c.key = key then begin
+            if Atomic.get c.value = None then Found None (* routing = absent *)
+            else if child c left <> None && child c right <> None then begin
+              (* Two children: demote to a routing node under c's lock. *)
+              Spinlock.acquire c.lock;
+              if is_unlinked (Atomic.get c.version) then begin
+                Spinlock.release c.lock;
+                loop ()
+              end
+              else if child c left = None || child c right = None then begin
+                (* Shrunk meanwhile; take the unlink path instead. *)
+                Spinlock.release c.lock;
+                loop ()
+              end
+              else begin
+                match Atomic.get c.value with
+                | None ->
+                    Spinlock.release c.lock;
+                    Found None
+                | Some v ->
+                    Atomic.set c.value None;
+                    Spinlock.release c.lock;
+                    Found (Some v)
+              end
+            end
+            else begin
+              (* At most one child: unlink under parent+node locks. *)
+              Spinlock.acquire node.lock;
+              if is_unlinked (Atomic.get node.version) then begin
+                Spinlock.release node.lock;
+                Retry
+              end
+              else if not (same_node (child node dir) (Some c)) then begin
+                Spinlock.release node.lock;
+                loop ()
+              end
+              else begin
+                Spinlock.acquire c.lock;
+                match Atomic.get c.value with
+                | None ->
+                    Spinlock.release c.lock;
+                    Spinlock.release node.lock;
+                    Found None
+                | Some v ->
+                    if child c left = None || child c right = None then begin
+                      let splice =
+                        match child c left with
+                        | Some _ as l -> l
+                        | None -> child c right
+                      in
+                      set_child node dir splice;
+                      (match splice with
+                      | Some s -> Atomic.set s.parent (Some node)
+                      | None -> ());
+                      Atomic.set c.value None;
+                      Atomic.set c.version
+                        (Atomic.get c.version lor unlinked_bit);
+                      Spinlock.release c.lock;
+                      Spinlock.release node.lock;
+                      fix_height_and_rebalance t node;
+                      Found (Some v)
+                    end
+                    else begin
+                      (* Grew a second child meanwhile: demote instead
+                         (we hold c's lock, which suffices). *)
+                      Atomic.set c.value None;
+                      Spinlock.release c.lock;
+                      Spinlock.release node.lock;
+                      Found (Some v)
+                    end
+              end
+            end
+          end
+          else begin
+            let child_ovl = Atomic.get c.version in
+            if is_shrinking_or_unlinked child_ovl then begin
+              wait_until_not_changing c;
+              if Atomic.get node.version <> node_ovl then Retry else loop ()
+            end
+            else if not (same_node (child node dir) (Some c)) then
+              if Atomic.get node.version <> node_ovl then Retry else loop ()
+            else if Atomic.get node.version <> node_ovl then Retry
+            else begin
+              let next_dir = if key < c.key then left else right in
+              match attempt_remove key c next_dir child_ovl t with
+              | Retry -> loop ()
+              | Found _ as r -> r
+            end
+          end
+  in
+  loop ()
+
+let delete t key =
+  match attempt_remove key t.holder right (Atomic.get t.holder.version) t with
+  | Found (Some _) -> true
+  | Found None -> false
+  | Retry -> assert false
+
+(* --- Quiescent-state helpers --- *)
+
+let fold_inorder f acc t =
+  let rec go acc = function
+    | None -> acc
+    | Some n ->
+        let acc = go acc (child n left) in
+        let acc =
+          match Atomic.get n.value with Some v -> f acc n.key v | None -> acc
+        in
+        go acc (child n right)
+  in
+  go acc (child t.holder right)
+
+let size t = fold_inorder (fun acc _ _ -> acc + 1) 0 t
+let to_list t = List.rev (fold_inorder (fun acc k v -> (k, v) :: acc) [] t)
+
+let height t =
+  let rec go = function
+    | None -> 0
+    | Some n -> 1 + max (go (child n left)) (go (child n right))
+  in
+  go (child t.holder right)
+
+exception Invariant_violation of string
+
+let check_invariants t =
+  let fail msg = raise (Invariant_violation msg) in
+  let rec check lo hi parent_node = function
+    | None -> 0
+    | Some n ->
+        (match lo with
+        | Some lo when n.key <= lo -> fail "BST order violated (lower bound)"
+        | _ -> ());
+        (match hi with
+        | Some hi when n.key >= hi -> fail "BST order violated (upper bound)"
+        | _ -> ());
+        let v = Atomic.get n.version in
+        if is_unlinked v then fail "reachable node is unlinked";
+        if v land shrinking_bit <> 0 then fail "reachable node is shrinking";
+        if Spinlock.is_locked n.lock then fail "reachable node is locked";
+        (match Atomic.get n.parent with
+        | Some p when p == parent_node -> ()
+        | Some _ | None -> fail "parent pointer inconsistent");
+        if
+          Atomic.get n.value = None
+          && (child n left = None || child n right = None)
+        then fail "reachable childless routing node";
+        let hl = check lo (Some n.key) n (child n left) in
+        let hr = check (Some n.key) hi n (child n right) in
+        if Atomic.get n.height <> 1 + max hl hr then fail "cached height wrong";
+        if abs (hl - hr) > 1 then fail "AVL balance violated";
+        1 + max hl hr
+  in
+  ignore (check None None t.holder (child t.holder right))

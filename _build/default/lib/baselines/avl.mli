@@ -1,0 +1,41 @@
+(** Optimistic concurrent AVL tree of Bronson, Casper, Chafi & Olukotun
+    (PPoPP 2010) — the paper's fine-grained-locking balanced baseline.
+
+    Design (faithful to the original):
+    - {e partially external}: removing a key from a node with two children
+      just clears its value, leaving a routing node that a later insert can
+      re-populate and rebalancing can unlink;
+    - {e hand-over-hand optimistic validation}: readers descend without
+      locks, capturing each node's version word (OVL) and re-validating it
+      after reading the child; a node whose subtree may shrink (rotation or
+      unlink) first sets its [shrinking] bit, so in-flight readers wait or
+      retry at the parent;
+    - {e relaxed balance}: height repairs and rotations happen after the
+      update commits, node by node, each under the locks of the node and
+      its parent.
+
+    [contains] is lock-free in practice (waits only for in-flight
+    rotations); updates lock O(1) nodes. *)
+
+type 'v t
+
+val create : unit -> 'v t
+val contains : 'v t -> int -> 'v option
+val mem : 'v t -> int -> bool
+val insert : 'v t -> int -> 'v -> bool
+val delete : 'v t -> int -> bool
+
+(** Quiescent-state helpers. *)
+
+val size : 'v t -> int
+(** Number of keys (routing nodes excluded). *)
+
+val to_list : 'v t -> (int * 'v) list
+val height : 'v t -> int
+
+exception Invariant_violation of string
+
+val check_invariants : 'v t -> unit
+(** BST order, parent-pointer consistency, no reachable shrinking/unlinked
+    node, exact cached heights, AVL balance within one at every node, and
+    no reachable childless routing nodes. *)

@@ -1,0 +1,148 @@
+module Spinlock = Repro_sync.Spinlock
+
+type 'v tree =
+  | Leaf
+  | Node of { l : 'v tree; k : int; v : 'v; r : 'v tree; w : int }
+      (* [w] = number of keys + 1 (the "weight" of weight-balanced trees). *)
+
+type 'v t = { root : 'v tree Atomic.t; writer : Spinlock.t }
+
+(* Hirai & Yamamoto's provably-correct integer parameters. *)
+let delta = 3
+let gamma = 2
+
+let weight = function Leaf -> 1 | Node { w; _ } -> w
+let node l k v r = Node { l; k; v; r; w = weight l + weight r }
+
+let single_left l k v r =
+  match r with
+  | Leaf -> assert false
+  | Node { l = rl; k = rk; v = rv; r = rr; _ } -> node (node l k v rl) rk rv rr
+
+let single_right l k v r =
+  match l with
+  | Leaf -> assert false
+  | Node { l = ll; k = lk; v = lv; r = lr; _ } -> node ll lk lv (node lr k v r)
+
+let double_left l k v r =
+  match r with
+  | Node { l = Node { l = rll; k = rlk; v = rlv; r = rlr; _ }; k = rk; v = rv; r = rr; _ }
+    ->
+      node (node l k v rll) rlk rlv (node rlr rk rv rr)
+  | Leaf | Node { l = Leaf; _ } -> assert false
+
+let double_right l k v r =
+  match l with
+  | Node { l = ll; k = lk; v = lv; r = Node { l = lrl; k = lrk; v = lrv; r = lrr; _ }; _ }
+    ->
+      node (node ll lk lv lrl) lrk lrv (node lrr k v r)
+  | Leaf | Node { r = Leaf; _ } -> assert false
+
+(* Rebuild one node, restoring balance if an insertion/deletion skewed it by
+   at most one element (the standard weight-balanced smart constructor). *)
+let balance l k v r =
+  let wl = weight l and wr = weight r in
+  if wl + wr <= 2 then node l k v r
+  else if wr > delta * wl then
+    match r with
+    | Leaf -> assert false
+    | Node { l = rl; r = rr; _ } ->
+        if weight rl < gamma * weight rr then single_left l k v r
+        else double_left l k v r
+  else if wl > delta * wr then
+    match l with
+    | Leaf -> assert false
+    | Node { l = ll; r = lr; _ } ->
+        if weight lr < gamma * weight ll then single_right l k v r
+        else double_right l k v r
+  else node l k v r
+
+exception Unchanged
+
+let rec insert_tree key value = function
+  | Leaf -> node Leaf key value Leaf
+  | Node { l; k; v; r; _ } ->
+      if key < k then balance (insert_tree key value l) k v r
+      else if key > k then balance l k v (insert_tree key value r)
+      else raise Unchanged
+
+let rec extract_min = function
+  | Leaf -> assert false
+  | Node { l = Leaf; k; v; r; _ } -> (k, v, r)
+  | Node { l; k; v; r; _ } ->
+      let mk, mv, rest = extract_min l in
+      (mk, mv, balance rest k v r)
+
+let rec delete_tree key = function
+  | Leaf -> raise Unchanged
+  | Node { l; k; v; r; _ } ->
+      if key < k then balance (delete_tree key l) k v r
+      else if key > k then balance l k v (delete_tree key r)
+      else
+        (match (l, r) with
+        | Leaf, other | other, Leaf -> other
+        | _, _ ->
+            let sk, sv, rest = extract_min r in
+            balance l sk sv rest)
+
+let create () = { root = Atomic.make Leaf; writer = Spinlock.create () }
+
+let contains t key =
+  (* Wait-free: one atomic load, then a pure traversal of an immutable
+     snapshot. *)
+  let rec go = function
+    | Leaf -> None
+    | Node { l; k; v; r; _ } ->
+        if key < k then go l else if key > k then go r else Some v
+  in
+  go (Atomic.get t.root)
+
+let mem t key = Option.is_some (contains t key)
+
+let update t f =
+  Spinlock.with_lock t.writer (fun () ->
+      match f (Atomic.get t.root) with
+      | fresh ->
+          Atomic.set t.root fresh;
+          true
+      | exception Unchanged -> false)
+
+let insert t key value = update t (insert_tree key value)
+let delete t key = update t (delete_tree key)
+let size t = weight (Atomic.get t.root) - 1
+
+let to_list t =
+  let rec go acc = function
+    | Leaf -> acc
+    | Node { l; k; v; r; _ } -> go ((k, v) :: go acc r) l
+  in
+  go [] (Atomic.get t.root)
+
+let height t =
+  let rec go = function
+    | Leaf -> 0
+    | Node { l; r; _ } -> 1 + max (go l) (go r)
+  in
+  go (Atomic.get t.root)
+
+exception Invariant_violation of string
+
+let check_invariants t =
+  let fail msg = raise (Invariant_violation msg) in
+  let rec check lo hi = function
+    | Leaf -> ()
+    | Node { l; k; v = _; r; w } ->
+        (match lo with
+        | Some lo when k <= lo -> fail "BST order violated (lower bound)"
+        | _ -> ());
+        (match hi with
+        | Some hi when k >= hi -> fail "BST order violated (upper bound)"
+        | _ -> ());
+        if w <> weight l + weight r then fail "cached weight incorrect";
+        let wl = weight l and wr = weight r in
+        if wl + wr > 2 && (wr > delta * wl || wl > delta * wr) then
+          fail "weight balance violated";
+        check lo (Some k) l;
+        check (Some k) hi r
+  in
+  check None None (Atomic.get t.root)

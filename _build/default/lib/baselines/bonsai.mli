@@ -1,0 +1,36 @@
+(** Bonsai: RCU-style balanced tree in the manner of Clements, Kaashoek &
+    Zeldovich (ASPLOS 2012) — one of the paper's two RCU-based baselines.
+
+    Bonsai never modifies the tree in place: every update builds fresh nodes
+    along the modified path of a {e persistent} weight-balanced tree and then
+    publishes the new root with a single atomic store. Readers atomically
+    load the root and traverse an immutable snapshot, so lookups are
+    wait-free and need no read-side critical section under a GC (the
+    original uses RCU purely to delay freeing the replaced path; the OCaml
+    GC provides that guarantee).
+
+    Updates serialize on a single writer lock, which is exactly the
+    coarse-grained updater synchronization the paper criticizes: 100%-read
+    workloads fly, but throughput stops scaling the moment updates appear
+    (Figures 9-10), and every update pays O(log n) allocation.
+
+    Balancing: weight-balanced tree with the (Δ=3, Γ=2) parameters proved
+    correct by Hirai & Yamamoto (JFP 2011). *)
+
+type 'v t
+
+val create : unit -> 'v t
+val contains : 'v t -> int -> 'v option
+val mem : 'v t -> int -> bool
+val insert : 'v t -> int -> 'v -> bool
+val delete : 'v t -> int -> bool
+val size : 'v t -> int
+val to_list : 'v t -> (int * 'v) list
+val height : 'v t -> int
+
+exception Invariant_violation of string
+
+val check_invariants : 'v t -> unit
+(** BST order, correct cached weights, and the weight-balance invariant on
+    every node. Safe to run concurrently with readers (pure traversal of a
+    snapshot), quiescent recommended. *)

@@ -1,0 +1,297 @@
+module Spinlock = Repro_sync.Spinlock
+
+type 'v node = {
+  key : int; (* immutable *)
+  value : 'v option Atomic.t; (* rewritten when a deleted node is revived *)
+  left : 'v node option Atomic.t;
+  right : 'v node option Atomic.t;
+  deleted : bool Atomic.t; (* logical deletion *)
+  removed : bool Atomic.t; (* physically unlinked (or replaced by a clone) *)
+  lock : Spinlock.t;
+}
+
+type 'v t = { root : 'v node (* sentinel, key = max_int, never removed *) }
+
+let left = 0
+let right = 1
+let field n d = if d = left then n.left else n.right
+let child n d = Atomic.get (field n d)
+
+let make_node key value =
+  {
+    key;
+    value = Atomic.make value;
+    left = Atomic.make None;
+    right = Atomic.make None;
+    deleted = Atomic.make false;
+    removed = Atomic.make false;
+    lock = Spinlock.create ();
+  }
+
+let create () = { root = make_node max_int None }
+
+let same_node a b =
+  match (a, b) with
+  | Some x, Some y -> x == y
+  | None, None -> true
+  | None, Some _ | Some _, None -> false
+
+(* Plain traversal. Removed nodes' child pointers lead back to their old
+   parent, so a stranded traversal climbs back into the live tree; clones
+   installed by rotations are found through the live path. Returns the
+   node with the key, or the last node reached (where the key would
+   attach). *)
+let rec search n key =
+  if n.key = key then n
+  else
+    let d = if key < n.key then left else right in
+    match child n d with None -> n | Some c -> search c key
+
+let contains t key =
+  let n = search t.root key in
+  if n.key = key && not (Atomic.get n.deleted) then Atomic.get n.value
+  else None
+
+let mem t key = Option.is_some (contains t key)
+
+let insert t key value =
+  if key = max_int then invalid_arg "Cf_tree.insert: max_int is reserved";
+  let rec attempt () =
+    let n = search t.root key in
+    if n.key = key then begin
+      Spinlock.acquire n.lock;
+      if Atomic.get n.removed then begin
+        Spinlock.release n.lock;
+        attempt () (* replaced by a clone or unlinked; retry on fresh path *)
+      end
+      else if Atomic.get n.deleted then begin
+        (* Revive: publish the value before clearing the flag so readers
+           that see deleted=false see the new binding. *)
+        Atomic.set n.value (Some value);
+        Atomic.set n.deleted false;
+        Spinlock.release n.lock;
+        true
+      end
+      else begin
+        Spinlock.release n.lock;
+        false
+      end
+    end
+    else begin
+      let d = if key < n.key then left else right in
+      Spinlock.acquire n.lock;
+      if Atomic.get n.removed || child n d <> None then begin
+        Spinlock.release n.lock;
+        attempt ()
+      end
+      else begin
+        Atomic.set (field n d) (Some (make_node key (Some value)));
+        Spinlock.release n.lock;
+        true
+      end
+    end
+  in
+  attempt ()
+
+let delete t key =
+  let rec attempt () =
+    let n = search t.root key in
+    if n.key <> key then false
+    else begin
+      Spinlock.acquire n.lock;
+      if Atomic.get n.removed then begin
+        Spinlock.release n.lock;
+        attempt ()
+      end
+      else if Atomic.get n.deleted then begin
+        Spinlock.release n.lock;
+        false
+      end
+      else begin
+        Atomic.set n.deleted true;
+        Spinlock.release n.lock;
+        true
+      end
+    end
+  in
+  attempt ()
+
+(* --- the structural adapter (background work) --- *)
+
+(* Physically unlink [n] (deleted, at most one child), the [d]-child of
+   [p]. After the splice, n's child pointers are redirected to p so that
+   traversals stranded on n climb back. *)
+let try_remove p d n =
+  Spinlock.acquire p.lock;
+  Spinlock.acquire n.lock;
+  let ok =
+    (not (Atomic.get p.removed))
+    && (not (Atomic.get n.removed))
+    && same_node (child p d) (Some n)
+    && Atomic.get n.deleted
+    && (child n left = None || child n right = None)
+  in
+  if ok then begin
+    let splice =
+      match child n left with Some _ as l -> l | None -> child n right
+    in
+    Atomic.set (field p d) splice;
+    Atomic.set n.left (Some p);
+    Atomic.set n.right (Some p);
+    Atomic.set n.removed true
+  end;
+  Spinlock.release n.lock;
+  Spinlock.release p.lock;
+  ok
+
+(* Relativistic rotation, as in the maintained Citrus: the sinking node is
+   replaced by an unmarked clone installed below the rising child, so
+   readers never lose their way and updates retry via the removed flag. *)
+let try_rotate p d n sink_dir =
+  let rise_dir = 1 - sink_dir in
+  Spinlock.acquire p.lock;
+  Spinlock.acquire n.lock;
+  let rising =
+    if
+      (not (Atomic.get p.removed))
+      && (not (Atomic.get n.removed))
+      && same_node (child p d) (Some n)
+    then child n rise_dir
+    else None
+  in
+  match rising with
+  | None ->
+      Spinlock.release n.lock;
+      Spinlock.release p.lock;
+      false
+  | Some c ->
+      Spinlock.acquire c.lock;
+      if Atomic.get c.removed then begin
+        Spinlock.release c.lock;
+        Spinlock.release n.lock;
+        Spinlock.release p.lock;
+        false
+      end
+      else begin
+        let clone = make_node n.key (Atomic.get n.value) in
+        Atomic.set clone.deleted (Atomic.get n.deleted);
+        Atomic.set (field clone rise_dir) (child c sink_dir);
+        Atomic.set (field clone sink_dir) (child n sink_dir);
+        Atomic.set n.removed true;
+        Atomic.set (field c sink_dir) (Some clone);
+        Atomic.set (field p d) (Some c);
+        Spinlock.release c.lock;
+        Spinlock.release n.lock;
+        Spinlock.release p.lock;
+        true
+      end
+
+let structural_pass t =
+  let changes = ref 0 in
+  (* Post-order; one structural change per position per pass (heights are
+     refreshed by the next pass). Returns (height, hl, hr). *)
+  let rec walk p d =
+    match child p d with
+    | None -> (0, 0, 0)
+    | Some n ->
+        if
+          Atomic.get n.deleted
+          && (child n left = None || child n right = None)
+        then
+          if try_remove p d n then begin
+            incr changes;
+            (1, 0, 0) (* conservative; next pass refines *)
+          end
+          else (1, 0, 0)
+        else begin
+          let hl, hll, hlr = walk n left in
+          let hr, hrl, hrr = walk n right in
+          let stale = (1 + max hl hr, hl, hr) in
+          if hl > hr + 1 then begin
+            if hlr > hll then begin
+              (match child n left with
+              | Some l when try_rotate n left l left -> incr changes
+              | Some _ | None -> ());
+              stale
+            end
+            else if try_rotate p d n right then begin
+              incr changes;
+              let hr' = 1 + max hlr hr in
+              (1 + max hll hr', hll, hr')
+            end
+            else stale
+          end
+          else if hr > hl + 1 then begin
+            if hrl > hrr then begin
+              (match child n right with
+              | Some r when try_rotate n right r right -> incr changes
+              | Some _ | None -> ());
+              stale
+            end
+            else if try_rotate p d n left then begin
+              incr changes;
+              let hl' = 1 + max hl hrl in
+              (1 + max hl' hrr, hl', hrr)
+            end
+            else stale
+          end
+          else stale
+        end
+  in
+  ignore (walk t.root left);
+  !changes
+
+let adapt ?(max_passes = 64) t =
+  let rec go passes total =
+    if passes >= max_passes then total
+    else
+      let c = structural_pass t in
+      if c = 0 then total else go (passes + 1) (total + c)
+  in
+  go 0 0
+
+(* --- Quiescent-state helpers --- *)
+
+let fold_inorder f acc t =
+  let rec go acc = function
+    | None -> acc
+    | Some n ->
+        let acc = go acc (child n left) in
+        let acc =
+          if Atomic.get n.deleted then acc
+          else match Atomic.get n.value with Some v -> f acc n.key v | None -> acc
+        in
+        go acc (child n right)
+  in
+  go acc (child t.root left)
+
+let size t = fold_inorder (fun acc _ _ -> acc + 1) 0 t
+let to_list t = List.rev (fold_inorder (fun acc k v -> (k, v) :: acc) [] t)
+
+let height t =
+  let rec go = function
+    | None -> 0
+    | Some n -> 1 + max (go (child n left)) (go (child n right))
+  in
+  go (child t.root left)
+
+exception Invariant_violation of string
+
+let check_invariants t =
+  let fail msg = raise (Invariant_violation msg) in
+  let rec check lo hi = function
+    | None -> ()
+    | Some n ->
+        if Atomic.get n.removed then fail "reachable node is removed";
+        if Spinlock.is_locked n.lock then fail "reachable node is locked";
+        (match lo with
+        | Some lo when n.key <= lo -> fail "BST order violated (lower bound)"
+        | _ -> ());
+        (match hi with
+        | Some hi when n.key >= hi -> fail "BST order violated (upper bound)"
+        | _ -> ());
+        check lo (Some n.key) (child n left);
+        check (Some n.key) hi (child n right)
+  in
+  if Atomic.get t.root.removed then fail "sentinel removed";
+  check None (Some max_int) (child t.root left)

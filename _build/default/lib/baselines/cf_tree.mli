@@ -1,0 +1,49 @@
+(** Contention-friendly binary search tree of Crain, Gramoli & Raynal
+    (Euro-Par 2013) — the paper's reference [7].
+
+    The design decouples the {e abstract} operation from the {e structural}
+    work: updates only ever touch one or two nodes (a delete merely sets a
+    [deleted] flag; an insert appends a leaf or revives a deleted node),
+    while a background {e structural adapter} physically removes deleted
+    nodes and performs rotations. Two tricks keep plain unsynchronized
+    traversals safe:
+
+    - a physically removed node's child pointers are redirected {e back to
+      its parent}, so a traversal stranded on it climbs back into the live
+      tree and continues;
+    - rotations clone the node that moves down (as in relativistic trees),
+      so no reader can lose its way mid-rotation.
+
+    Run {!structural_pass} (or loop {!adapt}) from a dedicated domain to
+    get the contention-friendly behaviour; without it the tree still works
+    but accumulates logically-deleted nodes and imbalance. *)
+
+type 'v t
+
+val create : unit -> 'v t
+val contains : 'v t -> int -> 'v option
+val mem : 'v t -> int -> bool
+val insert : 'v t -> int -> 'v -> bool
+val delete : 'v t -> int -> bool
+
+val structural_pass : 'v t -> int
+(** One background pass: physically unlink deleted nodes with at most one
+    child and rotate where imbalance exceeds one. Returns the number of
+    structural changes. Safe concurrently with all operations. *)
+
+val adapt : ?max_passes:int -> 'v t -> int
+(** Loop {!structural_pass} to a fixed point (or [max_passes], default
+    64). *)
+
+(** Quiescent-state helpers. *)
+
+val size : 'v t -> int
+(** Logical size (deleted nodes excluded). *)
+
+val to_list : 'v t -> (int * 'v) list
+val height : 'v t -> int
+
+exception Invariant_violation of string
+
+val check_invariants : 'v t -> unit
+(** BST order over reachable nodes, no reachable removed node, locks free. *)

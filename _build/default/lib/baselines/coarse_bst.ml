@@ -1,0 +1,15 @@
+module Spinlock = Repro_sync.Spinlock
+
+type 'v t = { bst : 'v Seq_bst.t; lock : Spinlock.t }
+
+let create () = { bst = Seq_bst.create (); lock = Spinlock.create () }
+let contains t key = Spinlock.with_lock t.lock (fun () -> Seq_bst.contains t.bst key)
+let mem t key = Spinlock.with_lock t.lock (fun () -> Seq_bst.mem t.bst key)
+
+let insert t key value =
+  Spinlock.with_lock t.lock (fun () -> Seq_bst.insert t.bst key value)
+
+let delete t key = Spinlock.with_lock t.lock (fun () -> Seq_bst.delete t.bst key)
+let size t = Seq_bst.size t.bst
+let to_list t = Seq_bst.to_list t.bst
+let check_invariants t = Seq_bst.check_invariants t.bst

@@ -1,0 +1,20 @@
+(** The simplest thread-safe dictionary: a {!Seq_bst} under one spin lock.
+
+    Not a structure from the paper — it is the control/ablation point: any
+    fine-grained design should beat it as soon as operations overlap, and a
+    design losing to it reveals synchronization overhead rather than
+    contention. *)
+
+type 'v t
+
+val create : unit -> 'v t
+val contains : 'v t -> int -> 'v option
+val mem : 'v t -> int -> bool
+val insert : 'v t -> int -> 'v -> bool
+val delete : 'v t -> int -> bool
+
+(** Quiescent-state helpers (no locking). *)
+
+val size : 'v t -> int
+val to_list : 'v t -> (int * 'v) list
+val check_invariants : 'v t -> unit

@@ -1,0 +1,319 @@
+module Backoff = Repro_sync.Backoff
+
+(* Sentinels ∞₁ < ∞₂, both above every real key. *)
+let inf1 = max_int - 1
+let inf2 = max_int
+
+type 'v node =
+  | Leaf of { key : int; value : 'v option }
+  | Internal of {
+      key : int;
+      left : 'v node Atomic.t;
+      right : 'v node Atomic.t;
+      update : 'v update Atomic.t;
+    }
+
+(* The descriptor protocol: each state transition replaces the whole
+   [update] record with a CAS, so the (state, info) pair is read and
+   updated atomically. The [stamp] makes every record physically unique:
+   without it the all-constant Clean record would be statically allocated
+   ONCE by the compiler, and the protocol's physical-equality CAS'es would
+   suffer exactly the ABA the fresh allocations are meant to prevent. *)
+and 'v update = { state : state; info : 'v info; stamp : int }
+
+and state = Clean | IFlag | DFlag | Mark
+
+and 'v info =
+  | No_info
+  | IInfo of { p : 'v node; l : 'v node; new_internal : 'v node }
+  | DInfo of {
+      gp : 'v node;
+      p : 'v node;
+      l : 'v node;
+      pupdate : 'v update; (* p's descriptor as seen by the delete's search *)
+    }
+
+type 'v t = { root : 'v node }
+
+(* Every descriptor must be a FRESH allocation: the protocol's CAS'es
+   compare descriptors physically, and a shared Clean record would let a
+   stale mark-CAS succeed after unrelated operations completed on the node
+   (an ABA that resurrects backtracked deletes). *)
+let stamps = Atomic.make 0
+let fresh_clean () =
+  { state = Clean; info = No_info; stamp = Atomic.fetch_and_add stamps 1 }
+
+let internal key left right =
+  Internal
+    {
+      key;
+      left = Atomic.make left;
+      right = Atomic.make right;
+      update = Atomic.make (fresh_clean ());
+    }
+
+let create () =
+  {
+    root =
+      internal inf2
+        (Leaf { key = inf1; value = None })
+        (Leaf { key = inf2; value = None });
+  }
+
+let key_of = function Leaf { key; _ } | Internal { key; _ } -> key
+
+let child_field n key =
+  match n with
+  | Internal { key = k; left; right; _ } -> if key < k then left else right
+  | Leaf _ -> assert false
+
+let update_of = function
+  | Internal { update; _ } -> update
+  | Leaf _ -> assert false
+
+type 'v search_result = {
+  gp : 'v node option; (* None iff l's parent is the root *)
+  p : 'v node;
+  l : 'v node;
+  pupdate : 'v update;
+  gpupdate : 'v update;
+}
+
+let search t key =
+  let rec go gp p gpupdate pupdate l =
+    match l with
+    | Internal _ ->
+        let gp = Some p and gpupdate = pupdate in
+        let pupdate = Atomic.get (update_of l) in
+        go gp l gpupdate pupdate (Atomic.get (child_field l key))
+    | Leaf _ -> { gp; p; l; pupdate; gpupdate }
+  in
+  let p = t.root in
+  let pupdate = Atomic.get (update_of p) in
+  (* The placeholder gpupdate is never CAS'ed against (gp = None). *)
+  go None p (fresh_clean ()) pupdate (Atomic.get (child_field p key))
+
+let contains t key =
+  let r = search t key in
+  match r.l with
+  | Leaf { key = k; value } when k = key -> value
+  | Leaf _ | Internal _ -> None
+
+let mem t key = Option.is_some (contains t key)
+
+(* CAS one of [parent]'s children from [expected] to [fresh]. *)
+let cas_child parent expected fresh =
+  let field = child_field parent (key_of expected) in
+  let cur = Atomic.get field in
+  cur == expected && Atomic.compare_and_set field cur fresh
+
+(* --- helping --- *)
+
+(* The parent is (permanently) marked: swing the grandparent's child
+   pointer from the parent to the doomed leaf's sibling and unflag the
+   grandparent. Both CAS'es are idempotent: the child CAS expects the
+   parent, the unflag expects the physically-same DFlag descriptor. *)
+let help_marked info =
+  match info with
+  | DInfo { gp; p; l; _ } ->
+      let sibling_field =
+        match p with
+        | Internal { key; left; right; _ } ->
+            if key_of l < key then right else left
+        | Leaf _ -> assert false
+      in
+      let sibling = Atomic.get sibling_field in
+      ignore (cas_child gp p sibling);
+      let gu = update_of gp in
+      let cur = Atomic.get gu in
+      if cur.state = DFlag && cur.info == info then
+        ignore (Atomic.compare_and_set gu cur (fresh_clean ()))
+  | No_info | IInfo _ -> ()
+
+(* Complete an insert whose parent carries the IFlag descriptor [u]:
+   splice in the new subtree, then unflag. *)
+let help_insert u =
+  match u.info with
+  | IInfo { p; l; new_internal } ->
+      ignore (cas_child p l new_internal);
+      ignore (Atomic.compare_and_set (update_of p) u (fresh_clean ()))
+  | No_info | DInfo _ -> ()
+
+(* Advance a delete whose grandparent carries the DFlag descriptor [u]:
+   mark the parent (the commit point), then finish via help_marked; if the
+   parent moved on, help its new owner and undo the flag (backtrack).
+   Returns whether the delete committed. *)
+let rec help_delete u =
+  match u.info with
+  | DInfo { gp; p; pupdate; _ } ->
+      let pu = update_of p in
+      let marked =
+        { state = Mark; info = u.info; stamp = Atomic.fetch_and_add stamps 1 }
+      in
+      let committed =
+        (Atomic.get pu == pupdate && Atomic.compare_and_set pu pupdate marked)
+        ||
+        (* Re-read AFTER the failed CAS: a concurrent helper may have
+           installed the mark for this very operation between our read and
+           our CAS — the deletion then committed and backtracking (and
+           reporting failure to the owner) would double-count it. *)
+        let cur = Atomic.get pu in
+        cur.state = Mark && cur.info == u.info
+      in
+      if committed then begin
+        help_marked u.info;
+        true
+      end
+      else begin
+        help (Atomic.get pu);
+        ignore (Atomic.compare_and_set (update_of gp) u (fresh_clean ()));
+        false
+      end
+  | No_info | IInfo _ -> false
+
+and help u =
+  match (u.state, u.info) with
+  | IFlag, IInfo _ -> help_insert u
+  | Mark, DInfo _ -> help_marked u.info
+  | DFlag, DInfo _ -> ignore (help_delete u)
+  | (Clean | IFlag | DFlag | Mark), _ -> ()
+
+(* --- operations --- *)
+
+let insert t key value =
+  if key >= inf1 then invalid_arg "Ellen_bst.insert: key collides with sentinels";
+  let b = Backoff.create () in
+  let rec attempt () =
+    let r = search t key in
+    let lkey = key_of r.l in
+    if lkey = key then false
+    else if r.pupdate.state <> Clean then begin
+      help r.pupdate;
+      Backoff.once b;
+      attempt ()
+    end
+    else begin
+      let new_leaf = Leaf { key; value = Some value } in
+      (* The displaced leaf goes into the new subtree as a COPY (as in the
+         paper): if the original node were reused, a later deletion of
+         new_leaf would promote it back into p's child slot, where a stale
+         helper's ichild CAS (expecting that exact node) could re-splice
+         this subtree and resurrect a deleted key — an ABA on the child
+         pointer. *)
+      let displaced =
+        match r.l with
+        | Leaf { key = lk; value = lv } -> Leaf { key = lk; value = lv }
+        | Internal _ -> assert false
+      in
+      let new_internal =
+        if key < lkey then internal lkey new_leaf displaced
+        else internal key displaced new_leaf
+      in
+      let op =
+        {
+          state = IFlag;
+          info = IInfo { p = r.p; l = r.l; new_internal };
+          stamp = Atomic.fetch_and_add stamps 1;
+        }
+      in
+      if Atomic.compare_and_set (update_of r.p) r.pupdate op then begin
+        help_insert op;
+        true
+      end
+      else begin
+        help (Atomic.get (update_of r.p));
+        Backoff.once b;
+        attempt ()
+      end
+    end
+  in
+  attempt ()
+
+let delete t key =
+  let b = Backoff.create () in
+  let rec attempt () =
+    let r = search t key in
+    if key_of r.l <> key then false
+    else
+      match r.gp with
+      | None -> false (* real leaves always have a grandparent *)
+      | Some gp ->
+          if r.gpupdate.state <> Clean then begin
+            help r.gpupdate;
+            Backoff.once b;
+            attempt ()
+          end
+          else if r.pupdate.state <> Clean then begin
+            help r.pupdate;
+            Backoff.once b;
+            attempt ()
+          end
+          else begin
+            let op =
+              {
+                state = DFlag;
+                info = DInfo { gp; p = r.p; l = r.l; pupdate = r.pupdate };
+                stamp = Atomic.fetch_and_add stamps 1;
+              }
+            in
+            if Atomic.compare_and_set (update_of gp) r.gpupdate op then begin
+              if help_delete op then true
+              else begin
+                Backoff.once b;
+                attempt ()
+              end
+            end
+            else begin
+              help (Atomic.get (update_of gp));
+              Backoff.once b;
+              attempt ()
+            end
+          end
+  in
+  attempt ()
+
+(* --- Quiescent-state helpers --- *)
+
+let fold_leaves f acc t =
+  let rec go acc n =
+    match n with
+    | Leaf { key; value } -> (
+        match value with Some v when key < inf1 -> f acc key v | _ -> acc)
+    | Internal { left; right; _ } ->
+        let acc = go acc (Atomic.get left) in
+        go acc (Atomic.get right)
+  in
+  go acc t.root
+
+let size t = fold_leaves (fun acc _ _ -> acc + 1) 0 t
+let to_list t = List.rev (fold_leaves (fun acc k v -> (k, v) :: acc) [] t)
+
+exception Invariant_violation of string
+
+let check_invariants t =
+  let fail msg = raise (Invariant_violation msg) in
+  (* Bounds: keys in [lo, hi) with hi = None meaning unbounded (needed
+     because the root sentinel key is max_int itself). *)
+  let in_range lo hi k =
+    k >= lo && match hi with None -> true | Some h -> k < h
+  in
+  let rec check lo hi n =
+    match n with
+    | Leaf { key; _ } ->
+        if not (in_range lo hi key) then fail "leaf outside routing range"
+    | Internal { key; left; right; update } ->
+        if not (in_range lo hi key) then fail "internal key outside range";
+        (match (Atomic.get update).state with
+        | Clean -> ()
+        | IFlag | DFlag | Mark -> fail "reachable descriptor not Clean");
+        check lo (Some key) (Atomic.get left);
+        check key hi (Atomic.get right)
+  in
+  (match t.root with
+  | Internal { key; right; _ } ->
+      if key <> inf2 then fail "root sentinel key corrupted";
+      (match Atomic.get right with
+      | Leaf { key; _ } when key = inf2 -> ()
+      | _ -> fail "root right sentinel leaf corrupted")
+  | Leaf _ -> fail "root is not internal");
+  check min_int None t.root

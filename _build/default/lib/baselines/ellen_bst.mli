@@ -1,0 +1,32 @@
+(** Non-blocking external binary search tree of Ellen, Fatourou, Ruppert &
+    van Breugel (PODC 2010) — the paper's reference [10] and the other
+    canonical lock-free BST besides Natarajan & Mittal.
+
+    Coordination goes through per-internal-node [update] descriptors
+    instead of edge bits: an insert flags the parent (IFlag) before
+    splicing in a new subtree; a delete flags the grandparent (DFlag),
+    then marks the parent (Mark) — permanently, committing the deletion —
+    before swinging the grandparent's child pointer. Any operation that
+    encounters a non-Clean descriptor helps it finish, so every operation
+    is lock-free and [contains] is wait-free.
+
+    Keys must be smaller than [max_int - 1] (two sentinel keys). *)
+
+type 'v t
+
+val create : unit -> 'v t
+val contains : 'v t -> int -> 'v option
+val mem : 'v t -> int -> bool
+val insert : 'v t -> int -> 'v -> bool
+val delete : 'v t -> int -> bool
+
+(** Quiescent-state helpers. *)
+
+val size : 'v t -> int
+val to_list : 'v t -> (int * 'v) list
+
+exception Invariant_violation of string
+
+val check_invariants : 'v t -> unit
+(** External-BST shape, routing-key ranges, all reachable descriptors
+    Clean, sentinels intact. *)

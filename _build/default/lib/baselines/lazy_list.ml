@@ -1,0 +1,138 @@
+module Spinlock = Repro_sync.Spinlock
+module Backoff = Repro_sync.Backoff
+
+type 'v node = {
+  key : int;
+  value : 'v option; (* None in sentinels *)
+  next : 'v node option Atomic.t;
+  marked : bool Atomic.t; (* read lock-free by contains/validation *)
+  lock : Spinlock.t;
+}
+
+type 'v t = { head : 'v node }
+
+let make_node key value next =
+  {
+    key;
+    value;
+    next = Atomic.make next;
+    marked = Atomic.make false;
+    lock = Spinlock.create ();
+  }
+
+let create () =
+  let tail = make_node max_int None None in
+  { head = make_node min_int None (Some tail) }
+
+(* Unsynchronized search: (pred, curr) with pred.key < key <= curr.key.
+   curr is never None (the tail sentinel has max_int). *)
+let find t key =
+  let rec go pred =
+    match Atomic.get pred.next with
+    | None -> assert false (* only the tail has None, and tail.key = max_int *)
+    | Some curr -> if curr.key < key then go curr else (pred, curr)
+  in
+  go t.head
+
+let contains t key =
+  let _, curr = find t key in
+  if curr.key = key && not (Atomic.get curr.marked) then curr.value else None
+
+let mem t key = Option.is_some (contains t key)
+
+let validate pred curr =
+  (not (Atomic.get pred.marked))
+  && (not (Atomic.get curr.marked))
+  &&
+  match Atomic.get pred.next with Some n -> n == curr | None -> false
+
+let insert t key value =
+  if key = min_int || key = max_int then
+    invalid_arg "Lazy_list.insert: key collides with a sentinel";
+  let b = Backoff.create () in
+  let rec attempt () =
+    let pred, curr = find t key in
+    Spinlock.acquire pred.lock;
+    Spinlock.acquire curr.lock;
+    if validate pred curr then begin
+      let result =
+        if curr.key = key then false
+        else begin
+          Atomic.set pred.next (Some (make_node key (Some value) (Some curr)));
+          true
+        end
+      in
+      Spinlock.release curr.lock;
+      Spinlock.release pred.lock;
+      result
+    end
+    else begin
+      Spinlock.release curr.lock;
+      Spinlock.release pred.lock;
+      Backoff.once b;
+      attempt ()
+    end
+  in
+  attempt ()
+
+let delete t key =
+  let b = Backoff.create () in
+  let rec attempt () =
+    let pred, curr = find t key in
+    Spinlock.acquire pred.lock;
+    Spinlock.acquire curr.lock;
+    if validate pred curr then begin
+      let result =
+        if curr.key <> key then false
+        else begin
+          (* Logical deletion first, then physical unlink. *)
+          Atomic.set curr.marked true;
+          Atomic.set pred.next (Atomic.get curr.next);
+          true
+        end
+      in
+      Spinlock.release curr.lock;
+      Spinlock.release pred.lock;
+      result
+    end
+    else begin
+      Spinlock.release curr.lock;
+      Spinlock.release pred.lock;
+      Backoff.once b;
+      attempt ()
+    end
+  in
+  attempt ()
+
+(* --- Quiescent-state helpers --- *)
+
+let fold f acc t =
+  let rec go acc n =
+    match Atomic.get n.next with
+    | None -> acc
+    | Some next ->
+        let acc =
+          match next.value with Some v -> f acc next.key v | None -> acc
+        in
+        go acc next
+  in
+  go acc t.head
+
+let size t = fold (fun acc _ _ -> acc + 1) 0 t
+let to_list t = List.rev (fold (fun acc k v -> (k, v) :: acc) [] t)
+
+exception Invariant_violation of string
+
+let check_invariants t =
+  let fail msg = raise (Invariant_violation msg) in
+  if t.head.key <> min_int then fail "head sentinel corrupted";
+  let rec go n =
+    if Atomic.get n.marked then fail "reachable node is marked";
+    if Spinlock.is_locked n.lock then fail "reachable node is locked";
+    match Atomic.get n.next with
+    | None -> if n.key <> max_int then fail "list does not end at the tail"
+    | Some next ->
+        if next.key <= n.key then fail "keys not strictly increasing";
+        go next
+  in
+  go t.head

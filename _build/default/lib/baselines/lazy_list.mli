@@ -1,0 +1,35 @@
+(** Lazy concurrent list-based set (Heller, Herlihy, Luchangco, Moir,
+    Scherer & Shavit, OPODIS 2006).
+
+    The origin of the [marked]-bit validation technique Citrus borrows
+    (the paper cites it for exactly that): nodes are logically deleted by
+    setting a mark under lock, then physically unlinked; lock-free
+    [contains] checks the mark instead of re-traversing; updates lock the
+    two affected nodes and validate marks and adjacency.
+
+    O(n) operations — a baseline and building block, only suitable for
+    small key ranges. *)
+
+type 'v t
+
+val create : unit -> 'v t
+(** User keys must lie strictly between [min_int] and [max_int]
+    (the head/tail sentinels). *)
+
+val contains : 'v t -> int -> 'v option
+(** Wait-free. *)
+
+val mem : 'v t -> int -> bool
+val insert : 'v t -> int -> 'v -> bool
+val delete : 'v t -> int -> bool
+
+(** Quiescent-state helpers. *)
+
+val size : 'v t -> int
+val to_list : 'v t -> (int * 'v) list
+
+exception Invariant_violation of string
+
+val check_invariants : 'v t -> unit
+(** Strictly sorted, no reachable marked node, sentinels intact, locks
+    free. *)

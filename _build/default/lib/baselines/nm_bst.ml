@@ -1,0 +1,264 @@
+module Backoff = Repro_sync.Backoff
+
+type 'v node =
+  | Leaf of { key : int; value : 'v option (* None in sentinel leaves *) }
+  | Internal of {
+      key : int;
+      left : 'v edge Atomic.t;
+      right : 'v edge Atomic.t;
+    }
+
+and 'v edge = { target : 'v node; flag : bool; tag : bool }
+(* An edge value is immutable; transitions replace the whole record with a
+   CAS, so bit updates are atomic with respect to the pointer. [flag] marks
+   the edge to a leaf under deletion; [tag] freezes a sibling edge. *)
+
+(* Sentinel keys ∞₀ < ∞₁ < ∞₂. *)
+let inf0 = max_int - 2
+let inf1 = max_int - 1
+let inf2 = max_int
+
+type 'v t = { r : 'v node; s : 'v node }
+
+let key_of = function Leaf { key; _ } | Internal { key; _ } -> key
+
+let clean target = { target; flag = false; tag = false }
+
+let create () =
+  let s =
+    Internal
+      {
+        key = inf1;
+        left = Atomic.make (clean (Leaf { key = inf0; value = None }));
+        right = Atomic.make (clean (Leaf { key = inf1; value = None }));
+      }
+  in
+  let r =
+    Internal
+      {
+        key = inf2;
+        left = Atomic.make (clean s);
+        right = Atomic.make (clean (Leaf { key = inf2; value = None }));
+      }
+  in
+  { r; s }
+
+(* The child field of internal node [n] on the access path of [key]. *)
+let child_field n key =
+  match n with
+  | Internal { key = k; left; right; _ } -> if key < k then left else right
+  | Leaf _ -> assert false
+
+let sibling_fields n key =
+  match n with
+  | Internal { key = k; left; right; _ } ->
+      if key < k then (left, right) else (right, left)
+  | Leaf _ -> assert false
+
+type 'v seek_record = {
+  ancestor : 'v node; (* origin of the last untagged edge on the path *)
+  successor : 'v node; (* its child on the path *)
+  parent : 'v node; (* the leaf's parent *)
+  leaf : 'v node;
+}
+
+let seek t key =
+  (* Descend from the root; (ancestor, successor) advance on every untagged
+     edge traversed. The path for any real key passes R.left then S.left. *)
+  let rec go ancestor successor parent field =
+    let e = Atomic.get field in
+    match e.target with
+    | Leaf _ -> { ancestor; successor; parent; leaf = e.target }
+    | Internal _ as n ->
+        let ancestor, successor =
+          if not e.tag then (parent, n) else (ancestor, successor)
+        in
+        go ancestor successor n (child_field n key)
+  in
+  go t.r t.s t.r (child_field t.r key)
+
+let contains t key =
+  let rec go n =
+    match n with
+    | Leaf { key = k; value } -> if k = key then value else None
+    | Internal _ -> go (Atomic.get (child_field n key)).target
+  in
+  go t.r
+
+let mem t key = Option.is_some (contains t key)
+
+(* cleanup: try to complete the (own or helped) deletion described by the
+   seek record: tag the sibling edge at the parent, then splice the sibling
+   subtree up to the ancestor with one CAS. Returns true iff the splice CAS
+   succeeded. *)
+let cleanup t key sr =
+  ignore t;
+  let successor_field = child_field sr.ancestor key in
+  let path_field, other_field = sibling_fields sr.parent key in
+  let e = Atomic.get path_field in
+  (* If the flag is not on the path-side edge, we are helping a deletion
+     whose doomed leaf is the sibling: promote the path-side child. *)
+  let sibling_field = if e.flag then other_field else path_field in
+  (* Freeze the promoted edge: set its tag (preserving any flag). The tag
+     bit, once set, never clears, so this loop is bounded. *)
+  let rec tag_edge () =
+    let es = Atomic.get sibling_field in
+    if not es.tag then
+      if not (Atomic.compare_and_set sibling_field es { es with tag = true })
+      then tag_edge ()
+  in
+  tag_edge ();
+  let es = Atomic.get sibling_field in
+  let expected = Atomic.get successor_field in
+  expected.target == sr.successor
+  && (not expected.flag) && (not expected.tag)
+  && Atomic.compare_and_set successor_field expected
+       { target = es.target; flag = es.flag; tag = false }
+
+let insert t key value =
+  if key >= inf0 then invalid_arg "Nm_bst.insert: key collides with sentinels";
+  let b = Backoff.create () in
+  let rec attempt () =
+    let sr = seek t key in
+    match sr.leaf with
+    | Leaf { key = lk; _ } when lk = key -> false
+    | leaf -> (
+        let field = child_field sr.parent key in
+        let e = Atomic.get field in
+        if e.target != leaf then attempt () (* structure changed; re-seek *)
+        else if e.flag || e.tag then begin
+          (* Help the pending deletion, then retry. *)
+          ignore (cleanup t key sr);
+          Backoff.once b;
+          attempt ()
+        end
+        else begin
+          let new_leaf = Leaf { key; value = Some value } in
+          let lk = key_of leaf in
+          let internal =
+            if key < lk then
+              Internal
+                {
+                  key = lk;
+                  left = Atomic.make (clean new_leaf);
+                  right = Atomic.make (clean leaf);
+                }
+            else
+              Internal
+                {
+                  key;
+                  left = Atomic.make (clean leaf);
+                  right = Atomic.make (clean new_leaf);
+                }
+          in
+          if Atomic.compare_and_set field e (clean internal) then true
+          else begin
+            Backoff.once b;
+            attempt ()
+          end
+        end)
+  in
+  attempt ()
+
+let delete t key =
+  let b = Backoff.create () in
+  (* Injection phase: flag the edge to the leaf; cleanup phase: retry the
+     splice until the leaf is unreachable. *)
+  let rec inject () =
+    let sr = seek t key in
+    match sr.leaf with
+    | Leaf { key = lk; _ } when lk <> key -> false
+    | Internal _ -> assert false
+    | leaf -> (
+        let field = child_field sr.parent key in
+        let e = Atomic.get field in
+        if e.target != leaf then inject () (* leaf moved or replaced *)
+        else if e.flag || e.tag then begin
+          (* Another operation owns this edge; help and re-seek. If the
+             other operation is deleting this very key, the re-seek will no
+             longer find it and we return false. *)
+          ignore (cleanup t key sr);
+          Backoff.once b;
+          inject ()
+        end
+        else if Atomic.compare_and_set field e { e with flag = true } then begin
+          (* Injection succeeded: the delete is now ours to finish. *)
+          if cleanup t key sr then true else finish leaf
+        end
+        else begin
+          Backoff.once b;
+          inject ()
+        end)
+  and finish leaf =
+    let sr = seek t key in
+    if sr.leaf != leaf then true (* someone helped us complete *)
+    else if cleanup t key sr then true
+    else begin
+      Backoff.once b;
+      finish leaf
+    end
+  in
+  inject ()
+
+(* --- Quiescent-state helpers --- *)
+
+let fold_leaves f acc t =
+  let rec go acc n =
+    match n with
+    | Leaf { key; value } -> (
+        match value with Some v when key < inf0 -> f acc key v | _ -> acc)
+    | Internal { left; right; _ } ->
+        let acc = go acc (Atomic.get left).target in
+        go acc (Atomic.get right).target
+  in
+  go acc t.r
+
+let size t = fold_leaves (fun acc _ _ -> acc + 1) 0 t
+let to_list t = List.rev (fold_leaves (fun acc k v -> (k, v) :: acc) [] t)
+
+exception Invariant_violation of string
+
+let check_invariants t =
+  let fail msg = raise (Invariant_violation msg) in
+  let rec check lo hi n =
+    match n with
+    | Leaf { key; _ } ->
+        if key < lo || key >= hi then fail "leaf key outside routing range"
+    | Internal { key; left; right } ->
+        if key < lo || key >= hi then fail "internal key outside routing range";
+        let el = Atomic.get left and er = Atomic.get right in
+        if el.flag || el.tag || er.flag || er.tag then
+          fail "reachable edge still flagged or tagged";
+        check lo key el.target;
+        check key hi er.target
+  in
+  (match t.r with
+  | Internal { key; left; right } ->
+      if key <> inf2 then fail "R sentinel key corrupted";
+      let el = Atomic.get left and er = Atomic.get right in
+      if el.target != t.s then fail "R.left no longer points to S";
+      (match er.target with
+      | Leaf { key; _ } when key = inf2 -> ()
+      | _ -> fail "R.right sentinel leaf corrupted");
+      (match t.s with
+      | Internal { key; left = sl; right = sr } ->
+          if key <> inf1 then fail "S sentinel key corrupted";
+          (match (Atomic.get sr).target with
+          | Leaf { key; _ } when key = inf1 -> ()
+          | _ -> fail "S.right sentinel leaf corrupted");
+          let esl = Atomic.get sl in
+          if esl.flag || esl.tag then fail "S.left edge marked in quiescence";
+          check min_int inf1 esl.target
+      | Leaf _ -> fail "S is not internal")
+  | Leaf _ -> fail "R is not internal");
+  (* The rightmost leaf of the S.left subtree must be the ∞₀ sentinel. *)
+  let rec rightmost n =
+    match n with
+    | Leaf { key; _ } -> key
+    | Internal { right; _ } -> rightmost (Atomic.get right).target
+  in
+  match t.s with
+  | Internal { left; _ } ->
+      if rightmost (Atomic.get left).target <> inf0 then
+        fail "∞₀ sentinel leaf lost"
+  | Leaf _ -> assert false

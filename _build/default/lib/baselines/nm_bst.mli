@@ -1,0 +1,35 @@
+(** Lock-free external binary search tree of Natarajan & Mittal (PPoPP 2014)
+    — the paper's lock-free baseline.
+
+    Keys live in leaves; internal nodes only route ([key < node.key] goes
+    left). Deletion marks {e edges} rather than nodes: the edge to the
+    doomed leaf is {b flagged}, the edge to its sibling is {b tagged} (so it
+    cannot change), and then one CAS at the {e ancestor} — the origin of the
+    last untagged edge on the access path — splices out both the leaf and
+    its parent. Operations that encounter marked edges help complete the
+    pending deletion.
+
+    [contains] is wait-free; [insert]/[delete] are lock-free.
+
+    Keys must be smaller than [max_int - 2] (the three largest [int] values
+    are the paper's ∞₀ < ∞₁ < ∞₂ sentinels). *)
+
+type 'v t
+
+val create : unit -> 'v t
+val contains : 'v t -> int -> 'v option
+val mem : 'v t -> int -> bool
+val insert : 'v t -> int -> 'v -> bool
+val delete : 'v t -> int -> bool
+
+(** Quiescent-state helpers. *)
+
+val size : 'v t -> int
+val to_list : 'v t -> (int * 'v) list
+
+exception Invariant_violation of string
+
+val check_invariants : 'v t -> unit
+(** External-BST shape: internal nodes have two children; leaf keys respect
+    the routing keys; no reachable edge is flagged or tagged; the three
+    sentinels are intact. *)

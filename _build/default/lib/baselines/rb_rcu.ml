@@ -1,0 +1,342 @@
+module Spinlock = Repro_sync.Spinlock
+
+type color = Red | Black
+
+module Make (R : Repro_rcu.Rcu.S) = struct
+  type 'v node = {
+    key : int;
+    value : 'v;
+    left : 'v node option Atomic.t; (* read by concurrent readers *)
+    right : 'v node option Atomic.t;
+    mutable color : color; (* writer-only (single writer under lock) *)
+    mutable parent : 'v node option; (* writer-only *)
+  }
+
+  type 'v t = {
+    root : 'v node option Atomic.t;
+    writer : Spinlock.t;
+    rcu : R.t;
+  }
+
+  type 'v handle = { tree : 'v t; rt : R.thread }
+
+  let left = 0
+  let right = 1
+  let field n d = if d = left then n.left else n.right
+  let child n d = Atomic.get (field n d)
+  let other d = 1 - d
+
+  let same_node a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y -> x == y
+    | None, Some _ | Some _, None -> false
+
+  let create ?max_threads () =
+    {
+      root = Atomic.make None;
+      writer = Spinlock.create ();
+      rcu = R.create ?max_threads ();
+    }
+
+  let register tree = { tree; rt = R.register tree.rcu }
+  let unregister h = R.unregister h.rt
+
+  let contains h key =
+    R.read_lock h.rt;
+    let rec go = function
+      | None -> None
+      | Some n ->
+          if key < n.key then go (child n left)
+          else if key > n.key then go (child n right)
+          else Some n.value
+    in
+    let r = go (Atomic.get h.tree.root) in
+    R.read_unlock h.rt;
+    r
+
+  let mem h key = Option.is_some (contains h key)
+
+  (* --- writer-side helpers (the global lock is held) --- *)
+
+  let set_parent child p =
+    match child with Some c -> c.parent <- p | None -> ()
+
+  (* Direction from parent [p] to child node [n]. *)
+  let dir_of p n = if same_node (child p left) (Some n) then left else right
+
+  (* Swing the pointer that leads to [old_node] so it leads to [repl]. *)
+  let swing t old_node repl =
+    (match old_node.parent with
+    | None -> Atomic.set t.root repl
+    | Some p -> Atomic.set (field p (dir_of p old_node)) repl);
+    set_parent repl old_node.parent
+
+  (* Relativistic rotation: [x]'s child in direction [other d] moves up,
+     [x] moves down in direction [d] — as a COPY [x'], installed below the
+     riser before the single swing that makes the new layout reachable.
+     Readers inside the old [x] keep following a consistent obsolete path.
+     Returns the copy (callers must substitute it for [x]). *)
+  let rotate t x d =
+    let y =
+      match child x (other d) with Some y -> y | None -> assert false
+    in
+    let a = child x d in
+    let b = child y d in
+    let x' =
+      {
+        key = x.key;
+        value = x.value;
+        color = x.color;
+        parent = Some y;
+        left = Atomic.make (if d = left then a else b);
+        right = Atomic.make (if d = left then b else a);
+      }
+    in
+    set_parent a (Some x');
+    set_parent b (Some x');
+    (* Publish the copy beneath the riser: the intermediate state is
+       consistent for readers (duplicate of x.key on an extended path). *)
+    Atomic.set (field y d) (Some x');
+    swing t x (Some y);
+    x'
+
+  let color_of = function None -> Black | Some n -> n.color
+
+  (* CLRS insert fixup with copy substitution: every rotation invalidates
+     the rotated node, so the fixup re-reads parents from the copies. *)
+  let rec insert_fixup t z =
+    match z.parent with
+    | None -> z.color <- Black (* z is the root *)
+    | Some zp ->
+        if zp.color = Black then ()
+        else begin
+          (* zp is red, hence not the root; the grandparent exists. *)
+          let zg = match zp.parent with Some g -> g | None -> assert false in
+          let d = dir_of zg zp in
+          let uncle = child zg (other d) in
+          if color_of uncle = Red then begin
+            zp.color <- Black;
+            (match uncle with Some u -> u.color <- Black | None -> ());
+            zg.color <- Red;
+            insert_fixup t zg
+          end
+          else begin
+            let zp, _z =
+              if same_node (child zp (other d)) (Some z) then begin
+                (* Inner case: straighten first. [rotate] moves zp down as a
+                   copy; the riser (old z) becomes the new zp. *)
+                let zp' = rotate t zp d in
+                (Option.get zp'.parent, zp')
+              end
+              else (zp, z)
+            in
+            zp.color <- Black;
+            zg.color <- Red;
+            ignore (rotate t zg (other d))
+          end
+        end
+
+  let insert h key value =
+    let t = h.tree in
+    Spinlock.acquire t.writer;
+    let rec find parent node =
+      match node with
+      | None -> Ok parent
+      | Some n ->
+          if key < n.key then find (Some n) (child n left)
+          else if key > n.key then find (Some n) (child n right)
+          else Error ()
+    in
+    let result =
+      match find None (Atomic.get t.root) with
+      | Error () -> false
+      | Ok parent ->
+          let node =
+            {
+              key;
+              value;
+              color = Red;
+              parent;
+              left = Atomic.make None;
+              right = Atomic.make None;
+            }
+          in
+          (match parent with
+          | None ->
+              node.color <- Black;
+              Atomic.set t.root (Some node)
+          | Some p ->
+              let d = if key < p.key then left else right in
+              Atomic.set (field p d) (Some node);
+              insert_fixup t node);
+          true
+    in
+    Spinlock.release t.writer;
+    result
+
+  (* CLRS delete fixup. The deficit position is tracked as (parent, dir)
+     because the node there may be None. *)
+  let rec delete_fixup t xp d =
+    let x = child xp d in
+    if color_of x = Red then
+      match x with Some x -> x.color <- Black | None -> assert false
+    else begin
+      let w = match child xp (other d) with Some w -> w | None -> assert false in
+      if w.color = Red then begin
+        (* Case 1: red sibling — rotate it up, recurse with a black one. *)
+        w.color <- Black;
+        xp.color <- Red;
+        let xp' = rotate t xp d in
+        delete_fixup t xp' d
+      end
+      else if color_of (child w left) = Black && color_of (child w right) = Black
+      then begin
+        (* Case 2: recolor and move the deficit up. *)
+        w.color <- Red;
+        match xp.parent with
+        | None -> () (* deficit reached the root: done *)
+        | Some g ->
+            let gd = dir_of g xp in
+            if xp.color = Red then xp.color <- Black else delete_fixup t g gd
+      end
+      else begin
+        let w =
+          if color_of (child w (other d)) = Black then begin
+            (* Case 3: near nephew red — rotate the sibling. *)
+            (match child w d with
+            | Some near -> near.color <- Black
+            | None -> assert false);
+            w.color <- Red;
+            let w' = rotate t w (other d) in
+            (* The riser (old near nephew) is the new sibling. *)
+            match w'.parent with Some s -> s | None -> assert false
+          end
+          else w
+        in
+        (* Case 4: far nephew red — rotate the parent, deficit resolved. *)
+        w.color <- xp.color;
+        xp.color <- Black;
+        (match child w (other d) with
+        | Some far -> far.color <- Black
+        | None -> assert false);
+        ignore (rotate t xp d)
+      end
+    end
+
+  (* Unlink node [n], which has at most one child, splicing that child (or
+     None) into its place; then repair the black-height if n was black. *)
+  let bypass t n =
+    let c = match child n left with Some _ as c -> c | None -> child n right in
+    let p = n.parent in
+    let d = match p with Some p -> dir_of p n | None -> left in
+    swing t n c;
+    if n.color = Black then
+      match c with
+      | Some c when c.color = Red -> c.color <- Black
+      | _ -> (
+          match p with
+          | None -> () (* removed the root; nothing to fix *)
+          | Some p -> delete_fixup t p d)
+
+  let delete h key =
+    let t = h.tree in
+    Spinlock.acquire t.writer;
+    let rec find = function
+      | None -> None
+      | Some n ->
+          if key < n.key then find (child n left)
+          else if key > n.key then find (child n right)
+          else Some n
+    in
+    let result =
+      match find (Atomic.get t.root) with
+      | None -> false
+      | Some z -> (
+          match (child z left, child z right) with
+          | None, _ | _, None -> bypass t z; true
+          | Some _, Some zr ->
+              (* Two children: publish a copy of the successor in z's place,
+                 wait for pre-existing readers, then unlink the original
+                 successor (which has no left child). *)
+              let rec min_node m =
+                match child m left with Some l -> min_node l | None -> m
+              in
+              let s = min_node zr in
+              let z' =
+                {
+                  key = s.key;
+                  value = s.value;
+                  color = z.color;
+                  parent = z.parent;
+                  left = Atomic.make (child z left);
+                  right = Atomic.make (child z right);
+                }
+              in
+              set_parent (child z' left) (Some z');
+              set_parent (child z' right) (Some z');
+              swing t z (Some z');
+              (* Readers searching for s.key may still be between z and s:
+                 let them finish before s disappears from its old spot. *)
+              R.synchronize t.rcu;
+              bypass t s;
+              true)
+    in
+    Spinlock.release t.writer;
+    result
+
+  (* --- Quiescent-state helpers --- *)
+
+  let fold_inorder f acc t =
+    let rec go acc = function
+      | None -> acc
+      | Some n ->
+          let acc = go acc (child n left) in
+          let acc = f acc n.key n.value in
+          go acc (child n right)
+    in
+    go acc (Atomic.get t.root)
+
+  let size t = fold_inorder (fun acc _ _ -> acc + 1) 0 t
+  let to_list t = List.rev (fold_inorder (fun acc k v -> (k, v) :: acc) [] t)
+
+  let height t =
+    let rec go = function
+      | None -> 0
+      | Some n -> 1 + max (go (child n left)) (go (child n right))
+    in
+    go (Atomic.get t.root)
+
+  exception Invariant_violation of string
+
+  let check_invariants t =
+    let fail msg = raise (Invariant_violation msg) in
+    (* Returns the black height of the subtree. *)
+    let rec check lo hi parent node =
+      match node with
+      | None -> 1
+      | Some n ->
+          (match lo with
+          | Some lo when n.key <= lo -> fail "BST order violated (lower bound)"
+          | _ -> ());
+          (match hi with
+          | Some hi when n.key >= hi -> fail "BST order violated (upper bound)"
+          | _ -> ());
+          (match (n.parent, parent) with
+          | None, None -> ()
+          | Some p, Some q when p == q -> ()
+          | _ -> fail "parent pointer inconsistent");
+          if n.color = Red then begin
+            if color_of (child n left) = Red || color_of (child n right) = Red
+            then fail "red node with red child"
+          end;
+          let bl = check lo (Some n.key) (Some n) (child n left) in
+          let br = check (Some n.key) hi (Some n) (child n right) in
+          if bl <> br then fail "black heights differ";
+          bl + (if n.color = Black then 1 else 0)
+    in
+    (match Atomic.get t.root with
+    | Some r when r.color = Red -> fail "root is red"
+    | _ -> ());
+    ignore (check None None None (Atomic.get t.root))
+end

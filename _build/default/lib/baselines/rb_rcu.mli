@@ -1,0 +1,44 @@
+(** Relativistic red-black tree in the manner of Howard & Walpole
+    (Concurrency & Computation 2013) — the paper's second RCU baseline.
+
+    A single global lock serializes all updates (as in the original, where
+    one writer at a time restructures the tree), while readers run
+    wait-free inside RCU read-side critical sections. Reader safety during
+    restructuring comes from two relativistic techniques:
+
+    - {b copy-on-rotate}: a rotation never mutates the node that moves
+      down; it installs a {e copy} of it below the node that moves up, then
+      swings one child pointer. Readers inside the old node continue on an
+      obsolete-but-consistent path; no grace period is needed.
+    - {b successor move via grace period}: deleting a node with two
+      children publishes a copy of its successor in the deleted position,
+      calls [synchronize_rcu], and only then unlinks the original successor
+      — the same discipline Citrus uses.
+
+    The functor takes the RCU flavour; the evaluation instantiates it with
+    the paper's new RCU. *)
+
+module Make (R : Repro_rcu.Rcu.S) : sig
+  type 'v t
+  type 'v handle
+
+  val create : ?max_threads:int -> unit -> 'v t
+  val register : 'v t -> 'v handle
+  val unregister : 'v handle -> unit
+  val contains : 'v handle -> int -> 'v option
+  val mem : 'v handle -> int -> bool
+  val insert : 'v handle -> int -> 'v -> bool
+  val delete : 'v handle -> int -> bool
+
+  (** Quiescent-state helpers. *)
+
+  val size : 'v t -> int
+  val to_list : 'v t -> (int * 'v) list
+  val height : 'v t -> int
+
+  exception Invariant_violation of string
+
+  val check_invariants : 'v t -> unit
+  (** BST order, red-black properties (black root, no red-red edge, equal
+      black height on all paths), and parent-pointer consistency. *)
+end

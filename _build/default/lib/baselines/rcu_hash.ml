@@ -1,0 +1,104 @@
+module Spinlock = Repro_sync.Spinlock
+
+type 'v node = { key : int; value : 'v; next : 'v node option Atomic.t }
+
+type 'v t = {
+  mask : int;
+  chains : 'v node option Atomic.t array;
+  locks : Spinlock.t array;
+}
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let create ?(buckets = 1024) () =
+  if buckets <= 0 then invalid_arg "Rcu_hash.create: buckets must be positive";
+  let n = next_pow2 buckets 1 in
+  {
+    mask = n - 1;
+    chains = Array.init n (fun _ -> Atomic.make None);
+    locks = Array.init n (fun _ -> Spinlock.create ());
+  }
+
+(* Fibonacci hashing spreads consecutive keys across buckets. *)
+let bucket t key = (key * 0x2545F4914F6CDD1D) lsr 12 land t.mask
+
+let contains t key =
+  (* Wait-free: one chain traversal over atomically-read links. *)
+  let rec go = function
+    | None -> None
+    | Some n ->
+        if n.key < key then go (Atomic.get n.next)
+        else if n.key = key then Some n.value
+        else None
+  in
+  go (Atomic.get t.chains.(bucket t key))
+
+let mem t key = Option.is_some (contains t key)
+
+(* Updates hold the bucket lock, so they can use plain reasoning within a
+   chain; every link store is still atomic for the readers' benefit. *)
+let insert t key value =
+  let b = bucket t key in
+  Spinlock.with_lock t.locks.(b) (fun () ->
+      let rec go field =
+        match Atomic.get field with
+        | Some n when n.key < key -> go n.next
+        | Some n when n.key = key -> false
+        | tail ->
+            Atomic.set field (Some { key; value; next = Atomic.make tail });
+            true
+      in
+      go t.chains.(b))
+
+let delete t key =
+  let b = bucket t key in
+  Spinlock.with_lock t.locks.(b) (fun () ->
+      let rec go field =
+        match Atomic.get field with
+        | Some n when n.key < key -> go n.next
+        | Some n when n.key = key ->
+            (* RCU unlink: a single store; readers inside [n] continue to
+               its (still valid) successor, and the GC reclaims after they
+               are done. *)
+            Atomic.set field (Atomic.get n.next);
+            true
+        | Some _ | None -> false
+      in
+      go t.chains.(b))
+
+(* --- Quiescent-state helpers --- *)
+
+let fold f acc t =
+  Array.fold_left
+    (fun acc chain ->
+      let rec go acc = function
+        | None -> acc
+        | Some n -> go (f acc n.key n.value) (Atomic.get n.next)
+      in
+      go acc (Atomic.get chain))
+    acc t.chains
+
+let size t = fold (fun acc _ _ -> acc + 1) 0 t
+
+let to_list t =
+  List.sort (fun (a, _) (b, _) -> compare a b)
+    (fold (fun acc k v -> (k, v) :: acc) [] t)
+
+exception Invariant_violation of string
+
+let check_invariants t =
+  let fail msg = raise (Invariant_violation msg) in
+  Array.iteri
+    (fun i chain ->
+      if Spinlock.is_locked t.locks.(i) then fail "bucket lock held";
+      let rec go prev = function
+        | None -> ()
+        | Some n ->
+            if bucket t n.key <> i then fail "key in the wrong bucket";
+            (match prev with
+            | Some p when n.key <= p -> fail "chain not strictly sorted"
+            | _ -> ());
+            go (Some n.key) (Atomic.get n.next)
+      in
+      go None (Atomic.get chain))
+    t.chains

@@ -1,0 +1,38 @@
+(** RCU hash table with per-bucket update locks, in the manner of Triplett,
+    McKenney & Walpole (SIGOPS OSR 2010 / USENIX ATC 2011) — the paper's
+    example of the pre-Citrus state of the art: "at best, the data
+    structure is partitioned into segments, e.g., buckets in a hash table,
+    each guarded by a single lock".
+
+    Readers traverse bucket chains wait-free (RCU-style: unlink is one
+    atomic store, the GC plays the grace period's reclamation role);
+    updates serialize per bucket. Contention among updaters therefore
+    scales with the number of buckets but never within one.
+
+    The table does not resize (the resizable algorithm is the 2011 paper's
+    contribution and orthogonal here); pick [buckets] for the expected
+    load. *)
+
+type 'v t
+
+val create : ?buckets:int -> unit -> 'v t
+(** [buckets] is rounded up to a power of two (default 1024). *)
+
+val contains : 'v t -> int -> 'v option
+(** Wait-free. *)
+
+val mem : 'v t -> int -> bool
+val insert : 'v t -> int -> 'v -> bool
+val delete : 'v t -> int -> bool
+
+(** Quiescent-state helpers. *)
+
+val size : 'v t -> int
+val to_list : 'v t -> (int * 'v) list
+(** Sorted by key (collected across buckets). *)
+
+exception Invariant_violation of string
+
+val check_invariants : 'v t -> unit
+(** Every key hashes to the bucket that holds it; chains are sorted and
+    duplicate-free; all bucket locks free. *)

@@ -1,0 +1,131 @@
+type 'v node = {
+  key : int;
+  value : 'v;
+  mutable left : 'v node option;
+  mutable right : 'v node option;
+}
+
+type 'v t = { mutable root : 'v node option; mutable cardinal : int }
+
+let create () = { root = None; cardinal = 0 }
+
+let rec find_node node key =
+  match node with
+  | None -> None
+  | Some n ->
+      if key < n.key then find_node n.left key
+      else if key > n.key then find_node n.right key
+      else Some n
+
+let contains t key =
+  match find_node t.root key with None -> None | Some n -> Some n.value
+
+let mem t key = Option.is_some (contains t key)
+
+let insert t key value =
+  let rec go node =
+    if key < node.key then
+      match node.left with
+      | None ->
+          node.left <- Some { key; value; left = None; right = None };
+          true
+      | Some child -> go child
+    else if key > node.key then
+      match node.right with
+      | None ->
+          node.right <- Some { key; value; left = None; right = None };
+          true
+      | Some child -> go child
+    else false
+  in
+  let added =
+    match t.root with
+    | None ->
+        t.root <- Some { key; value; left = None; right = None };
+        true
+    | Some root -> go root
+  in
+  if added then t.cardinal <- t.cardinal + 1;
+  added
+
+(* Delete by successor replacement, as in the sequential algorithm Citrus is
+   modelled on: a node with two children is replaced by the minimum of its
+   right subtree. *)
+let delete t key =
+  let rec remove node =
+    match node with
+    | None -> (None, false)
+    | Some n ->
+        if key < n.key then begin
+          let l, removed = remove n.left in
+          n.left <- l;
+          (Some n, removed)
+        end
+        else if key > n.key then begin
+          let r, removed = remove n.right in
+          n.right <- r;
+          (Some n, removed)
+        end
+        else
+          (match (n.left, n.right) with
+          | None, other | other, None -> (other, true)
+          | Some _, Some r ->
+              (* [extract_min m] unlinks and returns the leftmost node of
+                 the subtree rooted at [m], together with the remaining
+                 subtree. *)
+              let rec extract_min m =
+                match m.left with
+                | None -> (m, m.right)
+                | Some child ->
+                    let min_node, rest = extract_min child in
+                    m.left <- rest;
+                    (min_node, Some m)
+              in
+              let min_node, rest = extract_min r in
+              min_node.left <- n.left;
+              min_node.right <- rest;
+              (Some min_node, true))
+  in
+  let root, removed = remove t.root in
+  t.root <- root;
+  if removed then t.cardinal <- t.cardinal - 1;
+  removed
+
+let size t = t.cardinal
+
+let to_list t =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go ((n.key, n.value) :: go acc n.right) n.left
+  in
+  go [] t.root
+
+let height t =
+  let rec go = function
+    | None -> 0
+    | Some n -> 1 + max (go n.left) (go n.right)
+  in
+  go t.root
+
+exception Invariant_violation of string
+
+let check_invariants t =
+  let count = ref 0 in
+  let rec check lo hi = function
+    | None -> ()
+    | Some n ->
+        incr count;
+        (match lo with
+        | Some lo when n.key <= lo ->
+            raise (Invariant_violation "BST order violated (lower bound)")
+        | _ -> ());
+        (match hi with
+        | Some hi when n.key >= hi ->
+            raise (Invariant_violation "BST order violated (upper bound)")
+        | _ -> ());
+        check lo (Some n.key) n.left;
+        check (Some n.key) hi n.right
+  in
+  check None None t.root;
+  if !count <> t.cardinal then
+    raise (Invariant_violation "cardinal out of sync with reachable nodes")

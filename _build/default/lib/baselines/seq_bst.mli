@@ -1,0 +1,27 @@
+(** Sequential internal binary search tree.
+
+    Not thread-safe. Serves two roles: the reference model for randomized
+    equivalence tests of every concurrent dictionary, and the body of
+    {!Coarse_bst}. The delete algorithm mirrors the sequential algorithm
+    Citrus is derived from (successor replacement), so structural tests can
+    compare shapes. *)
+
+type 'v t
+
+val create : unit -> 'v t
+val contains : 'v t -> int -> 'v option
+val mem : 'v t -> int -> bool
+
+val insert : 'v t -> int -> 'v -> bool
+(** [false] (no change) if the key is already present. *)
+
+val delete : 'v t -> int -> bool
+(** [false] if the key is absent. *)
+
+val size : 'v t -> int
+val to_list : 'v t -> (int * 'v) list
+val height : 'v t -> int
+
+exception Invariant_violation of string
+
+val check_invariants : 'v t -> unit

@@ -1,0 +1,39 @@
+(** Optimistic lock-based lazy skiplist (Herlihy, Lev, Luchangco & Shavit,
+    SIROCCO 2007) — the paper's skiplist baseline.
+
+    [contains] traverses without locks and is unaffected by concurrent
+    updates ([marked]/[fully_linked] flags make partial updates invisible).
+    Updates lock only the predecessors of the affected node, validate, and
+    retry on conflict. Removal is lazy: logically delete ([marked]) first,
+    then unlink level by level.
+
+    Handles exist to give each domain a private level-choosing RNG; the
+    structure itself is shared freely. *)
+
+type 'v t
+
+type 'v handle
+
+val create : ?max_level:int -> unit -> 'v t
+(** [max_level] is the number of levels (default 20, enough for ~10⁶ keys).
+    User keys must lie strictly between [min_int] and [max_int]. *)
+
+val register : 'v t -> 'v handle
+
+val contains : 'v handle -> int -> 'v option
+(** Lock-free lookup. *)
+
+val mem : 'v handle -> int -> bool
+val insert : 'v handle -> int -> 'v -> bool
+val delete : 'v handle -> int -> bool
+
+(** Quiescent-state helpers. *)
+
+val size : 'v t -> int
+val to_list : 'v t -> (int * 'v) list
+
+exception Invariant_violation of string
+
+val check_invariants : 'v t -> unit
+(** Bottom-level order, level-inclusion (every key at level [i+1] appears at
+    level [i]), no marked or partially-linked nodes, all locks free. *)

@@ -1,0 +1,1 @@
+lib/citrus/citrus.ml: Array Atomic List Option Printf Repro_rcu Repro_sync

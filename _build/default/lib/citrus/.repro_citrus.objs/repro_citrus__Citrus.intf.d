@@ -1,0 +1,1 @@
+lib/citrus/citrus.mli: Repro_rcu

@@ -1,0 +1,1 @@
+lib/citrus/citrus_int.ml: Citrus Int Repro_rcu

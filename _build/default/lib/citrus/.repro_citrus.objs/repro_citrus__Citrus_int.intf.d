@@ -1,0 +1,1 @@
+lib/citrus/citrus_int.mli: Citrus Repro_rcu

@@ -1,0 +1,578 @@
+module Spinlock = Repro_sync.Spinlock
+module Stats = Repro_sync.Stats
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+(* Directions double as indices into the [children]/[tags] arrays, mirroring
+   the paper's child[direction]. *)
+let left = 0
+let right = 1
+
+module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
+  module Defer = Repro_rcu.Defer.Make (R)
+
+  (* Sentinel keys: the paper's -1 / infinity dummies (Section 2). The root
+     holds Neg_inf; its right child holds Pos_inf; every real node lives in
+     the left subtree of the Pos_inf node. *)
+  type skey = Neg_inf | Key of K.t | Pos_inf
+
+  let compare_skey a b =
+    match (a, b) with
+    | Neg_inf, Neg_inf | Pos_inf, Pos_inf -> 0
+    | Neg_inf, _ | _, Pos_inf -> -1
+    | _, Neg_inf | Pos_inf, _ -> 1
+    | Key x, Key y -> K.compare x y
+
+  type 'v node = {
+    key : skey; (* never changes (Section 2) *)
+    value : 'v option; (* None only in sentinels; never changes *)
+    children : 'v node option Atomic.t array; (* length 2: left, right *)
+    tags : 'v tag_array; (* per-child ABA tags, length 2 *)
+    mutable marked : bool; (* accessed only under [lock] *)
+    lock : Spinlock.t;
+    mutable reclaimed : bool;
+        (* Set by deferred reclamation one grace period after the node is
+           unlinked; a reader observing it has found a use-after-free. *)
+  }
+
+  and 'v tag_array = int Atomic.t array
+  (* Tags are atomics because get reads prev.tag[dir] inside the read-side
+     critical section while updates increment it under the node lock. *)
+
+  type hooks = {
+    mutable on_restart : unit -> unit;
+    mutable between_get_and_lock : unit -> unit;
+    mutable after_find_successor : unit -> unit;
+    mutable before_synchronize : unit -> unit;
+  }
+
+  type 'v t = {
+    root : 'v node;
+    rcu : R.t;
+    reclamation : bool;
+    hooks : hooks;
+    group : Stats.group;
+    restarts : Stats.t;
+    inserts : Stats.t;
+    deletes_one_child : Stats.t;
+    deletes_two_children : Stats.t;
+    reclaimed_nodes : Stats.t;
+    use_after_reclaim : Stats.t;
+    rotations : Stats.t;
+    handle_ids : int Atomic.t;
+  }
+
+  type 'v handle = {
+    tree : 'v t;
+    rt : R.thread;
+    id : int;
+    defer : Defer.t option; (* Some iff the tree has reclamation on *)
+  }
+
+  let new_node key value =
+    {
+      key;
+      value;
+      children = [| Atomic.make None; Atomic.make None |];
+      tags = [| Atomic.make 0; Atomic.make 0 |];
+      marked = false;
+      lock = Spinlock.create ();
+      reclaimed = false;
+    }
+
+  let create ?max_threads ?(reclamation = false) () =
+    let infinity_node = new_node Pos_inf None in
+    let root = new_node Neg_inf None in
+    Atomic.set root.children.(right) (Some infinity_node);
+    let group = Stats.group () in
+    (* Bind counters outside the record literal: field evaluation order is
+       unspecified, and the group dumps in creation order. *)
+    let restarts = Stats.counter group "restarts" in
+    let inserts = Stats.counter group "inserts" in
+    let deletes_one_child = Stats.counter group "deletes_one_child" in
+    let deletes_two_children = Stats.counter group "deletes_two_children" in
+    let reclaimed_nodes = Stats.counter group "reclaimed" in
+    let use_after_reclaim = Stats.counter group "use_after_reclaim" in
+    let rotations = Stats.counter group "rotations" in
+    {
+      root;
+      rcu = R.create ?max_threads ();
+      reclamation;
+      hooks =
+        {
+          on_restart = ignore;
+          between_get_and_lock = ignore;
+          after_find_successor = ignore;
+          before_synchronize = ignore;
+        };
+      group;
+      restarts;
+      inserts;
+      deletes_one_child;
+      deletes_two_children;
+      reclaimed_nodes;
+      use_after_reclaim;
+      rotations;
+      handle_ids = Atomic.make 0;
+    }
+
+  let register tree =
+    {
+      tree;
+      rt = R.register tree.rcu;
+      id = Atomic.fetch_and_add tree.handle_ids 1;
+      defer =
+        (if tree.reclamation then Some (Defer.create tree.rcu) else None);
+    }
+
+  let unregister h =
+    (match h.defer with Some d -> Defer.flush d | None -> ());
+    R.unregister h.rt
+
+  (* Retire an unlinked node: one grace period later no reader can hold it,
+     so it is safe to poison (standing in for free()). A reader that later
+     observes the poison has found a use-after-free — the detection scheme
+     behind the reclamation tests. *)
+  let retire h node =
+    match h.defer with
+    | None -> ()
+    | Some d ->
+        let t = h.tree in
+        let id = h.id in
+        Defer.defer d (fun () ->
+            node.reclaimed <- true;
+            Stats.incr t.reclaimed_nodes id)
+
+  let child node dir = Atomic.get node.children.(dir)
+
+  (* Physical equality on optional nodes: the paper's prev.child[direction]
+     = curr comparison is on node identity. *)
+  let same_node a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y -> x == y
+    | None, Some _ | Some _, None -> false
+
+  (* get (paper lines 1-15): wait-free search from the root inside an RCU
+     read-side critical section. Returns (prev, tag, curr, direction) where
+     curr is the node holding [key] (or None), prev its parent, and tag the
+     snapshot of prev.tag[direction] taken inside the critical section. *)
+  let get h key =
+    let t = h.tree in
+    let skey = Key key in
+    R.read_lock h.rt;
+    let prev = ref t.root in
+    let curr = ref (child t.root right) in
+    (* root's right child is never None *)
+    let direction = ref right in
+    let continue = ref true in
+    while !continue do
+      match !curr with
+      | None -> continue := false
+      | Some c ->
+          (* Use-after-free detector: a reclaimed node must never be seen
+             inside a read-side critical section (see [retire]). *)
+          if c.reclaimed then Stats.incr t.use_after_reclaim h.id;
+          let cmp = compare_skey c.key skey in
+          if cmp = 0 then continue := false
+          else begin
+            prev := c;
+            direction := if cmp > 0 then left else right;
+            curr := child c !direction
+          end
+    done;
+    (* Save the tag inside the read-side critical section (line 13). *)
+    let tag = Atomic.get (!prev).tags.(!direction) in
+    R.read_unlock h.rt;
+    (!prev, tag, !curr, !direction)
+
+  (* contains (lines 16-20). *)
+  let contains h key =
+    let _, _, curr, _ = get h key in
+    match curr with None -> None | Some c -> c.value
+
+  let mem h key = Option.is_some (contains h key)
+
+  (* validate (lines 33-38): purely local checks under the caller-held
+     locks. *)
+  let validate prev tag curr direction =
+    if prev.marked || not (same_node (child prev direction) curr) then false
+    else
+      match curr with
+      | Some c -> not c.marked
+      | None -> Atomic.get prev.tags.(direction) = tag
+
+  (* incrementTag (lines 39-41): bump the ABA tag when a child slot becomes
+     empty. *)
+  let increment_tag node direction =
+    if child node direction = None then
+      ignore (Atomic.fetch_and_add node.tags.(direction) 1)
+
+  (* insert (lines 21-32). *)
+  let rec insert h key value =
+    let t = h.tree in
+    let prev, tag, curr, direction = get h key in
+    match curr with
+    | Some _ -> false (* the key was found (line 25) *)
+    | None ->
+        t.hooks.between_get_and_lock ();
+        Spinlock.acquire prev.lock;
+        if validate prev tag None direction then begin
+          let node = new_node (Key key) (Some value) in
+          Atomic.set prev.children.(direction) (Some node);
+          Spinlock.release prev.lock;
+          Stats.incr t.inserts h.id;
+          true
+        end
+        else begin
+          Spinlock.release prev.lock;
+          Stats.incr t.restarts h.id;
+          t.hooks.on_restart ();
+          insert h key value
+        end
+
+  (* Successor search for the two-children case (lines 58-64): leftmost node
+     of the right subtree of curr. The paper performs it outside any
+     read-side critical section — the keys of traversed nodes never
+     influence the direction, and validation catches staleness. That is
+     only memory-safe without reclamation; when deferred reclamation is on
+     we wrap the walk in a read-side critical section so a concurrent
+     grace period cannot retire nodes under our feet. *)
+  let find_successor h curr =
+    let reclaiming = h.tree.reclamation in
+    if reclaiming then R.read_lock h.rt;
+    let rec down prev_succ succ =
+      match child succ left with
+      | None -> (prev_succ, succ)
+      | Some next -> down succ next
+    in
+    let result =
+      match child curr right with
+      | None -> assert false (* caller checked curr has two children *)
+      | Some first -> down curr first
+    in
+    if reclaiming then R.read_unlock h.rt;
+    result
+
+  (* delete (lines 42-84). *)
+  let rec delete h key =
+    let t = h.tree in
+    let prev, _, curr, direction = get h key in
+    match curr with
+    | None -> false (* the key was not found (line 46) *)
+    | Some curr ->
+        t.hooks.between_get_and_lock ();
+        Spinlock.acquire prev.lock;
+        Spinlock.acquire curr.lock;
+        if not (validate prev 0 (Some curr) direction) then begin
+          Spinlock.release curr.lock;
+          Spinlock.release prev.lock;
+          Stats.incr t.restarts h.id;
+          t.hooks.on_restart ();
+          delete h key
+        end
+        else if child curr left = None || child curr right = None then begin
+          (* curr has at most one child: bypass it (lines 50-56,
+             Figure 3(a)-(b)). *)
+          curr.marked <- true;
+          let not_none_child =
+            if child curr left <> None then left else right
+          in
+          Atomic.set prev.children.(direction) (child curr not_none_child);
+          increment_tag prev direction;
+          Spinlock.release curr.lock;
+          Spinlock.release prev.lock;
+          retire h curr;
+          Stats.incr t.deletes_one_child h.id;
+          true
+        end
+        else begin
+          (* curr has two children: replace it with a copy of its successor
+             (lines 57-83, Figure 3(c)-(e)). *)
+          let prev_succ, succ = find_successor h curr in
+          t.hooks.after_find_successor ();
+          let succ_direction = if curr == prev_succ then right else left in
+          if curr != prev_succ then Spinlock.acquire prev_succ.lock;
+          Spinlock.acquire succ.lock;
+          let succ_left_tag = Atomic.get succ.tags.(left) in
+          if
+            validate prev_succ 0 (Some succ) succ_direction
+            && validate succ succ_left_tag None left
+          then begin
+            (* A fresh node with succ's key/value and curr's children
+               (line 70), locked before it becomes reachable (line 71). *)
+            let node =
+              {
+                key = succ.key;
+                value = succ.value;
+                children =
+                  [|
+                    Atomic.make (child curr left);
+                    Atomic.make (child curr right);
+                  |];
+                tags = [| Atomic.make 0; Atomic.make 0 |];
+                marked = false;
+                lock = Spinlock.create ();
+                reclaimed = false;
+              }
+            in
+            Spinlock.acquire node.lock;
+            curr.marked <- true;
+            Atomic.set prev.children.(direction) (Some node);
+            t.hooks.before_synchronize ();
+            (* Wait for pre-existing readers: any search that could still
+               find the successor only in its old position completes before
+               we unlink it (line 74). *)
+            R.synchronize t.rcu;
+            succ.marked <- true;
+            if prev_succ == curr then begin
+              (* succ is the right child of curr, which [node] replaced. *)
+              Atomic.set node.children.(right) (child succ right);
+              increment_tag node right
+            end
+            else begin
+              Atomic.set prev_succ.children.(left) (child succ right);
+              increment_tag prev_succ left
+            end;
+            Spinlock.release node.lock;
+            Spinlock.release succ.lock;
+            if curr != prev_succ then Spinlock.release prev_succ.lock;
+            Spinlock.release curr.lock;
+            Spinlock.release prev.lock;
+            retire h curr;
+            retire h succ;
+            Stats.incr t.deletes_two_children h.id;
+            true
+          end
+          else begin
+            Spinlock.release succ.lock;
+            if curr != prev_succ then Spinlock.release prev_succ.lock;
+            Spinlock.release curr.lock;
+            Spinlock.release prev.lock;
+            Stats.incr t.restarts h.id;
+            t.hooks.on_restart ();
+            delete h key
+          end
+        end
+
+  (* Note on [validate prev 0 (Some curr) direction]: when curr <> None the
+     tag branch of validate is unreachable, matching the paper's
+     validate(prev,-,curr,direction) "don't care" tag argument. *)
+
+  (* --- Quiescent-state helpers --- *)
+
+  exception Invariant_violation of string
+
+  let fail fmt = Printf.ksprintf (fun s -> raise (Invariant_violation s)) fmt
+
+  let real_root t =
+    (* The Pos_inf sentinel; real keys live in its left subtree. *)
+    match child t.root right with
+    | None -> fail "root has no right sentinel child"
+    | Some inf -> inf
+
+  let fold_inorder f acc t =
+    let rec go acc = function
+      | None -> acc
+      | Some n ->
+          let acc = go acc (child n left) in
+          let acc =
+            match (n.key, n.value) with
+            | Key k, Some v -> f acc k v
+            | Key _, None -> fail "real node without value"
+            | (Neg_inf | Pos_inf), _ -> acc
+          in
+          go acc (child n right)
+    in
+    go acc (Some t.root)
+
+  let size t = fold_inorder (fun n _ _ -> n + 1) 0 t
+
+  let to_list t =
+    List.rev (fold_inorder (fun acc k v -> (k, v) :: acc) [] t)
+
+  let height t =
+    let rec go = function
+      | None -> 0
+      | Some n -> 1 + max (go (child n left)) (go (child n right))
+    in
+    go (child (real_root t) left)
+
+  let check_invariants t =
+    let rec check lo hi = function
+      | None -> ()
+      | Some n ->
+          if n.marked then fail "reachable node is marked";
+          if n.reclaimed then fail "reachable node was reclaimed";
+          if Spinlock.is_locked n.lock then fail "reachable node is locked";
+          (match lo with
+          | Some lo when compare_skey n.key lo <= 0 ->
+              fail "BST order violated (lower bound)"
+          | _ -> ());
+          (match hi with
+          | Some hi when compare_skey n.key hi >= 0 ->
+              fail "BST order violated (upper bound)"
+          | _ -> ());
+          if Atomic.get n.tags.(left) < 0 || Atomic.get n.tags.(right) < 0
+          then fail "negative tag";
+          check lo (Some n.key) (child n left);
+          check (Some n.key) hi (child n right)
+    in
+    let root = t.root in
+    if root.key <> Neg_inf then fail "root key is not Neg_inf";
+    if child root left <> None then fail "root has a left child";
+    let inf = real_root t in
+    if inf.key <> Pos_inf then fail "sentinel key is not Pos_inf";
+    if child inf right <> None then fail "Pos_inf sentinel has a right child";
+    check (Some Neg_inf) (Some Pos_inf) (child inf left)
+
+  let stats t =
+    Stats.dump t.group @ [ ("grace_periods", R.grace_periods t.rcu) ]
+
+  (* --- Maintenance rebalancing (the paper's first future-work item) ---
+
+     Citrus is unbalanced; these relativistic rotations restore balance
+     without ever blocking searches or waiting for a grace period. A right
+     rotation at node [n] with parent [p] and left child [l]:
+
+       1. lock p, n, l (the usual descending order) and validate the edges
+          and marks, exactly like an update;
+       2. mark n and build an unmarked copy [n'] of n whose left child is
+          l's right subtree and whose right child is n's right subtree;
+       3. publish n' as l's right child, then swing p's pointer to l.
+
+     Readers inside the old n keep a consistent (obsolete) view: old n
+     still points to l and to the shared right subtree, and l now leads to
+     n', so every key reachable before is reachable throughout — no
+     synchronize_rcu is needed because no key ever exists only in a
+     location a pre-existing reader cannot find. Updaters that resolved to
+     n restart through the ordinary marked-bit validation. This is the
+     copy-on-rotate discipline of relativistic red-black trees grafted
+     onto Citrus's fine-grained locking. *)
+
+  (* One rotation attempt at [n], the [pdir]-child of [p]. [sink_dir] is
+     the direction n moves: [right] performs a right rotation (n's left
+     child rises), [left] the mirror. Fails harmlessly (returns false) if
+     validation loses a race. *)
+  let try_rotate h p pdir n sink_dir =
+    let t = h.tree in
+    let rise_dir = 1 - sink_dir in
+    Spinlock.acquire p.lock;
+    Spinlock.acquire n.lock;
+    let rising =
+      if (not p.marked) && (not n.marked) && same_node (child p pdir) (Some n)
+      then child n rise_dir
+      else None
+    in
+    match rising with
+    | None ->
+        Spinlock.release n.lock;
+        Spinlock.release p.lock;
+        false
+    | Some c ->
+        Spinlock.acquire c.lock;
+        if c.marked then begin
+          Spinlock.release c.lock;
+          Spinlock.release n.lock;
+          Spinlock.release p.lock;
+          false
+        end
+        else begin
+          (* The copy that takes n's place below the rising child: it
+             adopts c's sink-side subtree and n's own sink-side subtree. *)
+          let fresh = new_node n.key n.value in
+          Atomic.set fresh.children.(rise_dir) (child c sink_dir);
+          Atomic.set fresh.children.(sink_dir) (child n sink_dir);
+          n.marked <- true;
+          Atomic.set c.children.(sink_dir) (Some fresh);
+          Atomic.set p.children.(pdir) (Some c);
+          Spinlock.release c.lock;
+          Spinlock.release n.lock;
+          Spinlock.release p.lock;
+          retire h n;
+          Stats.incr t.rotations h.id;
+          true
+        end
+
+  let maintenance_pass h =
+    let t = h.tree in
+    let rotations = ref 0 in
+    (* Post-order walk of the live tree computing height estimates and
+       rotating where the local imbalance exceeds one. Heights are racy
+       snapshots — a stale reading only wastes or skips a rotation; the
+       next pass corrects it. The walk holds no locks and no read-side
+       critical section (it may traverse retired nodes, which is safe
+       under the GC; see the .mli). *)
+    (* Post-order walk performing at most ONE rotation per position, so a
+       pass costs O(n) and convergence comes from repeated passes (each
+       pass reduces spine heights; a fully degenerate tree settles in
+       O(log n) passes). The walk returns (height, left child height,
+       right child height): the parent needs the grandchild heights for
+       the standard AVL single-vs-double decision — a single rotation on
+       an inner-heavy child would only mirror the imbalance and ping-pong
+       forever, so the child is straightened first. Heights after a
+       rotation are updated arithmetically where exact and left as
+       (conservative) pre-rotation estimates otherwise; the next pass
+       refines them. *)
+    let rec walk p pdir =
+      match child p pdir with
+      | None -> (0, 0, 0)
+      | Some n ->
+          let hl, hll, hlr = walk n left in
+          let hr, hrl, hrr = walk n right in
+          let stale = (1 + max hl hr, hl, hr) in
+          if hl > hr + 1 then begin
+            if hlr > hll then begin
+              (* Zig-zag: raise the left child's right child first. *)
+              (match child n left with
+              | Some l when try_rotate h n left l left -> incr rotations
+              | Some _ | None -> ());
+              stale
+            end
+            else if try_rotate h p pdir n right then begin
+              incr rotations;
+              let hr' = 1 + max hlr hr in
+              (1 + max hll hr', hll, hr')
+            end
+            else stale
+          end
+          else if hr > hl + 1 then begin
+            if hrl > hrr then begin
+              (match child n right with
+              | Some r when try_rotate h n right r right -> incr rotations
+              | Some _ | None -> ());
+              stale
+            end
+            else if try_rotate h p pdir n left then begin
+              incr rotations;
+              let hl' = 1 + max hl hrl in
+              (1 + max hl' hrr, hl', hrr)
+            end
+            else stale
+          end
+          else stale
+    in
+    let inf = real_root t in
+    ignore (walk inf left);
+    !rotations
+
+  let balance ?(max_passes = 64) h =
+    let rec go passes total =
+      if passes >= max_passes then total
+      else
+        let r = maintenance_pass h in
+        if r = 0 then total else go (passes + 1) (total + r)
+    in
+    go 0 0
+
+  module Hooks = struct
+    let on_restart t f = t.hooks.on_restart <- f
+    let between_get_and_lock t f = t.hooks.between_get_and_lock <- f
+    let after_find_successor t f = t.hooks.after_find_successor <- f
+    let before_synchronize t f = t.hooks.before_synchronize <- f
+  end
+end

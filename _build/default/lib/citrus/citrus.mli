@@ -1,0 +1,139 @@
+(** Citrus: an internal binary search tree with RCU-protected wait-free
+    [contains] and fine-grained-locked concurrent updates (Arbel & Attiya,
+    PODC 2014).
+
+    The implementation is a direct transcription of the paper's pseudocode
+    (functions [get], [contains], [insert], [delete], [validate],
+    [incrementTag]); see the .ml for the line-number correspondence.
+
+    Concurrency contract:
+    - [contains] is wait-free (assuming finitely many keys) and runs inside
+      an RCU read-side critical section;
+    - [insert]/[delete] lock only the O(1) nodes they modify, validate them,
+      and restart on validation failure;
+    - a [delete] of a node with two children first publishes a {e copy} of
+      the successor in the deleted node's position, waits for pre-existing
+      readers with [synchronize_rcu], and only then unlinks the original
+      successor — so a search in flight never misses the successor.
+
+    Each participating domain must {!Make.register} to obtain a handle; all
+    dictionary operations go through handles. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) : sig
+  type 'v t
+  (** A Citrus tree mapping keys [K.t] to values ['v]. *)
+
+  type 'v handle
+  (** Per-domain access handle (carries the RCU thread state). *)
+
+  val create : ?max_threads:int -> ?reclamation:bool -> unit -> 'v t
+  (** An empty tree whose RCU domain admits up to [max_threads] registered
+      domains (default 128).
+
+      [reclamation] (default false) enables the paper's "future work"
+      integration of RCU-based memory reclamation: every node removed by a
+      delete is {e retired} through a per-handle deferred queue and
+      poisoned one grace period after it becomes unreachable — the moment a
+      C implementation would [free] it. Searches check the poison flag, so
+      the ["use_after_reclaim"] statistic counts would-be use-after-free
+      accesses (it must stay 0; the test-suite asserts this under stress).
+      With reclamation on, the successor walk of a two-child delete runs
+      inside a read-side critical section — the paper omits this because it
+      never frees memory during runs. *)
+
+  val register : 'v t -> 'v handle
+  (** Register the calling domain. One handle per domain per tree. *)
+
+  val unregister : 'v handle -> unit
+
+  val contains : 'v handle -> K.t -> 'v option
+  (** Wait-free lookup: [Some v] if the key is present. *)
+
+  val mem : 'v handle -> K.t -> bool
+
+  val insert : 'v handle -> K.t -> 'v -> bool
+  (** Add the binding; [false] (and no change) if the key is present. *)
+
+  val delete : 'v handle -> K.t -> bool
+  (** Remove the binding; [false] if the key is absent. *)
+
+  (** {2 Quiescent-state helpers}
+
+      The following must only be called while no other operation is in
+      flight (tests, reporting). *)
+
+  val size : 'v t -> int
+  val to_list : 'v t -> (K.t * 'v) list
+  (** In-order (hence sorted) bindings. *)
+
+  val height : 'v t -> int
+  (** Height of the tree counted in real (non-sentinel) nodes. *)
+
+  exception Invariant_violation of string
+
+  val check_invariants : 'v t -> unit
+  (** Verify in a quiescent state: strict BST order with sentinel bounds, no
+      reachable marked node, no duplicate keys, all node locks free.
+      @raise Invariant_violation otherwise. *)
+
+  val stats : 'v t -> (string * int) list
+  (** Operation counters: restarts, two-child deletes (i.e. grace periods
+      paid), one-child deletes, inserts, reclaimed nodes, use-after-reclaim
+      detections (must be 0), maintenance rotations, and grace periods. *)
+
+  (** {2 Maintenance rebalancing}
+
+      The paper's first future-work item ("extend Citrus to a balanced
+      search tree"), implemented as {e relativistic maintenance}: a
+      rotation marks the sinking node, installs an unmarked copy of it
+      below the rising child, and swings one parent pointer — so searches
+      in flight keep a consistent obsolete view without any grace period,
+      and concurrent updates restart through the ordinary marked-bit
+      validation. Rotations may run concurrently with any mix of
+      operations, from a dedicated maintenance domain or opportunistically.
+
+      The maintenance walk reads the tree without locks; with reclamation
+      enabled it may traverse already-retired nodes, which is safe under
+      the GC (a C port would protect the walk with hazard pointers). *)
+
+  val maintenance_pass : 'v handle -> int
+  (** One post-order pass: estimate subtree heights and rotate every node
+      whose local imbalance exceeds one. Returns the number of rotations
+      performed. Safe concurrently with all other operations. *)
+
+  val balance : ?max_passes:int -> 'v handle -> int
+  (** Run {!maintenance_pass} until a pass performs no rotation (or
+      [max_passes], default 64, is reached); returns total rotations. On a
+      quiescent tree this restores logarithmic height. *)
+
+  (** {2 Test hooks}
+
+      Interleaving-forcing callbacks for the concurrency test-suite; all
+      default to no-ops and must be set before concurrent use. *)
+
+  module Hooks : sig
+    val on_restart : 'v t -> (unit -> unit) -> unit
+    (** Runs every time an update fails validation and restarts. *)
+
+    val between_get_and_lock : 'v t -> (unit -> unit) -> unit
+    (** Runs in updates after the read-side critical section ends and before
+        locks are taken — the window in which a conflicting update can slip
+        in (Figure 5). *)
+
+    val after_find_successor : 'v t -> (unit -> unit) -> unit
+    (** Runs in two-child deletes after the successor walk (lines 58-64)
+        and before the successor is locked — the window in which a
+        conflicting update can invalidate the successor (the validation of
+        line 69). The caller holds the locks on prev and curr here. *)
+
+    val before_synchronize : 'v t -> (unit -> unit) -> unit
+    (** Runs in two-child deletes after the successor copy is published and
+        before [synchronize_rcu] (between Figures 3(d) and 3(e)). *)
+  end
+end

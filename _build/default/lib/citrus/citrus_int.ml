@@ -1,0 +1,9 @@
+module Ord_int = struct
+  type t = int
+
+  let compare = Int.compare
+end
+
+module Epoch = Citrus.Make (Ord_int) (Repro_rcu.Epoch_rcu)
+module Urcu = Citrus.Make (Ord_int) (Repro_rcu.Urcu)
+module Qsbr = Citrus.Make (Ord_int) (Repro_rcu.Qsbr)

@@ -1,0 +1,15 @@
+(** Ready-made Citrus instantiations over [int] keys, one per RCU flavour —
+    the configurations measured in the paper's evaluation. *)
+
+module Ord_int : Citrus.ORDERED with type t = int
+
+module Epoch : module type of Citrus.Make (Ord_int) (Repro_rcu.Epoch_rcu)
+(** Citrus over the paper's new RCU (the default configuration, Fig. 8
+    right / Figs. 9-10). *)
+
+module Urcu : module type of Citrus.Make (Ord_int) (Repro_rcu.Urcu)
+(** Citrus over the stock global-lock user-space RCU (Fig. 8 left). *)
+
+module Qsbr : module type of Citrus.Make (Ord_int) (Repro_rcu.Qsbr)
+(** Citrus over quiescent-state-based RCU (not in the paper; included for
+    the RCU-flavour ablation). *)

@@ -1,0 +1,1 @@
+lib/dict/dict.ml: Dict_intf List Repro_baselines Repro_citrus Repro_rcu

@@ -1,0 +1,1 @@
+lib/dict/dict.mli: Dict_intf

@@ -1,0 +1,1 @@
+lib/dict/dict_intf.ml:

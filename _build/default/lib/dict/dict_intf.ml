@@ -1,0 +1,43 @@
+(** Uniform first-class-module interface over every concurrent dictionary in
+    the repository (int keys, int values), used by the benchmark harness,
+    the randomized test suite, and the linearizability checker.
+
+    The handle indirection exists because some structures keep per-thread
+    state (RCU thread records, skiplist RNGs); structures without any wrap
+    the shared object. *)
+
+module type DICT = sig
+  val name : string
+  (** Identifier used in benchmark tables ("citrus", "bonsai", ...). *)
+
+  type t
+  type handle
+
+  val create : ?max_threads:int -> unit -> t
+  (** [max_threads] bounds concurrent registrations where relevant
+      (RCU-based structures); others ignore it. *)
+
+  val register : t -> handle
+  (** Per-domain handle. Call once per domain, [unregister] when done. *)
+
+  val unregister : handle -> unit
+
+  val contains : handle -> int -> int option
+  val mem : handle -> int -> bool
+  val insert : handle -> int -> int -> bool
+  val delete : handle -> int -> bool
+
+  (** {2 Quiescent-state helpers} *)
+
+  val size : t -> int
+  val to_list : t -> (int * int) list
+
+  val check : t -> unit
+  (** Structure-specific invariant check; raises on violation. *)
+
+  val min_key : int
+  (** Smallest usable key (inclusive). *)
+
+  val max_key : int
+  (** Largest usable key (exclusive) — some structures reserve sentinels. *)
+end

@@ -1,0 +1,1 @@
+lib/linchecker/checker.ml: Array Buffer Bytes Format Hashtbl History Int Int64 List Map

@@ -1,0 +1,1 @@
+lib/linchecker/checker.mli: History

@@ -1,0 +1,1 @@
+lib/linchecker/history.ml: Array Atomic Format List

@@ -1,0 +1,1 @@
+lib/linchecker/history.mli: Format

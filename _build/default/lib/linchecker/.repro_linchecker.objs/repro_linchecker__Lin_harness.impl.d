@@ -1,0 +1,1 @@
+lib/linchecker/lin_harness.ml: Domain History Int64 List Repro_dict Repro_sync

@@ -1,0 +1,1 @@
+lib/linchecker/lin_harness.mli: History Repro_dict

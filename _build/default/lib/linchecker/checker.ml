@@ -1,0 +1,119 @@
+module IntMap = Map.Make (Int)
+
+(* The sequential specification: does [op -> response] hold in state [map],
+   and what is the next state? *)
+let step map (e : History.event) =
+  match (e.op, e.response) with
+  | History.Insert (k, v), History.Bool b ->
+      let expected = not (IntMap.mem k map) in
+      if b <> expected then None
+      else Some (if b then IntMap.add k v map else map)
+  | History.Delete k, History.Bool b ->
+      let expected = IntMap.mem k map in
+      if b <> expected then None
+      else Some (if b then IntMap.remove k map else map)
+  | History.Contains k, History.Value r ->
+      if IntMap.find_opt k map = r then Some map else None
+  | History.Insert _, History.Value _
+  | History.Delete _, History.Value _
+  | History.Contains _, History.Bool _ ->
+      None (* malformed history *)
+
+let check events =
+  let ops = Array.of_list events in
+  let n = Array.length ops in
+  if n = 0 then true
+  else begin
+    let words = (n + 62) / 63 in
+    let taken = Bytes.make (words * 8) '\000' in
+    let get_bit i =
+      let w = i / 63 and b = i mod 63 in
+      Int64.to_int (Bytes.get_int64_le taken (w * 8)) land (1 lsl b) <> 0
+    in
+    let set_bit i v =
+      let w = i / 63 and b = i mod 63 in
+      let cur = Int64.to_int (Bytes.get_int64_le taken (w * 8)) in
+      let nxt = if v then cur lor (1 lsl b) else cur land lnot (1 lsl b) in
+      Bytes.set_int64_le taken (w * 8) (Int64.of_int nxt)
+    in
+    (* Memo of linearized-sets that cannot be completed. *)
+    let failed : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let rec dfs remaining map =
+      if remaining = 0 then true
+      else begin
+        let key = Bytes.to_string taken in
+        if Hashtbl.mem failed key then false
+        else begin
+          (* Minimal-response bound among pending operations: an op may
+             linearize next iff its invocation precedes every pending
+             response. *)
+          let min_res = ref max_int in
+          for i = 0 to n - 1 do
+            if (not (get_bit i)) && ops.(i).History.res < !min_res then
+              min_res := ops.(i).History.res
+          done;
+          let ok = ref false in
+          let i = ref 0 in
+          while (not !ok) && !i < n do
+            let idx = !i in
+            incr i;
+            if not (get_bit idx) then begin
+              let e = ops.(idx) in
+              (* e is minimal iff no pending op responds before e invokes;
+                 since e itself is pending, compare with the bound ignoring
+                 e's own response. *)
+              let minimal = e.History.inv < !min_res || e.History.res = !min_res in
+              if minimal then
+                match step map e with
+                | Some map' ->
+                    set_bit idx true;
+                    if dfs (remaining - 1) map' then ok := true
+                    else set_bit idx false
+                | None -> ()
+            end
+          done;
+          if not !ok then Hashtbl.replace failed key ();
+          !ok
+        end
+      end
+    in
+    dfs n IntMap.empty
+  end
+
+exception Not_linearizable of string
+
+let render ?key events =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  (match key with
+  | Some k -> Format.fprintf ppf "history is not linearizable (key %d):@." k
+  | None -> Format.fprintf ppf "history is not linearizable:@.");
+  List.iter (fun e -> Format.fprintf ppf "  %a@." History.pp_event e) events;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let check_exn events =
+  if not (check events) then raise (Not_linearizable (render events))
+
+let key_of (e : History.event) =
+  match e.op with
+  | History.Contains k | History.Insert (k, _) | History.Delete k -> k
+
+let by_key events =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let k = key_of e in
+      Hashtbl.replace tbl k
+        (e :: (try Hashtbl.find tbl k with Not_found -> [])))
+    events;
+  Hashtbl.fold (fun k es acc -> (k, List.rev es) :: acc) tbl []
+
+let check_per_key events =
+  List.for_all (fun (_, es) -> check es) (by_key events)
+
+let check_per_key_exn events =
+  List.iter
+    (fun (k, es) ->
+      if not (check es) then raise (Not_linearizable (render ~key:k es)))
+    (by_key events)

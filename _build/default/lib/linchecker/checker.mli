@@ -1,0 +1,31 @@
+(** Wing & Gong linearizability checker for dictionary histories.
+
+    Exhaustive backtracking over linearization orders: an operation may
+    linearize next only if no pending operation's response precedes its
+    invocation (real-time order is respected), and its recorded response
+    must match the sequential dictionary specification at that point.
+    Explored operation subsets are memoized — the sequential dictionary
+    state is a deterministic function of the linearized set, so a set that
+    failed once can be pruned forever. *)
+
+val check : History.event list -> bool
+(** [true] iff the history is linearizable with respect to the dictionary
+    specification (insert/delete return booleans, contains returns the
+    bound value option). *)
+
+exception Not_linearizable of string
+
+val check_exn : History.event list -> unit
+(** @raise Not_linearizable with a rendering of the history otherwise. *)
+
+val check_per_key : History.event list -> bool
+(** Compositional variant: every dictionary operation touches exactly one
+    key and the sequential specification is a product of independent
+    per-key objects, so by the locality of linearizability (Herlihy &
+    Wing) a history is linearizable iff each per-key subhistory is. The
+    search cost drops from exponential in the whole history to exponential
+    in the per-key contention window, so histories with thousands of
+    events become checkable. *)
+
+val check_per_key_exn : History.event list -> unit
+(** @raise Not_linearizable naming the offending key's subhistory. *)

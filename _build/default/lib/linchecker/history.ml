@@ -1,0 +1,44 @@
+type op = Contains of int | Insert of int * int | Delete of int
+
+type response = Bool of bool | Value of int option
+
+type event = {
+  thread : int;
+  op : op;
+  response : response;
+  inv : int;
+  res : int;
+}
+
+type t = { clock : int Atomic.t; buffers : event list ref array }
+
+let create ~threads =
+  if threads <= 0 then invalid_arg "History.create: threads must be positive";
+  { clock = Atomic.make 0; buffers = Array.init threads (fun _ -> ref []) }
+
+let record t ~thread op f =
+  let inv = Atomic.fetch_and_add t.clock 1 in
+  let response = f () in
+  let res = Atomic.fetch_and_add t.clock 1 in
+  t.buffers.(thread) := { thread; op; response; inv; res } :: !(t.buffers.(thread));
+  response
+
+let events t =
+  let all =
+    Array.fold_left (fun acc b -> List.rev_append !b acc) [] t.buffers
+  in
+  List.sort (fun a b -> compare a.inv b.inv) all
+
+let pp_op ppf = function
+  | Contains k -> Format.fprintf ppf "contains(%d)" k
+  | Insert (k, v) -> Format.fprintf ppf "insert(%d,%d)" k v
+  | Delete k -> Format.fprintf ppf "delete(%d)" k
+
+let pp_response ppf = function
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Value None -> Format.fprintf ppf "None"
+  | Value (Some v) -> Format.fprintf ppf "Some %d" v
+
+let pp_event ppf e =
+  Format.fprintf ppf "[t%d %d-%d] %a -> %a" e.thread e.inv e.res pp_op e.op
+    pp_response e.response

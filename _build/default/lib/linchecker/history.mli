@@ -1,0 +1,33 @@
+(** Concurrent history recording for linearizability checking.
+
+    Invocation and response points are stamped from one global atomic tick
+    counter, so the recorded real-time partial order is itself an event of
+    the execution (ticket acquisition happens inside the operation's
+    interval). Each thread records into its own buffer; [events] merges. *)
+
+type op = Contains of int | Insert of int * int | Delete of int
+
+type response = Bool of bool | Value of int option
+
+type event = {
+  thread : int;
+  op : op;
+  response : response;
+  inv : int; (** tick at invocation *)
+  res : int; (** tick at response; [inv < res] *)
+}
+
+type t
+
+val create : threads:int -> t
+
+val record : t -> thread:int -> op -> (unit -> response) -> response
+(** [record t ~thread op f] stamps the invocation, runs [f], stamps the
+    response, stores the event in [thread]'s buffer and returns [f]'s
+    result. [thread] must be in [0, threads). *)
+
+val events : t -> event list
+(** All recorded events, sorted by invocation tick. Call only after all
+    recording threads have finished. *)
+
+val pp_event : Format.formatter -> event -> unit

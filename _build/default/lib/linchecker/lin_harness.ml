@@ -1,0 +1,33 @@
+module Rng = Repro_sync.Rng
+module Barrier = Repro_sync.Barrier
+
+let record_random (module D : Repro_dict.Dict.DICT) ~threads ~ops_per_thread
+    ~key_range ~seed =
+  let t = D.create ~max_threads:(threads + 1) () in
+  let h = History.create ~threads in
+  let bar = Barrier.create threads in
+  let worker i () =
+    let handle = D.register t in
+    let rng = Rng.create (Int64.add seed (Int64.of_int (i * 7919))) in
+    Barrier.wait bar;
+    for _ = 1 to ops_per_thread do
+      let k = Rng.int rng key_range in
+      let r = Rng.int rng 10 in
+      if r < 4 then
+        ignore
+          (History.record h ~thread:i (History.Contains k) (fun () ->
+               History.Value (D.contains handle k)))
+      else if r < 7 then
+        ignore
+          (History.record h ~thread:i (History.Insert (k, k)) (fun () ->
+               History.Bool (D.insert handle k k)))
+      else
+        ignore
+          (History.record h ~thread:i (History.Delete k) (fun () ->
+               History.Bool (D.delete handle k)))
+    done;
+    D.unregister handle
+  in
+  let domains = List.init threads (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join domains;
+  History.events h

@@ -1,0 +1,16 @@
+(** Drive a real dictionary with concurrent domains while recording a
+    history — the bridge between the implementations and {!Checker}.
+
+    Key ranges are kept tiny and operation counts small so that the
+    recorded histories contend heavily (small windows, many conflicts) yet
+    stay within the checker's exponential budget. *)
+
+val record_random :
+  (module Repro_dict.Dict.DICT) ->
+  threads:int ->
+  ops_per_thread:int ->
+  key_range:int ->
+  seed:int64 ->
+  History.event list
+(** Each domain performs [ops_per_thread] random operations (40% contains,
+    30% insert, 30% delete) on keys in [0, key_range), all recorded. *)

@@ -1,0 +1,1 @@
+lib/rcu/defer.ml: List Rcu_intf

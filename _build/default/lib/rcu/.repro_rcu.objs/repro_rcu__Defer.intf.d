@@ -1,0 +1,1 @@
+lib/rcu/defer.mli: Rcu_intf

@@ -1,0 +1,1 @@
+lib/rcu/epoch_rcu.ml: Atomic Repro_sync

@@ -1,0 +1,1 @@
+lib/rcu/epoch_rcu.mli: Rcu_intf

@@ -1,0 +1,1 @@
+lib/rcu/qsbr.ml: Atomic Repro_sync

@@ -1,0 +1,1 @@
+lib/rcu/qsbr.mli: Rcu_intf

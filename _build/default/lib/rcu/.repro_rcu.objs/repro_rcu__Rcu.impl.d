@@ -1,0 +1,1 @@
+lib/rcu/rcu.ml: Epoch_rcu Qsbr Rcu_intf Urcu

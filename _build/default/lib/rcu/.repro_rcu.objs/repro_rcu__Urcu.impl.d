@@ -1,0 +1,1 @@
+lib/rcu/urcu.ml: Atomic Repro_sync

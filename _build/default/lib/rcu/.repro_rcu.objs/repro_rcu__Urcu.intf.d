@@ -1,0 +1,1 @@
+lib/rcu/urcu.mli: Rcu_intf

@@ -1,0 +1,31 @@
+module Make (R : Rcu_intf.S) = struct
+  type t = {
+    rcu : R.t;
+    batch : int;
+    mutable queue : (unit -> unit) list; (* newest first *)
+    mutable queued : int;
+    mutable executed : int;
+  }
+
+  let create ?(batch = 32) rcu =
+    if batch <= 0 then invalid_arg "Defer.create: batch must be positive";
+    { rcu; batch; queue = []; queued = 0; executed = 0 }
+
+  let flush t =
+    if t.queued > 0 then begin
+      let callbacks = List.rev t.queue in
+      t.queue <- [];
+      t.queued <- 0;
+      R.synchronize t.rcu;
+      List.iter (fun f -> f ()) callbacks;
+      t.executed <- t.executed + List.length callbacks
+    end
+
+  let defer t f =
+    t.queue <- f :: t.queue;
+    t.queued <- t.queued + 1;
+    if t.queued >= t.batch then flush t
+
+  let pending t = t.queued
+  let executed t = t.executed
+end

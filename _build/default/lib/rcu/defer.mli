@@ -1,0 +1,29 @@
+(** Deferred execution after a grace period ([call_rcu] analogue).
+
+    The paper leaves "efficient memory reclamation" as future work; this
+    module supplies the standard construction on top of either RCU flavour:
+    callbacks are buffered per thread and executed only after a grace period
+    guarantees no reader can still hold a reference to the retired data.
+    Under a GC the callbacks are observational (statistics, pool recycling),
+    but the ordering guarantee is the real, tested artefact. *)
+
+module Make (R : Rcu_intf.S) : sig
+  type t
+
+  val create : ?batch:int -> R.t -> t
+  (** A per-thread deferral buffer over RCU domain [r]. Once [batch]
+      callbacks accumulate (default 32), the next {!defer} triggers
+      [R.synchronize] and runs them. Not shareable between threads. *)
+
+  val defer : t -> (unit -> unit) -> unit
+  (** Enqueue [f] to run after a future grace period. May flush. *)
+
+  val flush : t -> unit
+  (** Force a grace period and run all pending callbacks now. *)
+
+  val pending : t -> int
+  (** Number of callbacks waiting for a grace period. *)
+
+  val executed : t -> int
+  (** Total callbacks run since creation. *)
+end

@@ -1,0 +1,72 @@
+module Registry = Repro_sync.Registry
+module Backoff = Repro_sync.Backoff
+
+type slot = int Atomic.t
+(* Encoding: [count lsl 1) lor flag]. Only the owning thread writes its
+   slot; [synchronize] only reads. *)
+
+type t = {
+  slots : slot Registry.t;
+  gps : int Atomic.t;
+}
+
+type thread = {
+  rcu : t;
+  index : int;
+  slot : slot;
+  mutable nesting : int;
+}
+
+let name = "epoch-rcu"
+
+let create ?(max_threads = 128) () =
+  {
+    slots =
+      Registry.create ~capacity:max_threads ~make:(fun _ ->
+          Repro_sync.Padding.spaced_atomic 0);
+    gps = Atomic.make 0;
+  }
+
+let register rcu =
+  let index = Registry.acquire rcu.slots in
+  let slot = Registry.get rcu.slots index in
+  Atomic.set slot (Atomic.get slot land lnot 1);
+  { rcu; index; slot; nesting = 0 }
+
+let unregister th =
+  if th.nesting <> 0 then
+    invalid_arg "Epoch_rcu.unregister: inside a read-side critical section";
+  Registry.release th.rcu.slots th.index
+
+let read_lock th =
+  if th.nesting = 0 then begin
+    let count = Atomic.get th.slot lsr 1 in
+    (* One SC store publishes both the new count and the flag. *)
+    Atomic.set th.slot (((count + 1) lsl 1) lor 1)
+  end;
+  th.nesting <- th.nesting + 1
+
+let read_unlock th =
+  if th.nesting <= 0 then
+    invalid_arg "Epoch_rcu.read_unlock: not inside a read-side critical section";
+  th.nesting <- th.nesting - 1;
+  if th.nesting = 0 then Atomic.set th.slot (Atomic.get th.slot land lnot 1)
+
+let read_depth th = th.nesting
+
+let synchronize rcu =
+  (* No lock, no handshake between concurrent synchronizers: each scans the
+     slots independently. *)
+  Registry.iter
+    (fun slot ->
+      let snapshot = Atomic.get slot in
+      if snapshot land 1 = 1 then begin
+        let b = Backoff.create () in
+        while Atomic.get slot = snapshot do
+          Backoff.once b
+        done
+      end)
+    rcu.slots;
+  ignore (Atomic.fetch_and_add rcu.gps 1)
+
+let grace_periods rcu = Atomic.get rcu.gps

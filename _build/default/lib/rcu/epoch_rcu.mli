@@ -1,0 +1,20 @@
+(** The paper's new RCU implementation (Section 5, "New RCU").
+
+    Each thread owns one padded atomic word packing
+    [(critical-section count) * 2 + (inside-critical-section flag)]:
+
+    - [read_lock] increments the count and sets the flag, in one store;
+    - [read_unlock] clears the flag;
+    - [synchronize] snapshots every slot and, for each slot whose flag was
+      set, waits until the word changes — i.e. the reader either finished
+      ([flag] cleared) or started a later section ([count] increased).
+
+    Concurrent [synchronize] calls do not coordinate and take no lock, which
+    is exactly what lets Citrus scale with many updaters (Figure 8, right).
+    The count only grows, so "the word changed" is ABA-safe. *)
+
+include Rcu_intf.S
+
+val read_depth : thread -> int
+(** Current read-side nesting depth of this thread (0 = quiescent); for
+    assertions in tests. *)

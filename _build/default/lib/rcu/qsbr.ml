@@ -1,0 +1,90 @@
+module Registry = Repro_sync.Registry
+module Backoff = Repro_sync.Backoff
+
+(* Slot encoding: 0 = offline; otherwise a snapshot of the global
+   grace-period counter (always odd, so 0 is unambiguous). A thread is
+   quiescent with respect to grace period [gp] if it is offline or its
+   snapshot is >= gp. *)
+
+type t = {
+  gp : int Atomic.t; (* odd, monotonically increasing *)
+  slots : int Atomic.t Registry.t;
+  gps : int Atomic.t;
+}
+
+type thread = {
+  rcu : t;
+  index : int;
+  slot : int Atomic.t;
+  mutable nesting : int;
+}
+
+let name = "qsbr"
+
+let create ?(max_threads = 128) () =
+  {
+    gp = Atomic.make 1;
+    slots =
+      Registry.create ~capacity:max_threads ~make:(fun _ ->
+          Repro_sync.Padding.spaced_atomic 0);
+    gps = Atomic.make 0;
+  }
+
+let register rcu =
+  let index = Registry.acquire rcu.slots in
+  let slot = Registry.get rcu.slots index in
+  Atomic.set slot 0;
+  { rcu; index; slot; nesting = 0 }
+
+let unregister th =
+  if th.nesting <> 0 then
+    invalid_arg "Qsbr.unregister: inside a read-side critical section";
+  Atomic.set th.slot 0;
+  Registry.release th.rcu.slots th.index
+
+let online th =
+  if Atomic.get th.slot = 0 then Atomic.set th.slot (Atomic.get th.rcu.gp)
+
+let offline th =
+  if th.nesting <> 0 then
+    invalid_arg "Qsbr.offline: inside a read-side critical section";
+  Atomic.set th.slot 0
+
+let quiescent_state th =
+  if th.nesting <> 0 then
+    invalid_arg "Qsbr.quiescent_state: inside a read-side critical section";
+  Atomic.set th.slot (Atomic.get th.rcu.gp)
+
+(* The S adapter: the outermost read_lock goes online; the outermost
+   read_unlock announces quiescence and goes offline, so idle registered
+   threads never stall writers. Nested sections cost nothing. *)
+let read_lock th =
+  if th.nesting = 0 then online th;
+  th.nesting <- th.nesting + 1
+
+let read_unlock th =
+  if th.nesting <= 0 then
+    invalid_arg "Qsbr.read_unlock: not inside a read-side critical section";
+  th.nesting <- th.nesting - 1;
+  if th.nesting = 0 then Atomic.set th.slot 0
+
+let synchronize rcu =
+  (* Advance the grace period, then wait for each online thread to catch
+     up or go offline. Lock-free: concurrent synchronizers just wait for
+     (at least) their own period. *)
+  let target = Atomic.fetch_and_add rcu.gp 2 + 2 in
+  Registry.iter
+    (fun slot ->
+      let b = Backoff.create () in
+      let rec wait () =
+        let v = Atomic.get slot in
+        if v <> 0 && v < target then begin
+          Backoff.once b;
+          wait ()
+        end
+      in
+      wait ())
+    rcu.slots;
+  ignore (Atomic.fetch_and_add rcu.gps 1)
+
+let grace_periods rcu = Atomic.get rcu.gps

@@ -1,0 +1,12 @@
+module type S = Rcu_intf.S
+
+module Epoch = Epoch_rcu
+module Urcu = Urcu
+module Qsbr = Qsbr
+
+let implementations =
+  [
+    (Epoch_rcu.name, (module Epoch_rcu : S));
+    (Urcu.name, (module Urcu : S));
+    (Qsbr.name, (module Qsbr : S));
+  ]

@@ -1,0 +1,19 @@
+(** Entry point of the RCU library: re-exports and the implementation
+    registry used by benchmarks to sweep over RCU flavours. *)
+
+module type S = Rcu_intf.S
+
+module Epoch : S
+(** The paper's new RCU (Section 5): per-thread counter+flag, lock-free
+    [synchronize]. See {!Epoch_rcu}. *)
+
+module Urcu : S
+(** The stock general-purpose user-space RCU baseline with a global
+    grace-period lock. See {!Urcu}. *)
+
+module Qsbr : S
+(** Quiescent-state-based RCU: free read side, coarser reporting. See
+    {!Qsbr} for the native online/offline/quiescent API. *)
+
+val implementations : (string * (module S)) list
+(** All flavours, keyed by [name], for benchmark sweeps. *)

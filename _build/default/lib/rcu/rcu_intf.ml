@@ -1,0 +1,46 @@
+(** The subset of the RCU API used by Citrus (paper, Section 2), as a module
+    signature so the tree is a functor over the RCU flavour.
+
+    The RCU property: if a step of a read-side critical section precedes the
+    invocation of [synchronize], then {e all} steps of that critical section
+    precede the return from [synchronize]. [read_lock]/[read_unlock] must be
+    wait-free. *)
+
+module type S = sig
+  type t
+  (** A shared RCU domain: the set of threads that synchronize together. *)
+
+  type thread
+  (** Per-thread state; one per registered domain. Not shareable between
+      domains. *)
+
+  val name : string
+  (** Implementation name, used in benchmark output. *)
+
+  val create : ?max_threads:int -> unit -> t
+  (** Create an RCU domain supporting up to [max_threads] concurrently
+      registered threads (default 128). *)
+
+  val register : t -> thread
+  (** Claim per-thread state. Every domain that will call [read_lock] or
+      [synchronize] must register first.
+      @raise Repro_sync.Registry.Full if [max_threads] are registered. *)
+
+  val unregister : thread -> unit
+  (** Release the slot. The thread must not be inside a read-side critical
+      section. *)
+
+  val read_lock : thread -> unit
+  (** Enter a read-side critical section. Wait-free. Nestable. *)
+
+  val read_unlock : thread -> unit
+  (** Leave the (innermost) read-side critical section. Wait-free. *)
+
+  val synchronize : t -> unit
+  (** Grace period: block until every read-side critical section that was in
+      progress when [synchronize] was invoked has completed. Must be called
+      outside any read-side critical section. *)
+
+  val grace_periods : t -> int
+  (** Number of completed [synchronize] calls (statistics). *)
+end

@@ -1,0 +1,89 @@
+module Registry = Repro_sync.Registry
+module Backoff = Repro_sync.Backoff
+module Spinlock = Repro_sync.Spinlock
+
+(* Per-thread word layout (as in liburcu): low 16 bits = nesting count,
+   bit 16 = phase. A thread is a quiescent reader when its nesting bits are
+   zero; it blocks a grace period when it is nested *and* its phase bit
+   differs from the current global phase. *)
+let nest_mask = 0xFFFF
+let phase_bit = 1 lsl 16
+
+type t = {
+  gp_ctr : int Atomic.t; (* phase bit only; low bits unused globally *)
+  slots : int Atomic.t Registry.t;
+  gp_lock : Spinlock.t;
+  gps : int Atomic.t;
+}
+
+type thread = {
+  rcu : t;
+  index : int;
+  slot : int Atomic.t;
+}
+
+let name = "urcu"
+
+let create ?(max_threads = 128) () =
+  {
+    gp_ctr = Atomic.make 0;
+    slots =
+      Registry.create ~capacity:max_threads ~make:(fun _ ->
+          Repro_sync.Padding.spaced_atomic 0);
+    gp_lock = Spinlock.create ();
+    gps = Atomic.make 0;
+  }
+
+let register rcu =
+  let index = Registry.acquire rcu.slots in
+  let slot = Registry.get rcu.slots index in
+  Atomic.set slot 0;
+  { rcu; index; slot }
+
+let read_depth th = Atomic.get th.slot land nest_mask
+
+let unregister th =
+  if read_depth th <> 0 then
+    invalid_arg "Urcu.unregister: inside a read-side critical section";
+  Registry.release th.rcu.slots th.index
+
+let read_lock th =
+  let v = Atomic.get th.slot in
+  if v land nest_mask = 0 then
+    (* Outermost: adopt the current global phase with nesting 1. *)
+    Atomic.set th.slot (Atomic.get th.rcu.gp_ctr lor 1)
+  else Atomic.set th.slot (v + 1)
+
+let read_unlock th =
+  let v = Atomic.get th.slot in
+  if v land nest_mask = 0 then
+    invalid_arg "Urcu.read_unlock: not inside a read-side critical section";
+  Atomic.set th.slot (v - 1)
+
+(* A reader blocks the current phase if it is inside a critical section it
+   entered before the latest phase flip. *)
+let ongoing gp_phase v = v land nest_mask <> 0 && v land phase_bit <> gp_phase
+
+let wait_for_readers rcu =
+  let gp_phase = Atomic.get rcu.gp_ctr in
+  Registry.iter
+    (fun slot ->
+      let b = Backoff.create () in
+      while ongoing gp_phase (Atomic.get slot) do
+        Backoff.once b
+      done)
+    rcu.slots
+
+let synchronize rcu =
+  Spinlock.acquire rcu.gp_lock;
+  (* Two phase flips, as in liburcu: a single flip cannot distinguish a
+     reader that started just before the flip from one that started just
+     after, so the grace period performs the handshake twice. *)
+  Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
+  wait_for_readers rcu;
+  Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
+  wait_for_readers rcu;
+  ignore (Atomic.fetch_and_add rcu.gps 1);
+  Spinlock.release rcu.gp_lock
+
+let grace_periods rcu = Atomic.get rcu.gps

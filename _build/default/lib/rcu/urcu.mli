@@ -1,0 +1,16 @@
+(** Re-implementation of the general-purpose user-space RCU of Desnoyers et
+    al. (IEEE TPDS 2012) — the "standard RCU" baseline of Figure 8 (left).
+
+    Per-thread state is a word holding a snapshot of the global grace-period
+    counter plus a read-side nesting count; [synchronize] acquires a
+    {e global lock}, flips the grace-period phase bit twice, and after each
+    flip waits for every reader still in the previous phase.
+
+    The global lock is deliberate: it is what makes this implementation
+    collapse when many updaters synchronize concurrently, which the paper
+    demonstrates and then fixes with {!Epoch_rcu}. *)
+
+include Rcu_intf.S
+
+val read_depth : thread -> int
+(** Current read-side nesting depth (from the thread's own word); for tests. *)

@@ -1,0 +1,1 @@
+lib/sync/registry.ml: Array Atomic

@@ -1,0 +1,1 @@
+lib/sync/stats.ml: Array Atomic List

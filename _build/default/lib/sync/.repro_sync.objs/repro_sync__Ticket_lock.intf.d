@@ -1,0 +1,1 @@
+lib/sync/ticket_lock.mli:

@@ -1,0 +1,27 @@
+type t = {
+  parties : int;
+  arrived : int Atomic.t;
+  sense : bool Atomic.t;
+}
+
+let create parties =
+  if parties <= 0 then invalid_arg "Barrier.create: parties must be positive";
+  { parties; arrived = Atomic.make 0; sense = Atomic.make false }
+
+let parties t = t.parties
+
+(* Sense reversing: the last arriver flips [sense], which releases everyone
+   spinning on the old sense; [arrived] is reset before the flip so the
+   barrier is immediately reusable. *)
+let wait t =
+  let my_sense = not (Atomic.get t.sense) in
+  if Atomic.fetch_and_add t.arrived 1 = t.parties - 1 then begin
+    Atomic.set t.arrived 0;
+    Atomic.set t.sense my_sense
+  end
+  else begin
+    let b = Backoff.create () in
+    while Atomic.get t.sense <> my_sense do
+      Backoff.once b
+    done
+  end

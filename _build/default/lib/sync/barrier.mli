@@ -1,0 +1,15 @@
+(** Reusable sense-reversing barrier for synchronizing domain start/stop in
+    benchmarks and concurrency tests. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a barrier for [n] participants. Raises
+    [Invalid_argument] if [n <= 0]. *)
+
+val wait : t -> unit
+(** Block (with backoff) until all [n] participants have called [wait]. The
+    barrier then resets and may be reused for the next round. *)
+
+val parties : t -> int
+(** The number of participants the barrier was created for. *)

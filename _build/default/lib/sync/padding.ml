@@ -1,0 +1,13 @@
+let line_words = 8
+
+(* The pad array is kept alive via a global sink so the allocations are not
+   immediately collected (dead pads would let later allocations reuse the
+   space and defeat the spacing). *)
+let sink : int array list ref = ref []
+
+let spaced_atomic init =
+  let a = Atomic.make init in
+  sink := Array.make line_words 0 :: !sink;
+  a
+
+let spaced_atomics n init = Array.init n (fun _ -> spaced_atomic init)

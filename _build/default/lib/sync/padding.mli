@@ -1,0 +1,20 @@
+(** Best-effort cache-line spacing for hot atomics.
+
+    The paper notes that field alignment inside cache lines "often influences
+    the results much more than the algorithmic aspects". OCaml gives no layout
+    control, but consecutive small allocations land adjacently on the minor
+    heap, so two per-thread atomics allocated back-to-back share a line. This
+    module inserts dead allocations between hot ones so that, after promotion,
+    per-thread slots tend to live on distinct lines. On the 1-core container
+    this is moot for performance but kept for fidelity and for multi-core
+    runs of this code. *)
+
+val line_words : int
+(** Assumed cache line size in OCaml words (64 bytes / 8). *)
+
+val spaced_atomic : int -> int Atomic.t
+(** Allocate an [int Atomic.t] followed by a line of padding allocations. *)
+
+val spaced_atomics : int -> int -> int Atomic.t array
+(** [spaced_atomics n init] allocates [n] spaced atomics initialised to
+    [init]. *)

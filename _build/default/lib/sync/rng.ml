@@ -1,0 +1,28 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let next64 t =
+  let z = Int64.add t.state golden_gamma in
+  t.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (next64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for the
+     bounds used in workloads (<= 2^21 keys vs 2^62 range). [land max_int]
+     clears the sign bit after the 64->63-bit truncation of [to_int]. *)
+  let v = Int64.to_int (next64 t) land max_int in
+  v mod bound
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  v *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next64 t) 1L = 1L

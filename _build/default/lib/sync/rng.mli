@@ -1,0 +1,29 @@
+(** SplitMix64 pseudo-random number generator.
+
+    Each benchmark/test domain owns its own generator, so random operation
+    streams are deterministic per seed and free of cross-domain
+    synchronization (the stdlib [Random] state would either be shared or
+    domain-split non-deterministically). The algorithm is Steele, Lea &
+    Flood's SplitMix64, matching the reference output (see test vectors in
+    the test suite). *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a generator with the given 64-bit seed. *)
+
+val split : t -> t
+(** Derive an independent generator; used to seed one generator per domain
+    from a single experiment seed. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform float in [0, 1). *)
+
+val bool : t -> bool

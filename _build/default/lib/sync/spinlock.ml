@@ -1,0 +1,29 @@
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+
+let try_acquire t = (not (Atomic.get t)) && Atomic.compare_and_set t false true
+
+let acquire t =
+  if not (try_acquire t) then begin
+    let b = Backoff.create () in
+    while not (try_acquire t) do
+      Backoff.once b
+    done
+  end
+
+let release t =
+  if not (Atomic.exchange t false) then
+    invalid_arg "Spinlock.release: lock was not held"
+
+let is_locked t = Atomic.get t
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      release t;
+      raise e

@@ -1,0 +1,26 @@
+(** Test-and-test-and-set spin lock with backoff.
+
+    Used as the per-node lock of Citrus and the lock-based baselines: a heap
+    word per lock (much lighter than [Mutex.t]) and fast in the uncontended
+    case. Acquisition loops use {!Backoff} so spinning never starves the
+    holder on a single core. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> unit
+(** Block (spin) until the lock is held by the caller. Not reentrant. *)
+
+val try_acquire : t -> bool
+(** Attempt to take the lock without spinning; [true] on success. *)
+
+val release : t -> unit
+(** Release a held lock. Releasing a free lock is a programming error and
+    raises [Invalid_argument]. *)
+
+val is_locked : t -> bool
+(** Snapshot of the lock state, for assertions and statistics only. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** [with_lock t f] runs [f] under the lock, releasing on exception. *)

@@ -1,0 +1,31 @@
+type t = {
+  name : string;
+  cells : int Atomic.t array;
+}
+
+let create ?(stripes = 64) name =
+  if stripes <= 0 then invalid_arg "Stats.create: stripes must be positive";
+  { name; cells = Array.init stripes (fun _ -> Atomic.make 0) }
+
+let name t = t.name
+
+let add t stripe n =
+  let cell = t.cells.(stripe mod Array.length t.cells) in
+  ignore (Atomic.fetch_and_add cell n)
+
+let incr t stripe = add t stripe 1
+
+let read t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells
+
+let reset t = Array.iter (fun c -> Atomic.set c 0) t.cells
+
+type group = t list ref
+
+let group () = ref []
+
+let counter g ?stripes name =
+  let c = create ?stripes name in
+  g := c :: !g;
+  c
+
+let dump g = List.rev_map (fun c -> (c.name, read c)) !g

@@ -1,0 +1,36 @@
+(** Striped event counters for contention statistics.
+
+    A counter is an array of per-stripe cells; each thread increments its own
+    stripe, so counting never becomes the bottleneck it is measuring. Reads
+    sum all stripes (racy but monotone — adequate for throughput and restart
+    statistics). *)
+
+type t
+
+val create : ?stripes:int -> string -> t
+(** [create name] makes a named counter with [stripes] cells (default 64). *)
+
+val name : t -> string
+
+val incr : t -> int -> unit
+(** [incr t stripe] adds one to the given stripe ([stripe] is typically the
+    caller's thread slot; it is reduced modulo the stripe count). *)
+
+val add : t -> int -> int -> unit
+(** [add t stripe n] adds [n]. *)
+
+val read : t -> int
+(** Sum of all stripes. *)
+
+val reset : t -> unit
+
+type group
+
+val group : unit -> group
+(** A registry of counters, so a subsystem can expose all its statistics. *)
+
+val counter : group -> ?stripes:int -> string -> t
+(** Create a counter registered in [group]. *)
+
+val dump : group -> (string * int) list
+(** All counters of the group with their current values, in creation order. *)

@@ -1,0 +1,39 @@
+type t = {
+  next : int Atomic.t; (* next ticket to hand out *)
+  serving : int Atomic.t; (* ticket currently allowed in *)
+}
+
+let create () = { next = Atomic.make 0; serving = Atomic.make 0 }
+
+let acquire t =
+  let ticket = Atomic.fetch_and_add t.next 1 in
+  if Atomic.get t.serving <> ticket then begin
+    let b = Backoff.create () in
+    while Atomic.get t.serving <> ticket do
+      Backoff.once b
+    done
+  end
+
+let try_acquire t =
+  let serving = Atomic.get t.serving in
+  (* Only attempt when the queue is empty: the CAS takes the ticket that
+     is immediately served. *)
+  Atomic.get t.next = serving && Atomic.compare_and_set t.next serving (serving + 1)
+
+let release t =
+  let serving = Atomic.get t.serving in
+  if Atomic.get t.next = serving then
+    invalid_arg "Ticket_lock.release: lock was not held";
+  Atomic.set t.serving (serving + 1)
+
+let is_locked t = Atomic.get t.next <> Atomic.get t.serving
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      release t;
+      raise e

@@ -1,0 +1,24 @@
+(** FIFO ticket lock — the fair alternative to {!Spinlock}'s
+    test-and-test-and-set.
+
+    Under heavy contention a TAS lock lets one thread re-acquire
+    repeatedly (unfair but cache-friendly); a ticket lock serves strictly
+    in arrival order. The micro-benchmarks compare both so the choice of
+    per-node lock in the trees is a measured decision, not folklore. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> unit
+(** Take a ticket and spin (with backoff) until served. Not reentrant. *)
+
+val try_acquire : t -> bool
+(** Acquire only if the lock is free and no one is waiting. *)
+
+val release : t -> unit
+(** Serve the next ticket. Raises [Invalid_argument] if the lock is not
+    held. *)
+
+val is_locked : t -> bool
+val with_lock : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,1 @@
+lib/workload/latency.ml: Array Atomic Domain Format Int64 List Monotonic_clock Repro_dict Repro_sync Unix Workload

@@ -1,0 +1,1 @@
+lib/workload/latency.mli: Format Repro_dict Workload

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Atomic Domain Float Int64 List Repro_dict Repro_sync Unix Workload

@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Repro_dict Workload

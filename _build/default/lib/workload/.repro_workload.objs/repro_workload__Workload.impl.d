@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Float Format Repro_sync

@@ -1,0 +1,154 @@
+module Rng = Repro_sync.Rng
+module Barrier = Repro_sync.Barrier
+
+type result = {
+  name : string;
+  threads : int;
+  total_ops : int;
+  contains_ops : int;
+  insert_ops : int;
+  delete_ops : int;
+  wall : float;
+  throughput : float;
+  final_size : int;
+  samples : (float * float) list;
+}
+
+type thread_counts = {
+  mutable n_contains : int;
+  mutable n_insert : int;
+  mutable n_delete : int;
+}
+
+let run ?sample_interval (module D : Repro_dict.Dict.DICT)
+    (cfg : Workload.config) =
+  let t = D.create ~max_threads:(cfg.threads + 2) () in
+  let master = Rng.create cfg.seed in
+  (* Pre-fill to [prefill_fraction] of the key range (paper: half). *)
+  let setup = D.register t in
+  let target =
+    int_of_float (float_of_int cfg.key_range *. cfg.prefill_fraction)
+  in
+  let filled = ref 0 in
+  while !filled < target do
+    let k = Rng.int master cfg.key_range in
+    if D.insert setup k k then incr filled
+  done;
+  D.unregister setup;
+  (* Each worker hammers the dictionary until [stop]; operations run in
+     batches of 64 so the stop flag is polled cheaply. *)
+  (* Aggregate progress, bumped once per 64-op batch so the sampler never
+     contends with the hot path. *)
+  let progress = Atomic.make 0 in
+  let worker mix seed start stop counts =
+    let handle = D.register t in
+    let rng = Rng.create seed in
+    let next_key = Workload.key_generator cfg rng in
+    Barrier.wait start;
+    let rec loop () =
+      if not (Atomic.get stop) then begin
+        for _ = 1 to 64 do
+          let k = next_key () in
+          match Workload.pick rng mix with
+          | Workload.Contains ->
+              ignore (D.contains handle k);
+              counts.n_contains <- counts.n_contains + 1
+          | Workload.Insert ->
+              ignore (D.insert handle k k);
+              counts.n_insert <- counts.n_insert + 1
+          | Workload.Delete ->
+              ignore (D.delete handle k);
+              counts.n_delete <- counts.n_delete + 1
+        done;
+        ignore (Atomic.fetch_and_add progress 64);
+        loop ()
+      end
+    in
+    loop ();
+    D.unregister handle
+  in
+  let start = Barrier.create (cfg.threads + 1) in
+  let stop = Atomic.make false in
+  let counts =
+    Array.init cfg.threads (fun _ ->
+        { n_contains = 0; n_insert = 0; n_delete = 0 })
+  in
+  let mix_for i =
+    match cfg.role with
+    | Workload.Uniform m -> m
+    | Workload.Single_writer m -> if i = 0 then m else Workload.read_only
+  in
+  let domains =
+    List.init cfg.threads (fun i ->
+        let seed = Rng.next64 master in
+        Domain.spawn (fun () -> worker (mix_for i) seed start stop counts.(i)))
+  in
+  Barrier.wait start;
+  let t0 = Unix.gettimeofday () in
+  let samples =
+    match sample_interval with
+    | None ->
+        Unix.sleepf cfg.duration;
+        []
+    | Some interval ->
+        let interval = Float.max interval 0.001 in
+        let deadline = t0 +. cfg.duration in
+        let rec sample acc last_ops =
+          let now = Unix.gettimeofday () in
+          if now >= deadline then List.rev acc
+          else begin
+            Unix.sleepf (Float.min interval (deadline -. now));
+            let ops = Atomic.get progress in
+            let now' = Unix.gettimeofday () in
+            let rate = float_of_int (ops - last_ops) /. (now' -. now) in
+            sample ((now' -. t0, rate) :: acc) ops
+          end
+        in
+        sample [] 0
+  in
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  let wall = Unix.gettimeofday () -. t0 in
+  D.check t;
+  let sum f = Array.fold_left (fun acc c -> acc + f c) 0 counts in
+  let contains_ops = sum (fun c -> c.n_contains) in
+  let insert_ops = sum (fun c -> c.n_insert) in
+  let delete_ops = sum (fun c -> c.n_delete) in
+  let total_ops = contains_ops + insert_ops + delete_ops in
+  {
+    name = D.name;
+    threads = cfg.threads;
+    total_ops;
+    contains_ops;
+    insert_ops;
+    delete_ops;
+    wall;
+    throughput = float_of_int total_ops /. wall;
+    final_size = D.size t;
+    samples;
+  }
+
+let run_avg ?(repeats = 1) (module D : Repro_dict.Dict.DICT)
+    (cfg : Workload.config) =
+  if repeats <= 0 then invalid_arg "Runner.run_avg: repeats must be positive";
+  let runs =
+    List.init repeats (fun i ->
+        run (module D) { cfg with seed = Int64.add cfg.seed (Int64.of_int i) })
+  in
+  let favg f =
+    List.fold_left (fun acc r -> acc +. f r) 0.0 runs
+    /. float_of_int repeats
+  in
+  let iavg f = int_of_float (favg (fun r -> float_of_int (f r))) in
+  {
+    name = D.name;
+    threads = cfg.threads;
+    total_ops = iavg (fun r -> r.total_ops);
+    contains_ops = iavg (fun r -> r.contains_ops);
+    insert_ops = iavg (fun r -> r.insert_ops);
+    delete_ops = iavg (fun r -> r.delete_ops);
+    wall = favg (fun r -> r.wall);
+    throughput = favg (fun r -> r.throughput);
+    final_size = iavg (fun r -> r.final_size);
+    samples = [];
+  }

@@ -1,0 +1,39 @@
+(** Multi-domain throughput measurement, reproducing the paper's
+    methodology: pre-fill to half the key range, run every thread for a
+    fixed wall-clock duration executing randomly chosen operations on
+    randomly chosen keys, report overall throughput; repeat and take the
+    arithmetic average. *)
+
+type result = {
+  name : string; (** dictionary name *)
+  threads : int;
+  total_ops : int;
+  contains_ops : int;
+  insert_ops : int;
+  delete_ops : int;
+  wall : float; (** measured wall-clock seconds *)
+  throughput : float; (** operations per second *)
+  final_size : int;
+  samples : (float * float) list;
+      (** (seconds since start, ops/s within that interval); empty unless
+          [sample_interval] was given — stalls (e.g. long grace periods)
+          appear as dips *)
+}
+
+val run :
+  ?sample_interval:float ->
+  (module Repro_dict.Dict.DICT) ->
+  Workload.config ->
+  result
+(** One timed execution. The dictionary's invariant checker runs after the
+    clock stops; violations raise. With [sample_interval] the aggregate
+    progress counter is sampled on that period and reported in
+    [samples]. *)
+
+val run_avg :
+  ?repeats:int ->
+  (module Repro_dict.Dict.DICT) ->
+  Workload.config ->
+  result
+(** Arithmetic average over [repeats] runs (paper: 5), reseeding each run
+    deterministically from the config seed. Default 1. *)

@@ -1,0 +1,86 @@
+module Rng = Repro_sync.Rng
+
+type op = Contains | Insert | Delete
+
+type mix = { contains_pct : int; insert_pct : int; delete_pct : int }
+
+let mix ~contains ~insert ~delete =
+  if contains < 0 || insert < 0 || delete < 0
+     || contains + insert + delete <> 100
+  then invalid_arg "Workload.mix: percentages must be >= 0 and sum to 100";
+  { contains_pct = contains; insert_pct = insert; delete_pct = delete }
+
+let read_only = mix ~contains:100 ~insert:0 ~delete:0
+let contains_98 = mix ~contains:98 ~insert:1 ~delete:1
+let contains_50 = mix ~contains:50 ~insert:25 ~delete:25
+let update_only = mix ~contains:0 ~insert:50 ~delete:50
+
+let pp_mix ppf m =
+  Format.fprintf ppf "%d%%c/%d%%i/%d%%d" m.contains_pct m.insert_pct
+    m.delete_pct
+
+type role = Uniform of mix | Single_writer of mix
+
+type key_dist = Uniform_keys | Zipf of float
+
+type config = {
+  key_range : int;
+  key_dist : key_dist;
+  role : role;
+  threads : int;
+  duration : float;
+  prefill_fraction : float;
+  seed : int64;
+}
+
+let config ?(key_range = 20_000) ?(key_dist = Uniform_keys)
+    ?(role = Uniform contains_50) ?(threads = 4) ?(duration = 1.0)
+    ?(prefill_fraction = 0.5) ?(seed = 42L) () =
+  if key_range <= 0 then invalid_arg "Workload.config: key_range must be positive";
+  if threads <= 0 then invalid_arg "Workload.config: threads must be positive";
+  if prefill_fraction < 0.0 || prefill_fraction > 1.0 then
+    invalid_arg "Workload.config: prefill_fraction must be in [0,1]";
+  (match key_dist with
+  | Zipf theta when theta <= 0.0 || theta >= 1.0 ->
+      invalid_arg "Workload.config: Zipf theta must be in (0,1)"
+  | Zipf _ | Uniform_keys -> ());
+  { key_range; key_dist; role; threads; duration; prefill_fraction; seed }
+
+let pick rng m =
+  let r = Rng.int rng 100 in
+  if r < m.contains_pct then Contains
+  else if r < m.contains_pct + m.insert_pct then Insert
+  else Delete
+
+(* Zipfian sampling after Gray et al., "Quickly generating billion-record
+   synthetic databases" (SIGMOD 1994): rank 0 is the hottest key. *)
+let key_generator cfg rng =
+  match cfg.key_dist with
+  | Uniform_keys ->
+      let n = cfg.key_range in
+      fun () -> Rng.int rng n
+  | Zipf theta ->
+      let n = cfg.key_range in
+      let zeta =
+        let s = ref 0.0 in
+        for i = 1 to n do
+          s := !s +. (1.0 /. Float.pow (float_of_int i) theta)
+        done;
+        !s
+      in
+      let zeta2 = 1.0 +. (1.0 /. Float.pow 2.0 theta) in
+      let alpha = 1.0 /. (1.0 -. theta) in
+      let eta =
+        (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+        /. (1.0 -. (zeta2 /. zeta))
+      in
+      fun () ->
+        let u = Rng.float rng in
+        let uz = u *. zeta in
+        if uz < 1.0 then 0
+        else if uz < zeta2 then 1
+        else
+          let r =
+            float_of_int n *. Float.pow ((eta *. u) -. eta +. 1.0) alpha
+          in
+          min (n - 1) (int_of_float r)

@@ -1,0 +1,70 @@
+(** Workload descriptions for the paper's evaluation (Section 5): uniform
+    random keys over a range, an operation mix, a thread count, and a timed
+    run over a pre-filled dictionary. *)
+
+type op = Contains | Insert | Delete
+
+type mix = private { contains_pct : int; insert_pct : int; delete_pct : int }
+(** Percentages summing to 100. *)
+
+val mix : contains:int -> insert:int -> delete:int -> mix
+(** @raise Invalid_argument unless the percentages sum to 100. *)
+
+val read_only : mix
+(** 100% contains (Figure 10, left column). *)
+
+val contains_98 : mix
+(** 98% contains, 1% insert, 1% delete (Figure 10, middle column). *)
+
+val contains_50 : mix
+(** 50% contains, 25% insert, 25% delete (Figures 8 and 10, right). *)
+
+val update_only : mix
+(** 50% insert / 50% delete — the single-writer thread of Figure 9. *)
+
+val pp_mix : Format.formatter -> mix -> unit
+
+type role =
+  | Uniform of mix (** every thread draws from the same mix *)
+  | Single_writer of mix
+      (** thread 0 draws from [mix]; all other threads run 100% contains
+          (Figure 9's setup) *)
+
+type key_dist =
+  | Uniform_keys (** the paper's setting: keys uniform in the range *)
+  | Zipf of float
+      (** skewed access with parameter θ ∈ (0, 1): θ → 1 concentrates
+          almost all traffic on a few hot keys (extension; not in the
+          paper) *)
+
+type config = {
+  key_range : int; (** keys are drawn from [0, key_range) *)
+  key_dist : key_dist;
+  role : role;
+  threads : int;
+  duration : float; (** seconds of timed execution *)
+  prefill_fraction : float; (** fraction of the key range inserted before
+                                the clock starts (paper: 0.5) *)
+  seed : int64; (** master seed; per-thread generators are split from it *)
+}
+
+val config :
+  ?key_range:int ->
+  ?key_dist:key_dist ->
+  ?role:role ->
+  ?threads:int ->
+  ?duration:float ->
+  ?prefill_fraction:float ->
+  ?seed:int64 ->
+  unit ->
+  config
+(** Defaults: key range 2·10⁴, uniform keys, uniform 50% contains mix,
+    4 threads, 1s, 0.5 prefill, seed 42. *)
+
+val pick : Repro_sync.Rng.t -> mix -> op
+(** Draw an operation according to the mix. *)
+
+val key_generator : config -> Repro_sync.Rng.t -> unit -> int
+(** Per-thread key sampler for the config's distribution. Zipfian sampling
+    uses Gray et al.'s method with the zeta normalizer computed once at
+    generator creation. *)

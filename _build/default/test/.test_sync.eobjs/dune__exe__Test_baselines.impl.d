@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Atomic Domain Int Int64 List Map Option Random Repro_baselines Repro_rcu Repro_sync

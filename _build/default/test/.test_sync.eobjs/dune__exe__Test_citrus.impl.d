@@ -1,0 +1,1 @@
+test/test_citrus.ml: Alcotest Atomic Domain Gen Int Int64 List Map Printf QCheck QCheck_alcotest Repro_citrus Repro_rcu Repro_sync String

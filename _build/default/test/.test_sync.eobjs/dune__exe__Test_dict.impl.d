@@ -1,0 +1,1 @@
+test/test_dict.ml: Alcotest Atomic Domain Fun Int Int64 List Map Printf QCheck QCheck_alcotest Repro_dict Repro_sync String

@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Atomic Domain Int64 List Repro_citrus Repro_linchecker Repro_sync

@@ -1,0 +1,1 @@
+test/test_linchecker.ml: Alcotest Domain Format Int Int64 List Map Printf QCheck QCheck_alcotest Repro_dict Repro_linchecker Repro_sync String

@@ -1,0 +1,1 @@
+test/test_rcu.ml: Alcotest Atomic Domain List Repro_rcu Repro_sync Unix

@@ -1,0 +1,1 @@
+test/test_rcutorture.ml: Alcotest Array Atomic Domain Int64 List Printf Repro_rcu Repro_sync

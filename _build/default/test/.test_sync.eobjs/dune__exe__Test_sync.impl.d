@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Array Domain List QCheck QCheck_alcotest Repro_sync Unix

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Buffer Float Format List QCheck QCheck_alcotest Repro_dict Repro_sync Repro_workload String
