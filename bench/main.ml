@@ -19,7 +19,19 @@
 module W = Repro_workload.Workload
 module Runner = Repro_workload.Runner
 module Report = Repro_workload.Report
+module Json_report = Repro_workload.Json_report
+module Json = Repro_obs.Json
 module Dict = Repro_dict.Dict
+
+(* JSON collection: when --json FILE is given, sweeps run observed
+   (sampled latency + serialization metrics) and every data point is
+   accumulated here, then written as one schema-versioned report. *)
+let json_requested = ref false
+let collected : Json_report.experiment list ref = ref []
+
+let collect name points =
+  if points <> [] then
+    collected := { Json_report.name; points = List.rev points } :: !collected
 
 type scale = {
   threads : int list;
@@ -51,6 +63,8 @@ let paper_scale =
 
 let sweep ?(out = Format.std_formatter) scale ~title ~csv ~role ~key_range
     dicts =
+  let observe = !json_requested in
+  let jpoints = ref [] in
   let series =
     List.map
       (fun (module D : Dict.DICT) ->
@@ -60,13 +74,18 @@ let sweep ?(out = Format.std_formatter) scale ~title ~csv ~role ~key_range
               let cfg =
                 W.config ~key_range ~role ~threads ~duration:scale.duration ()
               in
-              let r = Runner.run_avg ~repeats:scale.repeats (module D) cfg in
+              let r =
+                Runner.run_avg ~repeats:scale.repeats ~observe (module D) cfg
+              in
+              if observe then
+                jpoints := { Json_report.cfg; result = r } :: !jpoints;
               (threads, r.Runner.throughput))
             scale.threads
         in
         { Report.label = D.name; points })
       dicts
   in
+  collect title !jpoints;
   if csv then Report.print_csv ~out ~title ~threads:scale.threads series
   else Report.print_table ~out ~title ~threads:scale.threads series
 
@@ -281,6 +300,8 @@ let skew scale =
     (List.fold_left max 1 scale.threads)
     scale.small_range;
   let threads = List.fold_left max 1 scale.threads in
+  let observe = !json_requested in
+  let jpoints = ref [] in
   let dists =
     [
       ("uniform", W.Uniform_keys);
@@ -301,11 +322,16 @@ let skew scale =
             W.config ~key_range:scale.small_range ~key_dist:dist ~threads
               ~duration:scale.duration ()
           in
-          let r = Runner.run_avg ~repeats:scale.repeats (module D) cfg in
+          let r =
+            Runner.run_avg ~repeats:scale.repeats ~observe (module D) cfg
+          in
+          if observe then
+            jpoints := { Json_report.cfg; result = r } :: !jpoints;
           Format.printf " %9s" (Report.si r.Runner.throughput))
         dists;
       Format.printf "@.")
-    Dict.paper_set
+    Dict.paper_set;
+  collect "skew: Zipfian key popularity (50% contains)" !jpoints
 
 (* --- RCU flavour comparison (read-side and grace-period costs) --- *)
 
@@ -513,6 +539,8 @@ let contention scale =
     (List.fold_left max 1 scale.threads)
     scale.small_range;
   let threads = List.fold_left max 1 scale.threads in
+  let observe = !json_requested in
+  let jpoints = ref [] in
   Format.printf "%-14s" "updates%";
   List.iter (fun u -> Format.printf " %9d" u) [ 0; 2; 10; 20; 50; 100 ];
   Format.printf "@.";
@@ -530,7 +558,11 @@ let contention scale =
             W.config ~key_range:scale.small_range ~role:(W.Uniform mix)
               ~threads ~duration:scale.duration ()
           in
-          let r = Runner.run_avg ~repeats:scale.repeats (module D) cfg in
+          let r =
+            Runner.run_avg ~repeats:scale.repeats ~observe (module D) cfg
+          in
+          if observe then
+            jpoints := { Json_report.cfg; result = r } :: !jpoints;
           Format.printf " %9s" (Report.si r.Runner.throughput))
         [ 0; 2; 10; 20; 50; 100 ];
       Format.printf "@.")
@@ -539,7 +571,8 @@ let contention scale =
       (module Dict.Citrus_urcu);
       (module Dict.Nm);
       (module Dict.Skiplist);
-    ]
+    ];
+  collect "contention: throughput vs update fraction" !jpoints
 
 (* --- command line --- *)
 
@@ -581,8 +614,52 @@ let scale_term =
 let csv_term =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of tables.")
 
+let json_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write a schema-versioned JSON report to $(docv). Sweep points \
+           then run observed: sampled latency percentiles and \
+           serialization metrics (grace periods, lock contention, \
+           restarts) accompany every throughput number. Schema in \
+           OBSERVABILITY.md.")
+
+let scale_meta scale =
+  [
+    ( "scale",
+      Json.Obj
+        [
+          ("threads", Json.List (List.map (fun t -> Json.Int t) scale.threads));
+          ("duration_s", Json.Float scale.duration);
+          ("repeats", Json.Int scale.repeats);
+          ("small_range", Json.Int scale.small_range);
+          ("large_range", Json.Int scale.large_range);
+        ] );
+  ]
+
+let finish scale json =
+  match json with
+  | None -> ()
+  | Some file -> (
+      let doc = Json_report.report ~meta:(scale_meta scale) (List.rev !collected) in
+      match Json_report.write file doc with
+      | () ->
+          Format.printf "wrote JSON report: %s (%d experiments)@." file
+            (List.length !collected)
+      | exception Sys_error msg ->
+          Format.eprintf "cannot write JSON report: %s@." msg;
+          exit 1)
+
+let wrap f scale csv json =
+  json_requested := json <> None;
+  f scale csv;
+  finish scale json
+
 let cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_term $ csv_term)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (wrap f) $ scale_term $ csv_term $ json_term)
 
 let run_all scale csv =
   fig8 scale csv;
@@ -597,7 +674,7 @@ let run_all scale csv =
 
 let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment (default).")
-    Term.(const run_all $ scale_term $ csv_term)
+    Term.(const (wrap run_all) $ scale_term $ csv_term $ json_term)
 
 let micro_cmd =
   Cmd.v (Cmd.info "micro" ~doc:"Bechamel single-thread latencies.")
@@ -621,12 +698,16 @@ let rcu_cmd =
 let contention_cmd =
   Cmd.v
     (Cmd.info "contention" ~doc:"Throughput vs update fraction sweep.")
-    Term.(const (fun scale _ -> contention scale) $ scale_term $ csv_term)
+    Term.(
+      const (wrap (fun scale _ -> contention scale))
+      $ scale_term $ csv_term $ json_term)
 
 let skew_cmd =
   Cmd.v
     (Cmd.info "skew" ~doc:"Throughput under Zipfian key popularity.")
-    Term.(const (fun scale _ -> skew scale) $ scale_term $ csv_term)
+    Term.(
+      const (wrap (fun scale _ -> skew scale))
+      $ scale_term $ csv_term $ json_term)
 
 let timeline_cmd =
   Cmd.v
@@ -635,7 +716,7 @@ let timeline_cmd =
 
 let main =
   Cmd.group
-    ~default:Term.(const run_all $ scale_term $ csv_term)
+    ~default:Term.(const (wrap run_all) $ scale_term $ csv_term $ json_term)
     (Cmd.info "bench" ~doc:"Reproduce the Citrus paper's evaluation.")
     [
       cmd "fig8" "RCU implementation impact on Citrus (Figure 8)." fig8;

@@ -29,14 +29,21 @@ let resolve name =
         "unknown structure %S; run `citrus_tool list` for the choices\n" name;
       exit 2
 
+(* Contains percentage -> mix, splitting the rest between insert/delete. *)
+let contains_mix contains_pct =
+  if contains_pct < 0 || contains_pct > 100 then begin
+    Printf.eprintf "--contains must be between 0 and 100 (got %d)\n"
+      contains_pct;
+    exit 2
+  end;
+  let updates = 100 - contains_pct in
+  W.mix ~contains:contains_pct
+    ~insert:((updates / 2) + (updates mod 2))
+    ~delete:(updates / 2)
+
 let stress name threads duration key_range contains_pct =
   let (module D) = resolve name in
-  let updates = 100 - contains_pct in
-  let mix =
-    W.mix ~contains:contains_pct
-      ~insert:((updates / 2) + (updates mod 2))
-      ~delete:(updates / 2)
-  in
+  let mix = contains_mix contains_pct in
   let cfg =
     W.config ~key_range ~threads ~duration ~role:(W.Uniform mix) ()
   in
@@ -115,12 +122,7 @@ let soak name trials =
 
 let latency name threads duration keys contains_pct =
   let (module D) = resolve name in
-  let updates = 100 - contains_pct in
-  let mix =
-    W.mix ~contains:contains_pct
-      ~insert:((updates / 2) + (updates mod 2))
-      ~delete:(updates / 2)
-  in
+  let mix = contains_mix contains_pct in
   let cfg =
     W.config ~key_range:keys ~threads ~duration ~role:(W.Uniform mix) ()
   in
@@ -137,6 +139,86 @@ let latency name threads duration keys contains_pct =
       in
       Format.printf "  %-9s %a@." op_name Repro_workload.Latency.pp_summary s)
     per_op
+
+(* Live observability: run a short observed workload and dump the
+   serialization metrics (and optionally the event trace) that explain its
+   throughput. The JSON output uses the same schema as `bench --json`. *)
+let stats name threads duration keys contains_pct trace_events json_file =
+  let (module D) = resolve name in
+  let mix = contains_mix contains_pct in
+  let cfg =
+    W.config ~key_range:keys ~threads ~duration ~role:(W.Uniform mix) ()
+  in
+  if trace_events > 0 then begin
+    Repro_sync.Trace.configure ~capacity:(max 1024 trace_events);
+    Repro_sync.Trace.start ()
+  end;
+  Printf.printf "observing %s: %d threads, %.1fs, keys [0,%d), %s\n%!" D.name
+    threads duration keys
+    (Format.asprintf "%a" W.pp_mix mix);
+  let r = Runner.run ~observe:true (module D) cfg in
+  Repro_sync.Trace.stop ();
+  Report.print_result r;
+  Format.printf "@.serialization metrics (catalogue: OBSERVABILITY.md):@.";
+  List.iter
+    (fun (k, v) ->
+      if Float.is_integer v then Format.printf "  %-24s %12.0f@." k v
+      else Format.printf "  %-24s %12.1f@." k v)
+    r.Runner.metrics;
+  Format.printf "@.per-operation latency (sampled 1 in 16):@.";
+  List.iter
+    (fun (op, h) ->
+      let op_name =
+        match op with
+        | W.Contains -> "contains"
+        | W.Insert -> "insert"
+        | W.Delete -> "delete"
+      in
+      Format.printf "  %-9s %a@." op_name Repro_workload.Latency.pp_summary
+        (Repro_workload.Latency.summarize h))
+    r.Runner.latency;
+  if trace_events > 0 then begin
+    let events = Repro_sync.Trace.dump () in
+    let n = List.length events in
+    let tail = max 0 (n - trace_events) in
+    Format.printf
+      "@.trace: %d events recorded, %d retained, newest %d shown:@."
+      (Repro_sync.Trace.recorded ())
+      n
+      (min n trace_events);
+    let t0 =
+      match events with [] -> 0 | e :: _ -> e.Repro_sync.Trace.t_ns
+    in
+    List.iteri
+      (fun i (e : Repro_sync.Trace.event) ->
+        if i >= tail then
+          Format.printf "  %+12dns d%d %-14s %d@." (e.t_ns - t0) e.domain
+            (Repro_sync.Trace.kind_to_string e.kind)
+            e.arg)
+      events
+  end;
+  match json_file with
+  | None -> ()
+  | Some file ->
+      let meta =
+        if trace_events > 0 then
+          [ ("trace", Repro_obs.Export.trace_json ~limit:trace_events ()) ]
+        else []
+      in
+      let doc =
+        Repro_workload.Json_report.report ~meta
+          [
+            {
+              Repro_workload.Json_report.name = "stats: " ^ D.name;
+              points = [ { Repro_workload.Json_report.cfg; result = r } ];
+            };
+          ]
+      in
+      (match Repro_workload.Json_report.write file doc with
+      | () -> Printf.printf "wrote JSON report: %s\n" file
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write JSON report: %s\n" msg;
+          exit 1)
 
 let balance_demo keys =
   let module T = Repro_citrus.Citrus_int.Epoch in
@@ -236,6 +318,46 @@ let latency_cmd =
     (Cmd.info "latency" ~doc:"Per-operation latency percentiles.")
     Term.(const latency $ name_arg $ threads $ duration $ keys $ contains)
 
+let stats_cmd =
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Worker domains.")
+  in
+  let duration =
+    Arg.(value & opt float 0.5 & info [ "duration" ] ~doc:"Seconds.")
+  in
+  let keys =
+    Arg.(value & opt int 16_384 & info [ "keys" ] ~doc:"Key range size.")
+  in
+  let contains =
+    Arg.(
+      value & opt int 50
+      & info [ "contains" ] ~doc:"Percentage of contains operations.")
+  in
+  let trace =
+    Arg.(
+      value & opt int 0
+      & info [ "trace" ] ~docv:"N"
+          ~doc:
+            "Also record the event trace and print the newest $(docv) \
+             events (0 disables tracing).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the metrics (and trace, with --trace) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a short observed workload and dump live serialization \
+          metrics (grace periods, lock contention, restarts; see \
+          OBSERVABILITY.md).")
+    Term.(
+      const stats $ name_arg $ threads $ duration $ keys $ contains $ trace
+      $ json)
+
 let balance_cmd =
   let keys =
     Arg.(value & opt int 50_000 & info [ "keys" ] ~doc:"Ascending keys to insert.")
@@ -251,6 +373,7 @@ let main =
     [
       list_command;
       stress_cmd;
+      stats_cmd;
       lincheck_cmd;
       balance_cmd;
       latency_cmd;

@@ -1,5 +1,7 @@
 module Spinlock = Repro_sync.Spinlock
 module Stats = Repro_sync.Stats
+module Metrics = Repro_sync.Metrics
+module Trace = Repro_sync.Trace
 
 module type ORDERED = sig
   type t
@@ -147,6 +149,15 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
             node.reclaimed <- true;
             Stats.incr t.reclaimed_nodes id)
 
+  (* Restarts are double-booked: in the tree's own stats group (per-tree
+     diagnostics) and in the process-global metrics/trace (workload-level
+     JSON reports). *)
+  let note_restart t h =
+    Stats.incr t.restarts h.id;
+    if Metrics.enabled () then Stats.incr Metrics.restarts h.id;
+    Trace.record Restart h.id;
+    t.hooks.on_restart ()
+
   let child node dir = Atomic.get node.children.(dir)
 
   (* Physical equality on optional nodes: the paper's prev.child[direction]
@@ -230,8 +241,7 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
         end
         else begin
           Spinlock.release prev.lock;
-          Stats.incr t.restarts h.id;
-          t.hooks.on_restart ();
+          note_restart t h;
           insert h key value
         end
 
@@ -271,8 +281,7 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
         if not (validate prev 0 (Some curr) direction) then begin
           Spinlock.release curr.lock;
           Spinlock.release prev.lock;
-          Stats.incr t.restarts h.id;
-          t.hooks.on_restart ();
+          note_restart t h;
           delete h key
         end
         else if child curr left = None || child curr right = None then begin
@@ -353,8 +362,7 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
             if curr != prev_succ then Spinlock.release prev_succ.lock;
             Spinlock.release curr.lock;
             Spinlock.release prev.lock;
-            Stats.incr t.restarts h.id;
-            t.hooks.on_restart ();
+            note_restart t h;
             delete h key
           end
         end

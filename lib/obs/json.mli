@@ -1,0 +1,45 @@
+(** Minimal JSON values, printing, and parsing.
+
+    The repository cannot assume a JSON package is installed, and its
+    reports are small, so this module implements exactly what the
+    observability layer needs: a value tree, a printer whose output is
+    always valid JSON (NaN/infinite floats become [null]), and a strict
+    recursive-descent parser used by the round-trip tests and trajectory
+    tooling. Integers outside the exactly-representable range and non-UTF-8
+    strings are the caller's responsibility. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** field order is preserved *)
+
+exception Parse_error of string
+(** Raised by {!of_string} with a message and byte offset. *)
+
+val to_string : ?minify:bool -> t -> string
+(** Render as JSON text; pretty-printed with 2-space indentation unless
+    [minify] is set. *)
+
+val to_channel : out_channel -> t -> unit
+(** Pretty-print followed by a newline. *)
+
+val of_string : string -> t
+(** Strict parse of a complete JSON document.
+    @raise Parse_error on malformed input or trailing garbage. *)
+
+(** {2 Accessors} — shallow, [None] on type mismatch. *)
+
+val member : string -> t -> t option
+(** First field with the given name of an [Obj]. *)
+
+val to_list_opt : t -> t list option
+
+val to_float_opt : t -> float option
+(** Accepts both [Float] and [Int] (as JSON readers must). *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

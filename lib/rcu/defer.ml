@@ -14,11 +14,18 @@ module Make (R : Rcu_intf.S) = struct
   let flush t =
     if t.queued > 0 then begin
       let callbacks = List.rev t.queue in
+      let n = List.length callbacks in
       t.queue <- [];
       t.queued <- 0;
       R.synchronize t.rcu;
       List.iter (fun f -> f ()) callbacks;
-      t.executed <- t.executed + List.length callbacks
+      t.executed <- t.executed + n;
+      (if Repro_sync.Metrics.enabled () then begin
+         let s = Repro_sync.Metrics.slot () in
+         Repro_sync.Stats.incr Repro_sync.Metrics.defer_flushes s;
+         Repro_sync.Stats.add Repro_sync.Metrics.defer_callbacks s n
+       end);
+      Repro_sync.Trace.record Defer_flush n
     end
 
   let defer t f =

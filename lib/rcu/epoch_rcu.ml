@@ -1,5 +1,8 @@
 module Registry = Repro_sync.Registry
 module Backoff = Repro_sync.Backoff
+module Stats = Repro_sync.Stats
+module Metrics = Repro_sync.Metrics
+module Trace = Repro_sync.Trace
 
 type slot = int Atomic.t
 (* Encoding: [count lsl 1) lor flag]. Only the owning thread writes its
@@ -42,7 +45,10 @@ let read_lock th =
   if th.nesting = 0 then begin
     let count = Atomic.get th.slot lsr 1 in
     (* One SC store publishes both the new count and the flag. *)
-    Atomic.set th.slot (((count + 1) lsl 1) lor 1)
+    Atomic.set th.slot (((count + 1) lsl 1) lor 1);
+    if Metrics.enabled () then
+      Stats.incr Metrics.rcu_read_sections th.index;
+    Trace.record Read_enter th.index
   end;
   th.nesting <- th.nesting + 1
 
@@ -50,11 +56,16 @@ let read_unlock th =
   if th.nesting <= 0 then
     invalid_arg "Epoch_rcu.read_unlock: not inside a read-side critical section";
   th.nesting <- th.nesting - 1;
-  if th.nesting = 0 then Atomic.set th.slot (Atomic.get th.slot land lnot 1)
+  if th.nesting = 0 then begin
+    Atomic.set th.slot (Atomic.get th.slot land lnot 1);
+    Trace.record Read_exit th.index
+  end
 
 let read_depth th = th.nesting
 
 let synchronize rcu =
+  let t0 = Metrics.now_ns () in
+  Trace.record Sync_start 0;
   (* No lock, no handshake between concurrent synchronizers: each scans the
      slots independently. *)
   Registry.iter
@@ -67,6 +78,10 @@ let synchronize rcu =
         done
       end)
     rcu.slots;
-  ignore (Atomic.fetch_and_add rcu.gps 1)
+  ignore (Atomic.fetch_and_add rcu.gps 1);
+  let dt = Metrics.now_ns () - t0 in
+  if Metrics.enabled () then
+    Stats.Timer.record Metrics.grace_period_ns (Metrics.slot ()) dt;
+  Trace.record Sync_end dt
 
 let grace_periods rcu = Atomic.get rcu.gps

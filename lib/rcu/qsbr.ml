@@ -1,5 +1,8 @@
 module Registry = Repro_sync.Registry
 module Backoff = Repro_sync.Backoff
+module Stats = Repro_sync.Stats
+module Metrics = Repro_sync.Metrics
+module Trace = Repro_sync.Trace
 
 (* Slot encoding: 0 = offline; otherwise a snapshot of the global
    grace-period counter (always odd, so 0 is unambiguous). A thread is
@@ -59,16 +62,26 @@ let quiescent_state th =
    read_unlock announces quiescence and goes offline, so idle registered
    threads never stall writers. Nested sections cost nothing. *)
 let read_lock th =
-  if th.nesting = 0 then online th;
+  if th.nesting = 0 then begin
+    online th;
+    if Metrics.enabled () then
+      Stats.incr Metrics.rcu_read_sections th.index;
+    Trace.record Read_enter th.index
+  end;
   th.nesting <- th.nesting + 1
 
 let read_unlock th =
   if th.nesting <= 0 then
     invalid_arg "Qsbr.read_unlock: not inside a read-side critical section";
   th.nesting <- th.nesting - 1;
-  if th.nesting = 0 then Atomic.set th.slot 0
+  if th.nesting = 0 then begin
+    Atomic.set th.slot 0;
+    Trace.record Read_exit th.index
+  end
 
 let synchronize rcu =
+  let t0 = Metrics.now_ns () in
+  Trace.record Sync_start 0;
   (* Advance the grace period, then wait for each online thread to catch
      up or go offline. Lock-free: concurrent synchronizers just wait for
      (at least) their own period. *)
@@ -85,6 +98,10 @@ let synchronize rcu =
       in
       wait ())
     rcu.slots;
-  ignore (Atomic.fetch_and_add rcu.gps 1)
+  ignore (Atomic.fetch_and_add rcu.gps 1);
+  let dt = Metrics.now_ns () - t0 in
+  if Metrics.enabled () then
+    Stats.Timer.record Metrics.grace_period_ns (Metrics.slot ()) dt;
+  Trace.record Sync_end dt
 
 let grace_periods rcu = Atomic.get rcu.gps

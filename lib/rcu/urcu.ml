@@ -1,6 +1,9 @@
 module Registry = Repro_sync.Registry
 module Backoff = Repro_sync.Backoff
 module Spinlock = Repro_sync.Spinlock
+module Stats = Repro_sync.Stats
+module Metrics = Repro_sync.Metrics
+module Trace = Repro_sync.Trace
 
 (* Per-thread word layout (as in liburcu): low 16 bits = nesting count,
    bit 16 = phase. A thread is a quiescent reader when its nesting bits are
@@ -49,16 +52,21 @@ let unregister th =
 
 let read_lock th =
   let v = Atomic.get th.slot in
-  if v land nest_mask = 0 then
+  if v land nest_mask = 0 then begin
     (* Outermost: adopt the current global phase with nesting 1. *)
-    Atomic.set th.slot (Atomic.get th.rcu.gp_ctr lor 1)
+    Atomic.set th.slot (Atomic.get th.rcu.gp_ctr lor 1);
+    if Metrics.enabled () then
+      Stats.incr Metrics.rcu_read_sections th.index;
+    Trace.record Read_enter th.index
+  end
   else Atomic.set th.slot (v + 1)
 
 let read_unlock th =
   let v = Atomic.get th.slot in
   if v land nest_mask = 0 then
     invalid_arg "Urcu.read_unlock: not inside a read-side critical section";
-  Atomic.set th.slot (v - 1)
+  Atomic.set th.slot (v - 1);
+  if (v - 1) land nest_mask = 0 then Trace.record Read_exit th.index
 
 (* A reader blocks the current phase if it is inside a critical section it
    entered before the latest phase flip. *)
@@ -75,6 +83,12 @@ let wait_for_readers rcu =
     rcu.slots
 
 let synchronize rcu =
+  (* The grace-period timer starts before the gp_lock acquisition: queueing
+     on that global lock is precisely the updater serialization Figure 8
+     measures, so it counts as grace-period time. The lock's own wait also
+     lands in lock_wait_ns via the instrumented spinlock. *)
+  let t0 = Metrics.now_ns () in
+  Trace.record Sync_start 0;
   Spinlock.acquire rcu.gp_lock;
   (* Two phase flips, as in liburcu: a single flip cannot distinguish a
      reader that started just before the flip from one that started just
@@ -84,6 +98,10 @@ let synchronize rcu =
   Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
   wait_for_readers rcu;
   ignore (Atomic.fetch_and_add rcu.gps 1);
-  Spinlock.release rcu.gp_lock
+  Spinlock.release rcu.gp_lock;
+  let dt = Metrics.now_ns () - t0 in
+  if Metrics.enabled () then
+    Stats.Timer.record Metrics.grace_period_ns (Metrics.slot ()) dt;
+  Trace.record Sync_end dt
 
 let grace_periods rcu = Atomic.get rcu.gps

@@ -1,0 +1,58 @@
+(* Process-global observability registry. The counters live here, at the
+   bottom of the dependency stack, so the instrumented subsystems
+   (spinlocks, RCU flavours, Citrus, deferred reclamation) can record into
+   them without any plumbing — and so one snapshot sees every subsystem at
+   once, which is what the benchmark JSON report needs.
+
+   Everything is striped per domain (the stripe index is the recording
+   domain's id), so enabled-mode recording is one uncontended
+   fetch_and_add. The [enabled] flag is consulted before every record; the
+   disabled cost is an atomic load and a branch. *)
+
+let enabled_flag = Atomic.make true
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let slot () = (Domain.self () :> int)
+
+let now_ns = Trace.now_ns
+
+(* -- well-known metrics, one per serialization mechanism -- *)
+
+let rcu_read_sections = Stats.create "rcu_read_sections"
+let grace_period_ns = Stats.Timer.create "grace_period_ns"
+let lock_acquires = Stats.create "lock_acquires"
+let lock_contended = Stats.create "lock_contended"
+let lock_wait_ns = Stats.Timer.create "lock_wait_ns"
+let restarts = Stats.create "restarts"
+let defer_flushes = Stats.create "defer_flushes"
+let defer_callbacks = Stats.create "defer_callbacks"
+
+let reset () =
+  Stats.reset rcu_read_sections;
+  Stats.Timer.reset grace_period_ns;
+  Stats.reset lock_acquires;
+  Stats.reset lock_contended;
+  Stats.Timer.reset lock_wait_ns;
+  Stats.reset restarts;
+  Stats.reset defer_flushes;
+  Stats.reset defer_callbacks
+
+let snapshot () =
+  [
+    ("rcu_read_sections", float_of_int (Stats.read rcu_read_sections));
+    ("grace_periods", float_of_int (Stats.Timer.count grace_period_ns));
+    ("grace_period_mean_ns", Stats.Timer.mean_ns grace_period_ns);
+    ( "grace_period_total_ns",
+      float_of_int (Stats.Timer.total_ns grace_period_ns) );
+    ("grace_period_max_ns", float_of_int (Stats.Timer.max_ns grace_period_ns));
+    ("lock_acquires", float_of_int (Stats.read lock_acquires));
+    ("lock_contended", float_of_int (Stats.read lock_contended));
+    ("lock_wait_mean_ns", Stats.Timer.mean_ns lock_wait_ns);
+    ("lock_wait_total_ns", float_of_int (Stats.Timer.total_ns lock_wait_ns));
+    ("lock_wait_max_ns", float_of_int (Stats.Timer.max_ns lock_wait_ns));
+    ("restarts", float_of_int (Stats.read restarts));
+    ("defer_flushes", float_of_int (Stats.read defer_flushes));
+    ("defer_callbacks", float_of_int (Stats.read defer_callbacks));
+  ]

@@ -1,0 +1,66 @@
+(** Process-global serialization metrics.
+
+    One registry of striped counters and duration timers, shared by every
+    subsystem that serializes work: the RCU flavours record read sections
+    and grace-period durations, the locks record acquisitions / contention /
+    wait times, Citrus records traversal restarts, deferred reclamation
+    records flushes. Living at the bottom of the dependency stack, the
+    registry needs no plumbing and one {!snapshot} captures every
+    subsystem at once — the substrate of the benchmark JSON reports.
+
+    Recording is gated on a global {!enabled} flag (default on; the
+    disabled cost is one atomic load and a branch) and striped by domain
+    id, so the enabled cost is one uncontended [fetch_and_add] per event.
+    Counter reads are racy but monotone. See OBSERVABILITY.md for the
+    metric catalogue and measured overhead. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Turn all metric recording on or off (default on). *)
+
+val slot : unit -> int
+(** Stripe index for the calling domain (its domain id). *)
+
+val now_ns : unit -> int
+(** Monotonic nanosecond clock (shared with {!Trace}). *)
+
+(** {2 Well-known metrics}
+
+    Exposed so instrumented subsystems can record and tests can read
+    individual metrics; most consumers want {!snapshot}. *)
+
+val rcu_read_sections : Stats.t
+(** Outermost RCU read-side critical sections entered. *)
+
+val grace_period_ns : Stats.Timer.t
+(** One sample per completed [synchronize] call, valued at its duration —
+    the count is the number of grace periods paid, the mean their cost. *)
+
+val lock_acquires : Stats.t
+(** Successful lock acquisitions (spinlock + ticket lock). *)
+
+val lock_contended : Stats.t
+(** Acquisitions that found the lock held and had to spin. *)
+
+val lock_wait_ns : Stats.Timer.t
+(** One sample per contended acquisition, valued at the spin time. *)
+
+val restarts : Stats.t
+(** Optimistic traversals restarted after failed validation (Citrus). *)
+
+val defer_flushes : Stats.t
+(** Deferred-free batches executed (each pays one grace period). *)
+
+val defer_callbacks : Stats.t
+(** Individual deferred callbacks run. *)
+
+(** {2 Snapshot} *)
+
+val snapshot : unit -> (string * float) list
+(** Current value of every metric under its catalogue name (see
+    OBSERVABILITY.md): raw counts plus derived [\_mean_ns] / [\_total_ns] /
+    [\_max_ns] values for the timers. *)
+
+val reset : unit -> unit
+(** Zero every metric (typically at the start of a measured interval). *)

@@ -5,11 +5,31 @@ let create () = Atomic.make false
 let try_acquire t = (not (Atomic.get t)) && Atomic.compare_and_set t false true
 
 let acquire t =
-  if not (try_acquire t) then begin
+  if try_acquire t then begin
+    if Metrics.enabled () then
+      Stats.incr Metrics.lock_acquires (Metrics.slot ());
+    Trace.record Lock_acquire 0
+  end
+  else begin
+    (* Contended path: time the spin so lock_wait_ns captures exactly the
+       serialization the paper attributes to coarse locking. The clock
+       reads stay out of the uncontended path. *)
+    let measure = Metrics.enabled () || Trace.enabled () in
+    let t0 = if measure then Metrics.now_ns () else 0 in
     let b = Backoff.create () in
     while not (try_acquire t) do
       Backoff.once b
-    done
+    done;
+    if measure then begin
+      let dt = Metrics.now_ns () - t0 in
+      if Metrics.enabled () then begin
+        let s = Metrics.slot () in
+        Stats.incr Metrics.lock_acquires s;
+        Stats.incr Metrics.lock_contended s;
+        Stats.Timer.record Metrics.lock_wait_ns s dt
+      end;
+      Trace.record Lock_contended dt
+    end
   end
 
 let release t =

@@ -29,3 +29,66 @@ let counter g ?stripes name =
   c
 
 let dump g = List.rev_map (fun c -> (c.name, read c)) !g
+
+module Timer = struct
+  type cell = {
+    count : int Atomic.t;
+    sum_ns : int Atomic.t;
+    max_ns : int Atomic.t;
+  }
+
+  type nonrec t = {
+    name : string;
+    cells : cell array;
+  }
+
+  let create ?(stripes = 64) name =
+    if stripes <= 0 then
+      invalid_arg "Stats.Timer.create: stripes must be positive";
+    {
+      name;
+      cells =
+        Array.init stripes (fun _ ->
+            {
+              count = Atomic.make 0;
+              sum_ns = Atomic.make 0;
+              max_ns = Atomic.make 0;
+            });
+    }
+
+  let name t = t.name
+
+  (* Lock-free max: losing the CAS means another thread published a value;
+     re-check against it and retry only while ours is still larger. *)
+  let rec bump_max cell v =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then bump_max cell v
+
+  let record t stripe ns =
+    let ns = max 0 ns in
+    let cell = t.cells.(stripe mod Array.length t.cells) in
+    ignore (Atomic.fetch_and_add cell.count 1);
+    ignore (Atomic.fetch_and_add cell.sum_ns ns);
+    bump_max cell.max_ns ns
+
+  let fold f t =
+    Array.fold_left (fun acc c -> f acc c) 0 t.cells
+
+  let count t = fold (fun acc c -> acc + Atomic.get c.count) t
+  let total_ns t = fold (fun acc c -> acc + Atomic.get c.sum_ns) t
+
+  let max_ns t =
+    Array.fold_left (fun acc c -> max acc (Atomic.get c.max_ns)) 0 t.cells
+
+  let mean_ns t =
+    let n = count t in
+    if n = 0 then 0.0 else float_of_int (total_ns t) /. float_of_int n
+
+  let reset t =
+    Array.iter
+      (fun c ->
+        Atomic.set c.count 0;
+        Atomic.set c.sum_ns 0;
+        Atomic.set c.max_ns 0)
+      t.cells
+end

@@ -34,3 +34,36 @@ val counter : group -> ?stripes:int -> string -> t
 
 val dump : group -> (string * int) list
 (** All counters of the group with their current values, in creation order. *)
+
+(** Striped duration accumulators, the timing companion to the counters:
+    each stripe keeps a (count, sum, max) triple of nanosecond samples so
+    recording a duration never contends across threads. Used for
+    grace-period lengths and lock wait times (see {!Metrics}). *)
+module Timer : sig
+  type t
+
+  val create : ?stripes:int -> string -> t
+  (** [create name] makes a named timer with [stripes] cells (default 64). *)
+
+  val name : t -> string
+
+  val record : t -> int -> int -> unit
+  (** [record t stripe ns] adds one duration sample of [ns] nanoseconds
+      ([stripe] is reduced modulo the stripe count; negative samples count
+      as 0). Lock-free and wait-free apart from a bounded max-update CAS
+      retry. *)
+
+  val count : t -> int
+  (** Total number of samples across all stripes (racy but monotone). *)
+
+  val total_ns : t -> int
+  (** Sum of all samples in nanoseconds. *)
+
+  val mean_ns : t -> float
+  (** [total_ns / count]; 0 when empty. *)
+
+  val max_ns : t -> int
+  (** Largest single sample seen since the last [reset]. *)
+
+  val reset : t -> unit
+end

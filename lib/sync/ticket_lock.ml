@@ -8,11 +8,24 @@ let create () = { next = Atomic.make 0; serving = Atomic.make 0 }
 let acquire t =
   let ticket = Atomic.fetch_and_add t.next 1 in
   if Atomic.get t.serving <> ticket then begin
+    let measure = Metrics.enabled () || Trace.enabled () in
+    let t0 = if measure then Metrics.now_ns () else 0 in
     let b = Backoff.create () in
     while Atomic.get t.serving <> ticket do
       Backoff.once b
-    done
-  end
+    done;
+    if measure then begin
+      let dt = Metrics.now_ns () - t0 in
+      if Metrics.enabled () then begin
+        let s = Metrics.slot () in
+        Stats.incr Metrics.lock_contended s;
+        Stats.Timer.record Metrics.lock_wait_ns s dt
+      end;
+      Trace.record Lock_contended dt
+    end
+  end;
+  if Metrics.enabled () then Stats.incr Metrics.lock_acquires (Metrics.slot ());
+  Trace.record Lock_acquire 0
 
 let try_acquire t =
   let serving = Atomic.get t.serving in

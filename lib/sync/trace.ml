@@ -1,0 +1,142 @@
+(* A global, fixed-capacity event trace. Recording must be safe on the
+   hottest paths in the repository (RCU read sections, spinlock slow paths),
+   so the design is:
+
+   - one power-of-two ring shared by all domains, claimed by a single
+     [fetch_and_add] on the cursor — never blocks, never retries;
+   - event fields live in parallel int arrays (no per-event record
+     allocation; the only allocation per event is the boxed int64 returned
+     by the monotonic clock, which is bounded and minor);
+   - the ring silently overwrites the oldest events once full — total
+     memory is fixed at configuration time;
+   - an off-by-default enabled flag checked first, so the disabled cost is
+     one atomic load and a branch.
+
+   Field reads in [dump] race with writers: a slot can hold fields from two
+   different events while a writer is mid-store. This is accepted (the
+   trace is diagnostic, not a correctness log) and disappears when dumping
+   after the traced workload quiesces, which is how every caller in the
+   repo uses it. *)
+
+type kind =
+  | Read_enter
+  | Read_exit
+  | Sync_start
+  | Sync_end
+  | Lock_acquire
+  | Lock_contended
+  | Restart
+  | Defer_flush
+
+let kind_to_string = function
+  | Read_enter -> "read_enter"
+  | Read_exit -> "read_exit"
+  | Sync_start -> "sync_start"
+  | Sync_end -> "sync_end"
+  | Lock_acquire -> "lock_acquire"
+  | Lock_contended -> "lock_contended"
+  | Restart -> "restart"
+  | Defer_flush -> "defer_flush"
+
+let kind_index = function
+  | Read_enter -> 0
+  | Read_exit -> 1
+  | Sync_start -> 2
+  | Sync_end -> 3
+  | Lock_acquire -> 4
+  | Lock_contended -> 5
+  | Restart -> 6
+  | Defer_flush -> 7
+
+let kind_of_index = function
+  | 0 -> Read_enter
+  | 1 -> Read_exit
+  | 2 -> Sync_start
+  | 3 -> Sync_end
+  | 4 -> Lock_acquire
+  | 5 -> Lock_contended
+  | 6 -> Restart
+  | _ -> Defer_flush
+
+type event = {
+  t_ns : int;  (* monotonic timestamp *)
+  domain : int;
+  kind : kind;
+  arg : int;
+}
+
+type ring = {
+  mask : int;
+  cursor : int Atomic.t; (* total events ever claimed; slot = cursor land mask *)
+  times : int array;
+  domains : int array;
+  kinds : int array;
+  args : int array;
+}
+
+let make_ring capacity =
+  (* Round up to a power of two so the slot index is a mask, not a mod. *)
+  let cap =
+    let rec up c = if c >= capacity then c else up (c * 2) in
+    up 1
+  in
+  {
+    mask = cap - 1;
+    cursor = Atomic.make 0;
+    times = Array.make cap 0;
+    domains = Array.make cap 0;
+    kinds = Array.make cap 0;
+    args = Array.make cap 0;
+  }
+
+let default_capacity = 1 lsl 16
+
+let ring = ref (make_ring default_capacity)
+let on = Atomic.make false
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let enabled () = Atomic.get on
+
+let start () = Atomic.set on true
+let stop () = Atomic.set on false
+
+let configure ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.configure: capacity must be positive";
+  ring := make_ring capacity
+
+let clear () = Atomic.set !ring.cursor 0
+
+let capacity () = !ring.mask + 1
+
+let recorded () = Atomic.get !ring.cursor
+
+let record kind arg =
+  if Atomic.get on then begin
+    let r = !ring in
+    let i = Atomic.fetch_and_add r.cursor 1 land r.mask in
+    r.times.(i) <- now_ns ();
+    r.domains.(i) <- (Domain.self () :> int);
+    r.kinds.(i) <- kind_index kind;
+    r.args.(i) <- arg
+  end
+
+let length () =
+  let r = !ring in
+  min (Atomic.get r.cursor) (r.mask + 1)
+
+let dump () =
+  let r = !ring in
+  let total = Atomic.get r.cursor in
+  let n = min total (r.mask + 1) in
+  (* Oldest retained event first: when the ring has wrapped, that is the
+     slot the cursor will claim next. *)
+  let first = if total <= r.mask + 1 then 0 else total - (r.mask + 1) in
+  List.init n (fun j ->
+      let i = (first + j) land r.mask in
+      {
+        t_ns = r.times.(i);
+        domain = r.domains.(i);
+        kind = kind_of_index r.kinds.(i);
+        arg = r.args.(i);
+      })

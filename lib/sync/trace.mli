@@ -1,0 +1,66 @@
+(** Low-overhead ring-buffer event trace for the synchronization layer.
+
+    One global ring shared by every domain records the serialization events
+    that explain throughput: RCU read-section boundaries, grace-period
+    start/end, lock contention, traversal restarts, deferred-free flushes.
+    Recording claims a slot with a single [fetch_and_add] — it never blocks,
+    never loops, and allocates only a bounded amount per event — so it is
+    safe to call from the hottest read paths. When the ring is full the
+    oldest events are overwritten; memory use is fixed at configuration
+    time.
+
+    Tracing is {e off} by default (the disabled cost is one atomic load and
+    a branch); call {!start} to begin recording. [dump] is intended to run
+    after the traced workload has quiesced — concurrent dumping is safe but
+    may observe torn events (see the design notes in OBSERVABILITY.md). *)
+
+type kind =
+  | Read_enter  (** outermost RCU [read_lock]; arg = reader slot index *)
+  | Read_exit  (** outermost RCU [read_unlock]; arg = reader slot index *)
+  | Sync_start  (** [synchronize] invoked; arg = 0 *)
+  | Sync_end  (** [synchronize] returned; arg = grace-period duration (ns) *)
+  | Lock_acquire  (** uncontended lock acquisition; arg = 0 *)
+  | Lock_contended  (** lock acquired after spinning; arg = wait (ns) *)
+  | Restart  (** optimistic traversal restarted after failed validation *)
+  | Defer_flush  (** deferred-free batch executed; arg = callbacks run *)
+
+val kind_to_string : kind -> string
+
+type event = {
+  t_ns : int;  (** monotonic timestamp, nanoseconds *)
+  domain : int;  (** recording domain's id *)
+  kind : kind;
+  arg : int;  (** kind-specific payload, see {!kind} *)
+}
+
+val enabled : unit -> bool
+val start : unit -> unit
+val stop : unit -> unit
+
+val configure : capacity:int -> unit
+(** Replace the ring with a fresh one of at least [capacity] slots (rounded
+    up to a power of two; default 65 536). Not safe concurrently with
+    recorders — configure before starting the workload. *)
+
+val clear : unit -> unit
+(** Drop all retained events (capacity unchanged). *)
+
+val record : kind -> int -> unit
+(** [record kind arg] appends one event if tracing is enabled; otherwise a
+    single flag check. Wait-free. *)
+
+val capacity : unit -> int
+
+val recorded : unit -> int
+(** Total events ever recorded since the last [clear]/[configure] —
+    exceeds [length] once the ring has wrapped (the difference is the
+    number of overwritten events). *)
+
+val length : unit -> int
+(** Number of events currently retained (≤ capacity). *)
+
+val dump : unit -> event list
+(** Retained events, oldest first. Run after the workload quiesces. *)
+
+val now_ns : unit -> int
+(** The monotonic clock used for event timestamps. *)

@@ -1,5 +1,6 @@
 module Rng = Repro_sync.Rng
 module Barrier = Repro_sync.Barrier
+module Metrics = Repro_sync.Metrics
 
 type result = {
   name : string;
@@ -12,6 +13,8 @@ type result = {
   throughput : float;
   final_size : int;
   samples : (float * float) list;
+  latency : (Workload.op * Latency.histogram) list;
+  metrics : (string * float) list;
 }
 
 type thread_counts = {
@@ -20,8 +23,14 @@ type thread_counts = {
   mutable n_delete : int;
 }
 
-let run ?sample_interval (module D : Repro_dict.Dict.DICT)
-    (cfg : Workload.config) =
+(* Observed runs time 1 op in 2^latency_sample_shift: enough samples for
+   p99.9 on any run longer than ~0.1s, cheap enough (two clock reads per
+   sampled op) to keep instrumentation overhead well under the 10% budget. *)
+let latency_sample_shift = 4
+let latency_sample_mask = (1 lsl latency_sample_shift) - 1
+
+let run ?sample_interval ?(observe = false)
+    (module D : Repro_dict.Dict.DICT) (cfg : Workload.config) =
   let t = D.create ~max_threads:(cfg.threads + 2) () in
   let master = Rng.create cfg.seed in
   (* Pre-fill to [prefill_fraction] of the key range (paper: half). *)
@@ -67,21 +76,78 @@ let run ?sample_interval (module D : Repro_dict.Dict.DICT)
     loop ();
     D.unregister handle
   in
+  (* The observed variant of the same loop; kept separate so unobserved
+     runs execute exactly the pre-instrumentation hot path. *)
+  let worker_observed mix seed start stop counts (hc, hi, hd) =
+    let handle = D.register t in
+    let rng = Rng.create seed in
+    let next_key = Workload.key_generator cfg rng in
+    Barrier.wait start;
+    let ops = ref 0 in
+    let rec loop () =
+      if not (Atomic.get stop) then begin
+        for _ = 1 to 64 do
+          let k = next_key () in
+          let op = Workload.pick rng mix in
+          let sampled = !ops land latency_sample_mask = 0 in
+          incr ops;
+          if sampled then begin
+            let t0 = Monotonic_clock.now () in
+            (match op with
+            | Workload.Contains -> ignore (D.contains handle k)
+            | Workload.Insert -> ignore (D.insert handle k k)
+            | Workload.Delete -> ignore (D.delete handle k));
+            let dt = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
+            match op with
+            | Workload.Contains -> Latency.record hc dt
+            | Workload.Insert -> Latency.record hi dt
+            | Workload.Delete -> Latency.record hd dt
+          end
+          else begin
+            match op with
+            | Workload.Contains -> ignore (D.contains handle k)
+            | Workload.Insert -> ignore (D.insert handle k k)
+            | Workload.Delete -> ignore (D.delete handle k)
+          end;
+          (match op with
+          | Workload.Contains -> counts.n_contains <- counts.n_contains + 1
+          | Workload.Insert -> counts.n_insert <- counts.n_insert + 1
+          | Workload.Delete -> counts.n_delete <- counts.n_delete + 1)
+        done;
+        ignore (Atomic.fetch_and_add progress 64);
+        loop ()
+      end
+    in
+    loop ();
+    D.unregister handle
+  in
   let start = Barrier.create (cfg.threads + 1) in
   let stop = Atomic.make false in
   let counts =
     Array.init cfg.threads (fun _ ->
         { n_contains = 0; n_insert = 0; n_delete = 0 })
   in
+  let histograms =
+    Array.init cfg.threads (fun _ ->
+        (Latency.histogram (), Latency.histogram (), Latency.histogram ()))
+  in
   let mix_for i =
     match cfg.role with
     | Workload.Uniform m -> m
     | Workload.Single_writer m -> if i = 0 then m else Workload.read_only
   in
+  (* The global metrics reflect this run only: zero them after the prefill,
+     just before the workers start. Runs are sequential per process, so no
+     other workload writes into the registry meanwhile. *)
+  if observe then Metrics.reset ();
   let domains =
     List.init cfg.threads (fun i ->
         let seed = Rng.next64 master in
-        Domain.spawn (fun () -> worker (mix_for i) seed start stop counts.(i)))
+        Domain.spawn (fun () ->
+            if observe then
+              worker_observed (mix_for i) seed start stop counts.(i)
+                histograms.(i)
+            else worker (mix_for i) seed start stop counts.(i)))
   in
   Barrier.wait start;
   let t0 = Unix.gettimeofday () in
@@ -109,12 +175,28 @@ let run ?sample_interval (module D : Repro_dict.Dict.DICT)
   Atomic.set stop true;
   List.iter Domain.join domains;
   let wall = Unix.gettimeofday () -. t0 in
+  (* Snapshot before the invariant check so checker traversals do not
+     pollute the run's metrics. *)
+  let metrics = if observe then Metrics.snapshot () else [] in
   D.check t;
   let sum f = Array.fold_left (fun acc c -> acc + f c) 0 counts in
   let contains_ops = sum (fun c -> c.n_contains) in
   let insert_ops = sum (fun c -> c.n_insert) in
   let delete_ops = sum (fun c -> c.n_delete) in
   let total_ops = contains_ops + insert_ops + delete_ops in
+  let latency =
+    if not observe then []
+    else begin
+      let all = Array.to_list histograms in
+      let pick3 f = Latency.merge (List.map f all) in
+      [
+        (Workload.Contains, pick3 (fun (c, _, _) -> c));
+        (Workload.Insert, pick3 (fun (_, i, _) -> i));
+        (Workload.Delete, pick3 (fun (_, _, d) -> d));
+      ]
+      |> List.filter (fun (_, h) -> Latency.count h > 0)
+    end
+  in
   {
     name = D.name;
     threads = cfg.threads;
@@ -126,20 +208,50 @@ let run ?sample_interval (module D : Repro_dict.Dict.DICT)
     throughput = float_of_int total_ops /. wall;
     final_size = D.size t;
     samples;
+    latency;
+    metrics;
   }
 
-let run_avg ?(repeats = 1) (module D : Repro_dict.Dict.DICT)
+let run_avg ?(repeats = 1) ?observe (module D : Repro_dict.Dict.DICT)
     (cfg : Workload.config) =
   if repeats <= 0 then invalid_arg "Runner.run_avg: repeats must be positive";
   let runs =
     List.init repeats (fun i ->
-        run (module D) { cfg with seed = Int64.add cfg.seed (Int64.of_int i) })
+        run ?observe
+          (module D)
+          { cfg with seed = Int64.add cfg.seed (Int64.of_int i) })
   in
   let favg f =
     List.fold_left (fun acc r -> acc +. f r) 0.0 runs
     /. float_of_int repeats
   in
   let iavg f = int_of_float (favg (fun r -> float_of_int (f r))) in
+  (* Latency histograms merge exactly; metrics average per key so counter
+     semantics ("per run of [duration] seconds") survive the repeat. *)
+  let latency =
+    List.filter_map
+      (fun op ->
+        let hs =
+          List.filter_map (fun r -> List.assoc_opt op r.latency) runs
+        in
+        if hs = [] then None else Some (op, Latency.merge hs))
+      [ Workload.Contains; Workload.Insert; Workload.Delete ]
+  in
+  let metrics =
+    match runs with
+    | [] -> []
+    | first :: _ ->
+        List.map
+          (fun (key, _) ->
+            let mean =
+              favg (fun r ->
+                  match List.assoc_opt key r.metrics with
+                  | Some v -> v
+                  | None -> 0.0)
+            in
+            (key, mean))
+          first.metrics
+  in
   {
     name = D.name;
     threads = cfg.threads;
@@ -151,4 +263,6 @@ let run_avg ?(repeats = 1) (module D : Repro_dict.Dict.DICT)
     throughput = favg (fun r -> r.throughput);
     final_size = iavg (fun r -> r.final_size);
     samples = [];
+    latency;
+    metrics;
   }

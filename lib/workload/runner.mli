@@ -2,38 +2,57 @@
     methodology: pre-fill to half the key range, run every thread for a
     fixed wall-clock duration executing randomly chosen operations on
     randomly chosen keys, report overall throughput; repeat and take the
-    arithmetic average. *)
+    arithmetic average.
+
+    With [~observe:true] a run additionally captures the serialization
+    metrics that explain its throughput: per-operation latency histograms
+    (1 op in 16 timed) and a {!Repro_sync.Metrics} snapshot covering the
+    measured interval — grace periods paid and their durations, lock
+    contention, traversal restarts. See OBSERVABILITY.md. *)
 
 type result = {
-  name : string; (** dictionary name *)
+  name : string;  (** dictionary name *)
   threads : int;
   total_ops : int;
   contains_ops : int;
   insert_ops : int;
   delete_ops : int;
-  wall : float; (** measured wall-clock seconds *)
-  throughput : float; (** operations per second *)
+  wall : float;  (** measured wall-clock seconds *)
+  throughput : float;  (** operations per second *)
   final_size : int;
   samples : (float * float) list;
       (** (seconds since start, ops/s within that interval); empty unless
           [sample_interval] was given — stalls (e.g. long grace periods)
           appear as dips *)
+  latency : (Workload.op * Latency.histogram) list;
+      (** sampled per-operation latency; empty unless [observe] was set,
+          and omits operation types that never ran *)
+  metrics : (string * float) list;
+      (** global serialization-metrics snapshot for the measured interval
+          (catalogue in OBSERVABILITY.md); empty unless [observe] was set *)
 }
 
 val run :
   ?sample_interval:float ->
+  ?observe:bool ->
   (module Repro_dict.Dict.DICT) ->
   Workload.config ->
   result
 (** One timed execution. The dictionary's invariant checker runs after the
     clock stops; violations raise. With [sample_interval] the aggregate
-    progress counter is sampled on that period and reported in
-    [samples]. *)
+    progress counter is sampled on that period and reported in [samples].
+    With [observe] (default false) the run resets the global
+    {!Repro_sync.Metrics} after the prefill, samples operation latency,
+    and reports both in the result — at a measured overhead within the
+    10% documented in OBSERVABILITY.md. *)
 
 val run_avg :
   ?repeats:int ->
+  ?observe:bool ->
   (module Repro_dict.Dict.DICT) ->
   Workload.config ->
   result
 (** Arithmetic average over [repeats] runs (paper: 5), reseeding each run
-    deterministically from the config seed. Default 1. *)
+    deterministically from the config seed. Default 1. Latency histograms
+    are merged across the repeats; metric values are averaged per key, so
+    they keep their per-run meaning. *)
