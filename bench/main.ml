@@ -732,4 +732,14 @@ let main =
       all_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* [Runner.run] raises [Registry.Full] on the calling thread after all
+     worker domains have been joined, so this catch leaves no stragglers:
+     report the operator error in one line and exit 2 like other usage
+     errors. *)
+  try exit (Cmd.eval main)
+  with Repro_sync.Registry.Full ->
+    prerr_endline
+      "error: RCU thread registry full — the requested thread count exceeds \
+       the structure's registered-thread capacity; reduce --threads";
+    exit 2

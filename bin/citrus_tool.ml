@@ -14,6 +14,20 @@ module Report = Repro_workload.Report
 module Dict = Repro_dict.Dict
 module Checker = Repro_linchecker.Checker
 module Lin_harness = Repro_linchecker.Lin_harness
+module Fault = Repro_fault.Fault
+module Torture = Repro_rcu.Torture
+
+(* A full thread registry is an operator error (too many --threads for the
+   structure's slot capacity), not a crash: report it in one line and exit
+   2 like the other usage errors. *)
+let registry_guard threads f =
+  try f ()
+  with Repro_sync.Registry.Full ->
+    Printf.eprintf
+      "error: RCU thread registry full — %d worker domains exceed the \
+       structure's registered-thread capacity; reduce --threads\n"
+      threads;
+    exit 2
 
 let list_cmd () =
   print_endline "available structures:";
@@ -50,7 +64,7 @@ let stress name threads duration key_range contains_pct =
   Printf.printf "stressing %s: %d threads, %.1fs, keys [0,%d), %s\n%!" D.name
     threads duration key_range
     (Format.asprintf "%a" W.pp_mix mix);
-  let r = Runner.run (module D) cfg in
+  let r = registry_guard threads (fun () -> Runner.run (module D) cfg) in
   Report.print_result r;
   print_endline "invariants: OK"
 
@@ -128,7 +142,10 @@ let latency name threads duration keys contains_pct =
   in
   Printf.printf "latency of %s: %d threads, %.1fs, keys [0,%d)\n%!" D.name
     threads duration keys;
-  let per_op = Repro_workload.Latency.measure (module D) cfg in
+  let per_op =
+    registry_guard threads (fun () ->
+        Repro_workload.Latency.measure (module D) cfg)
+  in
   List.iter
     (fun (op, s) ->
       let op_name =
@@ -156,7 +173,9 @@ let stats name threads duration keys contains_pct trace_events json_file =
   Printf.printf "observing %s: %d threads, %.1fs, keys [0,%d), %s\n%!" D.name
     threads duration keys
     (Format.asprintf "%a" W.pp_mix mix);
-  let r = Runner.run ~observe:true (module D) cfg in
+  let r =
+    registry_guard threads (fun () -> Runner.run ~observe:true (module D) cfg)
+  in
   Repro_sync.Trace.stop ();
   Report.print_result r;
   Format.printf "@.serialization metrics (catalogue: OBSERVABILITY.md):@.";
@@ -219,6 +238,78 @@ let stats name threads duration keys contains_pct trace_events json_file =
       | exception Sys_error msg ->
           Printf.eprintf "cannot write JSON report: %s\n" msg;
           exit 1)
+
+(* Fault-driven rcutorture over the library harness (ROBUSTNESS.md). Runs
+   every RCU flavour unless one is named; non-zero torture errors exit 1,
+   usage errors (unknown flavour / fault point, bad spec) exit 2. *)
+let torture flavour seed fault_specs stall_ms stall_mode readers writers
+    updates use_defer park_ms verbose =
+  let faults =
+    List.map
+      (fun spec ->
+        match Fault.parse_spec spec with
+        | Ok parsed -> parsed
+        | Error msg ->
+            Printf.eprintf "bad --fault %S: %s\n" spec msg;
+            exit 2)
+      fault_specs
+  in
+  let known_points () =
+    String.concat ", " (List.map Fault.name (Fault.points ()))
+  in
+  List.iter
+    (fun (nm, _, _) ->
+      if Fault.find nm = None then begin
+        Printf.eprintf "unknown fault point %S; registered points: %s\n" nm
+          (known_points ());
+        exit 2
+      end)
+    faults;
+  let flavours =
+    match flavour with
+    | None -> Torture.flavours
+    | Some f when List.mem f Torture.flavours -> [ f ]
+    | Some f ->
+        Printf.eprintf "unknown RCU flavour %S; choices: %s\n" f
+          (String.concat ", " Torture.flavours);
+        exit 2
+  in
+  let cfg =
+    {
+      Torture.default with
+      readers;
+      writers;
+      updates_per_writer = updates;
+      use_defer;
+      reader_park_ms = park_ms;
+      faults;
+      stall_ms;
+      stall_fail = (stall_mode = `Fail);
+      verbose;
+    }
+  in
+  Printf.printf
+    "torture: seed=%d readers=%d writers=%d updates=%d park_ms=%d \
+     stall_ms=%d mode=%s faults=[%s]\n\
+     %!"
+    seed readers writers updates park_ms stall_ms
+    (match stall_mode with `Warn -> "warn" | `Fail -> "fail")
+    (String.concat ", "
+       (List.map (fun (nm, rate, _) -> Printf.sprintf "%s=%g" nm rate) faults));
+  let failed = ref false in
+  List.iter
+    (fun f ->
+      let out = Torture.run_flavour ~seed f cfg in
+      Printf.printf
+        "  %-10s errors=%d grace_periods=%d stalls=%d stalled_writers=%d\n%!"
+        f out.Torture.errors out.grace_periods out.stalls out.stalled_writers;
+      if out.errors > 0 then failed := true)
+    flavours;
+  if !failed then begin
+    Printf.eprintf "torture: FAILED (freed elements observed by readers)\n";
+    exit 1
+  end
+  else print_endline "torture: OK"
 
 let balance_demo keys =
   let module T = Repro_citrus.Citrus_int.Epoch in
@@ -367,6 +458,86 @@ let balance_cmd =
        ~doc:"Demonstrate maintenance rebalancing on a degenerate tree.")
     Term.(const balance_demo $ keys)
 
+let torture_cmd =
+  let flavour =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FLAVOUR"
+          ~doc:"RCU flavour to torture (default: all).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:"Deterministic seed for the harness and fault streams.")
+  in
+  let faults =
+    Arg.(
+      value & opt_all string []
+      & info [ "fault" ] ~docv:"POINT=RATE"
+          ~doc:
+            "Arm a fault point (repeatable), e.g. \
+             $(b,urcu.sync.pre_flip=0.3) or \
+             $(b,defer.flush=0.5:yield=512). See ROBUSTNESS.md for the \
+             catalogue.")
+  in
+  let stall_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "stall-ms" ]
+          ~doc:
+            "Arm the grace-period stall watchdog at this threshold (0 \
+             disables).")
+  in
+  let stall_mode =
+    Arg.(
+      value
+      & opt (enum [ ("warn", `Warn); ("fail", `Fail) ]) `Warn
+      & info [ "stall-mode" ]
+          ~doc:
+            "Watchdog reaction: $(b,warn) keeps waiting and reports; \
+             $(b,fail) raises so writers abort.")
+  in
+  let readers =
+    Arg.(value & opt int 2 & info [ "readers" ] ~doc:"Reader domains.")
+  in
+  let writers =
+    Arg.(value & opt int 1 & info [ "writers" ] ~doc:"Writer domains.")
+  in
+  let updates =
+    Arg.(value & opt int 300 & info [ "updates" ] ~doc:"Updates per writer.")
+  in
+  let use_defer =
+    Arg.(
+      value & flag
+      & info [ "defer" ]
+          ~doc:
+            "Writers free through the deferred-reclamation queue (exercises \
+             $(b,defer.flush)).")
+  in
+  let park_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "park-ms" ]
+          ~doc:
+            "Park reader 0 inside a read-side critical section this long \
+             at start, stalling the grace period on purpose.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"Print stall reports and per-run summaries.")
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "rcutorture with fault injection and stall detection (see \
+          ROBUSTNESS.md).")
+    Term.(
+      const torture $ flavour $ seed $ faults $ stall_ms $ stall_mode
+      $ readers $ writers $ updates $ use_defer $ park_ms $ verbose)
+
 let main =
   Cmd.group
     (Cmd.info "citrus_tool" ~doc:"Stress and check the Citrus reproduction.")
@@ -378,6 +549,7 @@ let main =
       balance_cmd;
       latency_cmd;
       soak_cmd;
+      torture_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -2,6 +2,14 @@ module Spinlock = Repro_sync.Spinlock
 module Stats = Repro_sync.Stats
 module Metrics = Repro_sync.Metrics
 module Trace = Repro_sync.Trace
+module Fault = Repro_fault.Fault
+
+(* The delete-with-two-children window (paper, Section 4): between
+   publishing the successor copy and unlinking the original, readers can
+   see the key twice. Stretching this window is how fault runs shake out
+   ordering bugs, so it gets its own injection point. Registered outside
+   the functor: one point shared by every instantiation. *)
+let fault_delete_window = Fault.register "citrus.delete.window"
 
 module type ORDERED = sig
   type t
@@ -132,7 +140,10 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
     }
 
   let unregister h =
-    (match h.defer with Some d -> Defer.flush d | None -> ());
+    (* [drain], not [flush]: reclamation callbacks may retire further
+       nodes, and a queue shorter than the batch must not leak when the
+       thread leaves. *)
+    (match h.defer with Some d -> Defer.drain d | None -> ());
     R.unregister h.rt
 
   (* Retire an unlinked node: one grace period later no reader can hold it,
@@ -333,6 +344,7 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
             curr.marked <- true;
             Atomic.set prev.children.(direction) (Some node);
             t.hooks.before_synchronize ();
+            if Fault.enabled () then Fault.inject fault_delete_window;
             (* Wait for pre-existing readers: any search that could still
                find the successor only in its old position completes before
                we unlink it (line 74). *)

@@ -1,3 +1,8 @@
+(* Fault point: when it fires, a flush pays a second (redundant but
+   harmless) grace period — the "extra grace period" fault that shakes out
+   callers accidentally relying on flush-count = grace-period-count. *)
+let fault_flush = Repro_fault.Fault.register "defer.flush"
+
 module Make (R : Rcu_intf.S) = struct
   type t = {
     rcu : R.t;
@@ -18,6 +23,8 @@ module Make (R : Rcu_intf.S) = struct
       t.queue <- [];
       t.queued <- 0;
       R.synchronize t.rcu;
+      if Repro_fault.Fault.enabled () && Repro_fault.Fault.fires fault_flush
+      then R.synchronize t.rcu;
       List.iter (fun f -> f ()) callbacks;
       t.executed <- t.executed + n;
       (if Repro_sync.Metrics.enabled () then begin
@@ -32,6 +39,18 @@ module Make (R : Rcu_intf.S) = struct
     t.queue <- f :: t.queue;
     t.queued <- t.queued + 1;
     if t.queued >= t.batch then flush t
+
+  (* Teardown: flush until the queue is empty, including callbacks that
+     themselves defer more work (flush runs callbacks after clearing the
+     queue, so such re-deferrals land in the next round). Without this, a
+     thread exiting with fewer than [batch] callbacks queued would leak
+     them — the silent deferred-free discipline violation this repo's
+     robustness tests hunt for. *)
+  let rec drain t =
+    if t.queued > 0 then begin
+      flush t;
+      drain t
+    end
 
   let pending t = t.queued
   let executed t = t.executed

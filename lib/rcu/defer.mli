@@ -21,6 +21,12 @@ module Make (R : Rcu_intf.S) : sig
   val flush : t -> unit
   (** Force a grace period and run all pending callbacks now. *)
 
+  val drain : t -> unit
+  (** Flush repeatedly until nothing is pending, including callbacks
+      enqueued {e by} the flushed callbacks. Call at thread teardown so a
+      queue shorter than [batch] is never leaked; [Citrus.unregister] and
+      the rcutorture writers do. *)
+
   val pending : t -> int
   (** Number of callbacks waiting for a grace period. *)
 

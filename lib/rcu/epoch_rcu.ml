@@ -3,6 +3,7 @@ module Backoff = Repro_sync.Backoff
 module Stats = Repro_sync.Stats
 module Metrics = Repro_sync.Metrics
 module Trace = Repro_sync.Trace
+module Fault = Repro_fault.Fault
 
 type slot = int Atomic.t
 (* Encoding: [count lsl 1) lor flag]. Only the owning thread writes its
@@ -21,6 +22,11 @@ type thread = {
 }
 
 let name = "epoch-rcu"
+
+(* Fault point: fires at the start of the slot scan — delaying one
+   synchronizer here lets later read sections begin and finish under it,
+   exercising the ABA-safety of the count-and-flag encoding. *)
+let fault_advance = Fault.register "epoch.advance"
 
 let create ?(max_threads = 128) () =
   {
@@ -66,18 +72,47 @@ let read_depth th = th.nesting
 let synchronize rcu =
   let t0 = Metrics.now_ns () in
   Trace.record Sync_start 0;
+  if Fault.enabled () then Fault.inject fault_advance;
   (* No lock, no handshake between concurrent synchronizers: each scans the
      slots independently. *)
-  Registry.iter
-    (fun slot ->
-      let snapshot = Atomic.get slot in
-      if snapshot land 1 = 1 then begin
-        let b = Backoff.create () in
-        while Atomic.get slot = snapshot do
-          Backoff.once b
-        done
-      end)
-    rcu.slots;
+  (if not (Stall.armed ()) then
+     (* Watchdog off (the default): the exact pre-watchdog wait loop. *)
+     Registry.iter
+       (fun slot ->
+         let snapshot = Atomic.get slot in
+         if snapshot land 1 = 1 then begin
+           let b = Backoff.create () in
+           while Atomic.get slot = snapshot do
+             Backoff.once b
+           done
+         end)
+       rcu.slots
+   else begin
+     let thr = Stall.threshold_ns () in
+     Registry.iteri
+       (fun i slot ->
+         let snapshot = Atomic.get slot in
+         if snapshot land 1 = 1 then begin
+           let b = Backoff.create () in
+           let deadline = ref (t0 + thr) in
+           while Atomic.get slot = snapshot do
+             Backoff.once b;
+             let now = Metrics.now_ns () in
+             if now > !deadline then begin
+               if Atomic.get slot = snapshot then
+                 (* nesting: the in-section flag; phase: the section count
+                    the reader has been stuck inside. *)
+                 Stall.note
+                   (Stall.report ~flavour:name ~slot:i
+                      ~nesting:(snapshot land 1) ~phase:(snapshot lsr 1)
+                      ~elapsed_ns:(now - t0)
+                      ~grace_periods:(Atomic.get rcu.gps));
+               deadline := now + thr
+             end
+           done
+         end)
+       rcu.slots
+   end);
   ignore (Atomic.fetch_and_add rcu.gps 1);
   let dt = Metrics.now_ns () - t0 in
   if Metrics.enabled () then

@@ -3,6 +3,7 @@ module Backoff = Repro_sync.Backoff
 module Stats = Repro_sync.Stats
 module Metrics = Repro_sync.Metrics
 module Trace = Repro_sync.Trace
+module Fault = Repro_fault.Fault
 
 (* Slot encoding: 0 = offline; otherwise a snapshot of the global
    grace-period counter (always odd, so 0 is unambiguous). A thread is
@@ -23,6 +24,11 @@ type thread = {
 }
 
 let name = "qsbr"
+
+(* Fault point: fires after the grace-period counter advances and before
+   the slot scan — the window where QSBR's documented weakness (a thread
+   that stops announcing quiescence) bites hardest. *)
+let fault_wait = Fault.register "qsbr.wait"
 
 let create ?(max_threads = 128) () =
   {
@@ -86,18 +92,49 @@ let synchronize rcu =
      up or go offline. Lock-free: concurrent synchronizers just wait for
      (at least) their own period. *)
   let target = Atomic.fetch_and_add rcu.gp 2 + 2 in
-  Registry.iter
-    (fun slot ->
-      let b = Backoff.create () in
-      let rec wait () =
-        let v = Atomic.get slot in
-        if v <> 0 && v < target then begin
-          Backoff.once b;
-          wait ()
-        end
-      in
-      wait ())
-    rcu.slots;
+  if Fault.enabled () then Fault.inject fault_wait;
+  (if not (Stall.armed ()) then
+     (* Watchdog off (the default): the exact pre-watchdog wait loop. *)
+     Registry.iter
+       (fun slot ->
+         let b = Backoff.create () in
+         let rec wait () =
+           let v = Atomic.get slot in
+           if v <> 0 && v < target then begin
+             Backoff.once b;
+             wait ()
+           end
+         in
+         wait ())
+       rcu.slots
+   else begin
+     let thr = Stall.threshold_ns () in
+     Registry.iteri
+       (fun i slot ->
+         let b = Backoff.create () in
+         let deadline = ref (t0 + thr) in
+         let rec wait () =
+           let v = Atomic.get slot in
+           if v <> 0 && v < target then begin
+             Backoff.once b;
+             let now = Metrics.now_ns () in
+             if now > !deadline then begin
+               let v = Atomic.get slot in
+               if v <> 0 && v < target then
+                 (* nesting: 1 = online behind the target; phase: the
+                    grace-period snapshot the reader is stuck at. *)
+                 Stall.note
+                   (Stall.report ~flavour:name ~slot:i ~nesting:1 ~phase:v
+                      ~elapsed_ns:(now - t0)
+                      ~grace_periods:(Atomic.get rcu.gps));
+               deadline := now + thr
+             end;
+             wait ()
+           end
+         in
+         wait ())
+       rcu.slots
+   end);
   ignore (Atomic.fetch_and_add rcu.gps 1);
   let dt = Metrics.now_ns () - t0 in
   if Metrics.enabled () then

@@ -3,6 +3,9 @@ module type S = Rcu_intf.S
 module Epoch = Epoch_rcu
 module Urcu = Urcu
 module Qsbr = Qsbr
+module Stall = Stall
+
+exception Stalled = Stall.Stalled
 
 let implementations =
   [

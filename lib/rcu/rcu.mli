@@ -17,3 +17,12 @@ module Qsbr : S
 
 val implementations : (string * (module S)) list
 (** All flavours, keyed by [name], for benchmark sweeps. *)
+
+module Stall : module type of Stall
+(** The grace-period stall watchdog shared by all flavours (arm/disarm,
+    report shape, handler). See {!Stall}. *)
+
+exception Stalled of Stall.report
+(** Raised by [synchronize] when the watchdog is armed in [Fail] mode and
+    a reader blocks the grace period past the threshold. The aborted
+    [synchronize] provides no grace-period guarantee. *)

@@ -1,0 +1,193 @@
+(* rcutorture: the Linux kernel's RCU torture methodology over the three
+   user-space RCU implementations in this repository, packaged as a
+   library so the alcotest suite and [citrus_tool torture] share one
+   harness.
+
+   A writer publishes fresh elements into shared slots; after replacing an
+   element it waits one grace period and only then marks the old element
+   freed. Readers continuously dereference the slots inside read-side
+   critical sections (sometimes nested, sometimes with artificial delays)
+   and flag an error if they ever observe an element after it was freed —
+   which can only happen if synchronize returned while a pre-existing
+   reader still held the element.
+
+   On top of the classic configuration axes this harness drives the
+   robustness machinery: fault points armed per run ([faults]), a reader
+   that parks inside its critical section ([reader_park_ms]) to provoke
+   the stall watchdog, and the watchdog itself ([stall_ms]/[stall_fail]).
+   Fault and watchdog state are process-global, so [run] restores both on
+   the way out. *)
+
+module Barrier = Repro_sync.Barrier
+module Rng = Repro_sync.Rng
+module Fault = Repro_fault.Fault
+
+type config = {
+  readers : int;
+  writers : int;
+  slots : int;
+  updates_per_writer : int;
+  nest : bool;
+  reader_delay : bool;
+  use_defer : bool;
+  reader_park_ms : int;
+  faults : (string * float * Fault.action option) list;
+  stall_ms : int;
+  stall_fail : bool;
+  verbose : bool;
+}
+
+let default =
+  {
+    readers = 2;
+    writers = 1;
+    slots = 4;
+    updates_per_writer = 300;
+    nest = false;
+    reader_delay = false;
+    use_defer = false;
+    reader_park_ms = 0;
+    faults = [];
+    stall_ms = 0;
+    stall_fail = false;
+    verbose = false;
+  }
+
+type outcome = {
+  errors : int;
+  grace_periods : int;
+  stalls : int;
+  stalled_writers : int;
+}
+
+type elem = { id : int; mutable freed : bool }
+
+module Make (R : Rcu_intf.S) = struct
+  module Defer = Defer.Make (R)
+
+  let body cfg ~seed ~stall_count =
+    let r = R.create ~max_threads:(cfg.readers + cfg.writers + 1) () in
+    let slots =
+      Array.init cfg.slots (fun i -> Atomic.make { id = i; freed = false })
+    in
+    let errors = Atomic.make 0 in
+    let stalled_writers = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let start = Barrier.create (cfg.readers + cfg.writers) in
+    (* With [reader_park_ms], writers hold their updates until reader 0 is
+       actually inside its critical section — otherwise whether the park
+       stalls any grace period is a scheduling race and the stall tests
+       would be flaky. *)
+    let parked = Atomic.make (cfg.reader_park_ms <= 0 || cfg.readers = 0) in
+    let reader i =
+      Domain.spawn (fun () ->
+          let th = R.register r in
+          let rng = Rng.create (Int64.of_int (seed + 7_000 + i)) in
+          Barrier.wait start;
+          (* Reader 0 optionally parks inside a critical section: the
+             canonical stalled-grace-period schedule. Every updater that
+             calls synchronize meanwhile is blocked on this slot, which is
+             exactly what the watchdog must name. *)
+          if i = 0 && cfg.reader_park_ms > 0 then begin
+            R.read_lock th;
+            Atomic.set parked true;
+            Unix.sleepf (float_of_int cfg.reader_park_ms /. 1e3);
+            R.read_unlock th
+          end;
+          while not (Atomic.get stop) do
+            R.read_lock th;
+            if cfg.nest then R.read_lock th;
+            let slot = slots.(Rng.int rng cfg.slots) in
+            let p = Atomic.get slot in
+            if p.freed then Atomic.incr errors;
+            if cfg.reader_delay then
+              for _ = 1 to Rng.int rng 50 do
+                Domain.cpu_relax ()
+              done;
+            (* The element must remain valid for the whole critical
+               section, no matter how long we dawdled. *)
+            if p.freed then Atomic.incr errors;
+            if cfg.nest then R.read_unlock th;
+            R.read_unlock th
+          done;
+          R.unregister th)
+    in
+    let writer i =
+      Domain.spawn (fun () ->
+          let th = R.register r in
+          let defer = if cfg.use_defer then Some (Defer.create r) else None in
+          let rng = Rng.create (Int64.of_int (seed + 9_000 + i)) in
+          Barrier.wait start;
+          while not (Atomic.get parked) do
+            Domain.cpu_relax ()
+          done;
+          (try
+             for u = 1 to cfg.updates_per_writer do
+               let slot = slots.(Rng.int rng cfg.slots) in
+               let fresh = { id = (i * 1_000_000) + u; freed = false } in
+               let old = Atomic.exchange slot fresh in
+               match defer with
+               | Some d -> Defer.defer d (fun () -> old.freed <- true)
+               | None ->
+                   R.synchronize r;
+                   old.freed <- true
+             done;
+             match defer with Some d -> Defer.drain d | None -> ()
+           with Stall.Stalled _ ->
+             (* Fail-mode watchdog: the aborted synchronize gives no
+                grace-period guarantee, so bail out without freeing and
+                stop the run — exactly what a production workload should
+                do instead of hanging. *)
+             Atomic.incr stalled_writers;
+             Atomic.set stop true);
+          ignore th;
+          R.unregister th)
+    in
+    let readers = List.init cfg.readers reader in
+    let writers = List.init cfg.writers writer in
+    List.iter Domain.join writers;
+    Atomic.set stop true;
+    List.iter Domain.join readers;
+    {
+      errors = Atomic.get errors;
+      grace_periods = R.grace_periods r;
+      stalls = Atomic.get stall_count;
+      stalled_writers = Atomic.get stalled_writers;
+    }
+
+  let run ?(seed = 42) cfg =
+    let stall_count = Atomic.make 0 in
+    Fault.configure ~seed:(Int64.of_int seed) [];
+    List.iter (fun (nm, rate, action) -> Fault.set ?action nm ~rate) cfg.faults;
+    if cfg.stall_ms > 0 then
+      Stall.arm
+        ~mode:(if cfg.stall_fail then Stall.Fail else Stall.Warn)
+        ~threshold_ns:(cfg.stall_ms * 1_000_000) ();
+    Stall.set_handler (fun rep ->
+        Atomic.incr stall_count;
+        if cfg.verbose then Stall.default_handler rep);
+    Fun.protect
+      ~finally:(fun () ->
+        Fault.disable_all ();
+        Stall.disarm ();
+        Stall.reset_handler ())
+      (fun () ->
+        let out = body cfg ~seed ~stall_count in
+        if cfg.verbose then
+          Printf.eprintf
+            "torture %s: errors=%d grace_periods=%d stalls=%d \
+             stalled_writers=%d\n\
+             %!"
+            R.name out.errors out.grace_periods out.stalls
+            out.stalled_writers;
+        out)
+end
+
+let flavours = List.map fst Rcu.implementations
+
+let run_flavour ?seed flavour cfg =
+  match List.assoc_opt flavour Rcu.implementations with
+  | None -> invalid_arg ("Torture.run_flavour: unknown RCU flavour " ^ flavour)
+  | Some (module R : Rcu_intf.S) ->
+      let module T = Make (R) in
+      T.run ?seed cfg

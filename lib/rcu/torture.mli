@@ -1,0 +1,62 @@
+(** The rcutorture harness as a library, shared by the alcotest suite and
+    [citrus_tool torture].
+
+    Writers replace elements in shared slots and mark the old element
+    freed only after a grace period; readers flag an error if they ever
+    observe a freed element inside a read-side critical section. Zero
+    errors is the correctness criterion for every configuration and every
+    RCU flavour.
+
+    Beyond the classic rcutorture axes, a run can arm fault-injection
+    points ({!config.faults}), park a reader inside its critical section
+    to provoke a grace-period stall ({!config.reader_park_ms}), and arm
+    the stall watchdog ({!config.stall_ms}, {!config.stall_fail}).
+    [run] owns the process-global fault and watchdog state for its
+    duration and restores both before returning, even on exceptions. *)
+
+type config = {
+  readers : int;
+  writers : int;
+  slots : int;  (** shared element slots under contention *)
+  updates_per_writer : int;
+  nest : bool;  (** readers use nested read-side sections *)
+  reader_delay : bool;  (** readers dawdle inside the critical section *)
+  use_defer : bool;  (** writers free through [Defer] instead of inline *)
+  reader_park_ms : int;
+      (** if > 0, reader 0 parks this long inside one critical section at
+          start — the canonical stalled-grace-period schedule *)
+  faults : (string * float * Repro_fault.Fault.action option) list;
+      (** fault points to arm for this run: (name, rate, action
+          override) *)
+  stall_ms : int;  (** if > 0, arm the stall watchdog at this threshold *)
+  stall_fail : bool;  (** watchdog mode: [true] = fail, [false] = warn *)
+  verbose : bool;  (** print stall reports and a per-run summary *)
+}
+
+val default : config
+(** The baseline: 2 readers / 1 writer / 4 slots / 300 updates, no
+    faults, watchdog off. Override fields as needed. *)
+
+type outcome = {
+  errors : int;  (** freed-element observations; must be 0 *)
+  grace_periods : int;
+  stalls : int;  (** stall reports emitted by the watchdog *)
+  stalled_writers : int;
+      (** writers that aborted on {!Rcu.Stalled} (fail mode only) *)
+}
+
+module Make (R : Rcu_intf.S) : sig
+  val run : ?seed:int -> config -> outcome
+  (** Run one torture configuration to completion. [seed] (default 42)
+      drives both the harness RNGs and the fault-injection streams, so a
+      failing schedule replays from its seed.
+      @raise Repro_fault.Fault.Unknown_point before spawning anything if
+        [cfg.faults] names an unregistered point. *)
+end
+
+val flavours : string list
+(** Names accepted by {!run_flavour} (the [Rcu.implementations] keys). *)
+
+val run_flavour : ?seed:int -> string -> config -> outcome
+(** [run_flavour name cfg] dispatches over {!Rcu.implementations}.
+    @raise Invalid_argument on an unknown flavour name. *)

@@ -4,6 +4,7 @@ module Spinlock = Repro_sync.Spinlock
 module Stats = Repro_sync.Stats
 module Metrics = Repro_sync.Metrics
 module Trace = Repro_sync.Trace
+module Fault = Repro_fault.Fault
 
 (* Per-thread word layout (as in liburcu): low 16 bits = nesting count,
    bit 16 = phase. A thread is a quiescent reader when its nesting bits are
@@ -26,6 +27,11 @@ type thread = {
 }
 
 let name = "urcu"
+
+(* Fault point: fires after the global grace-period lock is taken and
+   before the first phase flip — a delay here extends every queued
+   updater's wait, the exact serialization Figure 8 measures. *)
+let fault_pre_flip = Fault.register "urcu.sync.pre_flip"
 
 let create ?(max_threads = 128) () =
   {
@@ -72,15 +78,40 @@ let read_unlock th =
    entered before the latest phase flip. *)
 let ongoing gp_phase v = v land nest_mask <> 0 && v land phase_bit <> gp_phase
 
-let wait_for_readers rcu =
+let wait_for_readers rcu t0 =
   let gp_phase = Atomic.get rcu.gp_ctr in
-  Registry.iter
-    (fun slot ->
-      let b = Backoff.create () in
-      while ongoing gp_phase (Atomic.get slot) do
-        Backoff.once b
-      done)
-    rcu.slots
+  if not (Stall.armed ()) then
+    (* Watchdog off (the default): the exact pre-watchdog wait loop. *)
+    Registry.iter
+      (fun slot ->
+        let b = Backoff.create () in
+        while ongoing gp_phase (Atomic.get slot) do
+          Backoff.once b
+        done)
+      rcu.slots
+  else begin
+    let thr = Stall.threshold_ns () in
+    Registry.iteri
+      (fun i slot ->
+        let b = Backoff.create () in
+        let deadline = ref (t0 + thr) in
+        while ongoing gp_phase (Atomic.get slot) do
+          Backoff.once b;
+          let now = Metrics.now_ns () in
+          if now > !deadline then begin
+            let v = Atomic.get slot in
+            if ongoing gp_phase v then
+              Stall.note
+                (Stall.report ~flavour:name ~slot:i ~nesting:(v land nest_mask)
+                   ~phase:((v land phase_bit) lsr 16)
+                   ~elapsed_ns:(now - t0)
+                   ~grace_periods:(Atomic.get rcu.gps));
+            (* One report per threshold window (warn mode keeps waiting). *)
+            deadline := now + thr
+          end
+        done)
+      rcu.slots
+  end
 
 let synchronize rcu =
   (* The grace-period timer starts before the gp_lock acquisition: queueing
@@ -90,13 +121,22 @@ let synchronize rcu =
   let t0 = Metrics.now_ns () in
   Trace.record Sync_start 0;
   Spinlock.acquire rcu.gp_lock;
+  if Fault.enabled () then Fault.inject fault_pre_flip;
   (* Two phase flips, as in liburcu: a single flip cannot distinguish a
      reader that started just before the flip from one that started just
      after, so the grace period performs the handshake twice. *)
-  Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
-  wait_for_readers rcu;
-  Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
-  wait_for_readers rcu;
+  (try
+     Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
+     wait_for_readers rcu t0;
+     Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
+     wait_for_readers rcu t0
+   with e ->
+     (* Stall.Stalled in fail mode: release the global lock so other
+        updaters are not wedged behind an abandoned grace period. The
+        phase flips already performed are harmless — the next synchronize
+        flips again and waits properly. *)
+     Spinlock.release rcu.gp_lock;
+     raise e);
   ignore (Atomic.fetch_and_add rcu.gps 1);
   Spinlock.release rcu.gp_lock;
   let dt = Metrics.now_ns () - t0 in

@@ -21,6 +21,7 @@ let now_ns = Trace.now_ns
 (* -- well-known metrics, one per serialization mechanism -- *)
 
 let rcu_read_sections = Stats.create "rcu_read_sections"
+let rcu_stalls = Stats.create "rcu_stalls"
 let grace_period_ns = Stats.Timer.create "grace_period_ns"
 let lock_acquires = Stats.create "lock_acquires"
 let lock_contended = Stats.create "lock_contended"
@@ -31,6 +32,7 @@ let defer_callbacks = Stats.create "defer_callbacks"
 
 let reset () =
   Stats.reset rcu_read_sections;
+  Stats.reset rcu_stalls;
   Stats.Timer.reset grace_period_ns;
   Stats.reset lock_acquires;
   Stats.reset lock_contended;
@@ -42,6 +44,7 @@ let reset () =
 let snapshot () =
   [
     ("rcu_read_sections", float_of_int (Stats.read rcu_read_sections));
+    ("rcu_stalls", float_of_int (Stats.read rcu_stalls));
     ("grace_periods", float_of_int (Stats.Timer.count grace_period_ns));
     ("grace_period_mean_ns", Stats.Timer.mean_ns grace_period_ns);
     ( "grace_period_total_ns",

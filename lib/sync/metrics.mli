@@ -33,6 +33,11 @@ val now_ns : unit -> int
 val rcu_read_sections : Stats.t
 (** Outermost RCU read-side critical sections entered. *)
 
+val rcu_stalls : Stats.t
+(** Grace-period stall reports emitted by the watchdog
+    ([Repro_rcu.Stall]); 0 unless a reader blocked a grace period past the
+    configured threshold. *)
+
 val grace_period_ns : Stats.Timer.t
 (** One sample per completed [synchronize] call, valued at its duration —
     the count is the number of grace periods paid, the mean their cost. *)

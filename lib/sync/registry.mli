@@ -33,3 +33,7 @@ val active : 'a t -> int
 val iter : ('a -> unit) -> 'a t -> unit
 (** Iterate over all payloads, held or not. RCU grace-period detection
     iterates over every slot; idle slots must encode a quiescent state. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+(** [iter] with the slot index — the stall watchdog names the blocking
+    slot in its reports. *)

@@ -2,9 +2,15 @@ type t = bool Atomic.t
 
 let create () = Atomic.make false
 
+let fault_acquire = Repro_fault.Fault.register "lock.spin.acquire"
+
 let try_acquire t = (not (Atomic.get t)) && Atomic.compare_and_set t false true
 
 let acquire t =
+  (* Fault injection: delay some arrivals before they attempt the lock,
+     widening the contention window (ROBUSTNESS.md). Disabled cost: one
+     atomic load and a branch. *)
+  if Repro_fault.Fault.enabled () then Repro_fault.Fault.inject fault_acquire;
   if try_acquire t then begin
     if Metrics.enabled () then
       Stats.incr Metrics.lock_acquires (Metrics.slot ());

@@ -5,7 +5,13 @@ type t = {
 
 let create () = { next = Atomic.make 0; serving = Atomic.make 0 }
 
+let fault_acquire = Repro_fault.Fault.register "lock.ticket.acquire"
+
 let acquire t =
+  (* Fault injection before the ticket is drawn: a delayed arrival holds no
+     place in the FIFO yet, so the fault widens contention without blocking
+     later tickets. *)
+  if Repro_fault.Fault.enabled () then Repro_fault.Fault.inject fault_acquire;
   let ticket = Atomic.fetch_and_add t.next 1 in
   if Atomic.get t.serving <> ticket then begin
     let measure = Metrics.enabled () || Trace.enabled () in

@@ -27,6 +27,7 @@ type kind =
   | Lock_contended
   | Restart
   | Defer_flush
+  | Stall
 
 let kind_to_string = function
   | Read_enter -> "read_enter"
@@ -37,6 +38,7 @@ let kind_to_string = function
   | Lock_contended -> "lock_contended"
   | Restart -> "restart"
   | Defer_flush -> "defer_flush"
+  | Stall -> "stall"
 
 let kind_index = function
   | Read_enter -> 0
@@ -47,6 +49,7 @@ let kind_index = function
   | Lock_contended -> 5
   | Restart -> 6
   | Defer_flush -> 7
+  | Stall -> 8
 
 let kind_of_index = function
   | 0 -> Read_enter
@@ -56,7 +59,8 @@ let kind_of_index = function
   | 4 -> Lock_acquire
   | 5 -> Lock_contended
   | 6 -> Restart
-  | _ -> Defer_flush
+  | 7 -> Defer_flush
+  | _ -> Stall
 
 type event = {
   t_ns : int;  (* monotonic timestamp *)

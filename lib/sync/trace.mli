@@ -23,6 +23,9 @@ type kind =
   | Lock_contended  (** lock acquired after spinning; arg = wait (ns) *)
   | Restart  (** optimistic traversal restarted after failed validation *)
   | Defer_flush  (** deferred-free batch executed; arg = callbacks run *)
+  | Stall
+      (** grace-period stall report emitted (see [Repro_rcu.Stall]);
+          arg = blocking reader slot index *)
 
 val kind_to_string : kind -> string
 

@@ -49,8 +49,24 @@ let run ?sample_interval ?(observe = false)
   (* Aggregate progress, bumped once per 64-op batch so the sampler never
      contends with the hot path. *)
   let progress = Atomic.make 0 in
+  (* A worker that finds the slot registry full cannot just raise: the
+     start barrier would never fill and every other domain would hang. It
+     records the failure, still joins the barrier, and exits; the main
+     thread re-raises [Registry.Full] after the join so CLI frontends can
+     report it cleanly. *)
+  let registry_full = Atomic.make false in
+  let try_register start =
+    match D.register t with
+    | handle -> Some handle
+    | exception Repro_sync.Registry.Full ->
+        Atomic.set registry_full true;
+        Barrier.wait start;
+        None
+  in
   let worker mix seed start stop counts =
-    let handle = D.register t in
+    match try_register start with
+    | None -> ()
+    | Some handle ->
     let rng = Rng.create seed in
     let next_key = Workload.key_generator cfg rng in
     Barrier.wait start;
@@ -79,7 +95,9 @@ let run ?sample_interval ?(observe = false)
   (* The observed variant of the same loop; kept separate so unobserved
      runs execute exactly the pre-instrumentation hot path. *)
   let worker_observed mix seed start stop counts (hc, hi, hd) =
-    let handle = D.register t in
+    match try_register start with
+    | None -> ()
+    | Some handle ->
     let rng = Rng.create seed in
     let next_key = Workload.key_generator cfg rng in
     Barrier.wait start;
@@ -150,6 +168,11 @@ let run ?sample_interval ?(observe = false)
             else worker (mix_for i) seed start stop counts.(i)))
   in
   Barrier.wait start;
+  if Atomic.get registry_full then begin
+    Atomic.set stop true;
+    List.iter Domain.join domains;
+    raise Repro_sync.Registry.Full
+  end;
   let t0 = Unix.gettimeofday () in
   let samples =
     match sample_interval with

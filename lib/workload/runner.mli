@@ -39,7 +39,12 @@ val run :
   Workload.config ->
   result
 (** One timed execution. The dictionary's invariant checker runs after the
-    clock stops; violations raise. With [sample_interval] the aggregate
+    clock stops; violations raise.
+    @raise Repro_sync.Registry.Full if the structure cannot register all
+      [cfg.threads] workers — raised on the calling thread after every
+      spawned domain has been joined, so the process is left clean for the
+      CLI to report the error.
+    With [sample_interval] the aggregate
     progress counter is sampled on that period and reported in [samples].
     With [observe] (default false) the run resets the global
     {!Repro_sync.Metrics} after the prefill, samples operation latency,

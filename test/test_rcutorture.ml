@@ -1,152 +1,75 @@
-(* rcutorture: a port of the Linux kernel's RCU torture methodology to the
-   three user-space RCU implementations in this repository.
+(* rcutorture: the Linux kernel's RCU torture methodology over the three
+   user-space RCU implementations, driven through the shared
+   [Repro_rcu.Torture] harness (also behind `citrus_tool torture`).
 
-   A writer publishes fresh elements into shared slots; after replacing an
-   element it waits one grace period and only then marks the old element
-   freed. Readers continuously dereference the slots inside read-side
-   critical sections (sometimes nested, sometimes with artificial delays)
-   and flag an error if they ever observe an element after it was freed —
-   which can only happen if synchronize returned while a pre-existing
-   reader still held the element.
+   Readers flag an error if they ever observe an element after it was
+   freed — which can only happen if synchronize returned while a
+   pre-existing reader still held the element. Every configuration runs
+   over every RCU flavour; all must report zero torture errors.
 
-   Each configuration runs over every RCU flavour; all must report zero
-   torture errors. *)
+   On top of the classic configurations, the fault-driven cases arm the
+   injection points from ROBUSTNESS.md: delays inside the grace-period
+   machinery, extra grace periods in Defer.flush, parked readers. Faults
+   stretch the windows the algorithm must already tolerate, so the
+   correctness criterion is unchanged: zero errors. *)
 
-module Barrier = Repro_sync.Barrier
-module Rng = Repro_sync.Rng
+module Torture = Repro_rcu.Torture
 
 let checki = Alcotest.check Alcotest.int
 let checkb = Alcotest.check Alcotest.bool
 
-type elem = { id : int; mutable freed : bool }
+let base = Torture.default
 
-module Torture (R : Repro_rcu.Rcu.S) = struct
-  module Defer = Repro_rcu.Defer.Make (R)
-
-  type config = {
-    readers : int;
-    writers : int;
-    slots : int;
-    updates_per_writer : int;
-    nest : bool; (* readers use nested read-side sections *)
-    reader_delay : bool; (* readers dawdle inside the critical section *)
-    use_defer : bool; (* writers free through Defer instead of inline *)
-  }
-
-  let run cfg =
-    let r = R.create ~max_threads:(cfg.readers + cfg.writers + 1) () in
-    let slots =
-      Array.init cfg.slots (fun i -> Atomic.make { id = i; freed = false })
-    in
-    let errors = Atomic.make 0 in
-    let stop = Atomic.make false in
-    let start = Barrier.create (cfg.readers + cfg.writers) in
-    let reader i =
-      Domain.spawn (fun () ->
-          let th = R.register r in
-          let rng = Rng.create (Int64.of_int (7_000 + i)) in
-          Barrier.wait start;
-          while not (Atomic.get stop) do
-            R.read_lock th;
-            if cfg.nest then R.read_lock th;
-            let slot = slots.(Rng.int rng cfg.slots) in
-            let p = Atomic.get slot in
-            if p.freed then Atomic.incr errors;
-            if cfg.reader_delay then
-              for _ = 1 to Rng.int rng 50 do
-                Domain.cpu_relax ()
-              done;
-            (* The element must remain valid for the whole critical
-               section, no matter how long we dawdled. *)
-            if p.freed then Atomic.incr errors;
-            if cfg.nest then R.read_unlock th;
-            R.read_unlock th
-          done;
-          R.unregister th)
-    in
-    let writer i =
-      Domain.spawn (fun () ->
-          let th = R.register r in
-          let defer = if cfg.use_defer then Some (Defer.create r) else None in
-          let rng = Rng.create (Int64.of_int (9_000 + i)) in
-          Barrier.wait start;
-          for u = 1 to cfg.updates_per_writer do
-            let slot = slots.(Rng.int rng cfg.slots) in
-            let fresh = { id = (i * 1_000_000) + u; freed = false } in
-            let old = Atomic.exchange slot fresh in
-            (match defer with
-            | Some d -> Defer.defer d (fun () -> old.freed <- true)
-            | None ->
-                R.synchronize r;
-                old.freed <- true)
-          done;
-          (match defer with Some d -> Defer.flush d | None -> ());
-          ignore th;
-          R.unregister th)
-    in
-    let readers = List.init cfg.readers reader in
-    let writers = List.init cfg.writers writer in
-    List.iter Domain.join writers;
-    Atomic.set stop true;
-    List.iter Domain.join readers;
-    (Atomic.get errors, R.grace_periods r)
+module Suite (R : Repro_rcu.Rcu.S) = struct
+  module T = Torture.Make (R)
 
   let case name cfg min_gps =
     Alcotest.test_case name `Quick (fun () ->
-        let errors, gps = run cfg in
-        checki (name ^ ": torture errors") 0 errors;
-        checkb (name ^ ": grace periods elapsed") true (gps >= min_gps))
+        let out = T.run cfg in
+        checki (name ^ ": torture errors") 0 out.Torture.errors;
+        checkb
+          (name ^ ": grace periods elapsed")
+          true
+          (out.grace_periods >= min_gps))
+
+  (* The per-flavour grace-period fault point: stretching the wait with
+     yield storms must not let a freed element escape. *)
+  let sync_fault =
+    match R.name with
+    | "urcu" -> "urcu.sync.pre_flip"
+    | "qsbr" -> "qsbr.wait"
+    | _ -> "epoch.advance"
 
   let suite flavour =
     ( Printf.sprintf "rcutorture/%s" flavour,
       [
         case "baseline (2r/1w)"
-          {
-            readers = 2;
-            writers = 1;
-            slots = 4;
-            updates_per_writer = 300;
-            nest = false;
-            reader_delay = false;
-            use_defer = false;
-          }
+          { base with slots = 4; updates_per_writer = 300 }
           300;
         case "nested readers"
-          {
-            readers = 2;
-            writers = 1;
-            slots = 2;
-            updates_per_writer = 200;
-            nest = true;
-            reader_delay = false;
-            use_defer = false;
-          }
+          { base with slots = 2; updates_per_writer = 200; nest = true }
           200;
         case "dawdling readers"
           {
+            base with
             readers = 3;
-            writers = 1;
             slots = 2;
             updates_per_writer = 150;
-            nest = false;
             reader_delay = true;
-            use_defer = false;
           }
           150;
         case "concurrent writers"
           {
-            readers = 2;
+            base with
             writers = 3;
             slots = 8;
             updates_per_writer = 100;
-            nest = false;
             reader_delay = true;
-            use_defer = false;
           }
           300;
         case "deferred frees"
           {
-            readers = 2;
+            base with
             writers = 2;
             slots = 4;
             updates_per_writer = 200;
@@ -155,12 +78,42 @@ module Torture (R : Repro_rcu.Rcu.S) = struct
             use_defer = true;
           }
           10;
+        case "faults: delayed grace periods"
+          {
+            base with
+            readers = 3;
+            writers = 2;
+            slots = 4;
+            updates_per_writer = 80;
+            reader_delay = true;
+            faults = [ (sync_fault, 0.3, None) ];
+          }
+          160;
+        case "faults: parked reader across flips"
+          {
+            base with
+            slots = 4;
+            updates_per_writer = 150;
+            reader_park_ms = 30;
+            faults = [ (sync_fault, 0.2, None) ];
+          }
+          150;
+        case "faults: defer churn"
+          {
+            base with
+            writers = 2;
+            slots = 4;
+            updates_per_writer = 150;
+            use_defer = true;
+            faults = [ ("defer.flush", 0.5, None) ];
+          }
+          10;
       ] )
 end
 
-module Epoch_torture = Torture (Repro_rcu.Epoch_rcu)
-module Urcu_torture = Torture (Repro_rcu.Urcu)
-module Qsbr_torture = Torture (Repro_rcu.Qsbr)
+module Epoch_torture = Suite (Repro_rcu.Epoch_rcu)
+module Urcu_torture = Suite (Repro_rcu.Urcu)
+module Qsbr_torture = Suite (Repro_rcu.Qsbr)
 
 let () =
   Alcotest.run "rcutorture"
