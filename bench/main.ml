@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- fig9         -- single-writer workload
      dune exec bench/main.exe -- fig10        -- the 2x3 throughput grid
      dune exec bench/main.exe -- micro        -- bechamel op latencies
+     dune exec bench/main.exe -- gp           -- grace-period coalescing
      dune exec bench/main.exe -- ablation     -- restarts & grace periods
      dune exec bench/main.exe -- fig10 --paper  -- full paper-scale runs
 
@@ -405,6 +406,195 @@ let rcu_bench scale =
   Format.printf "  test-and-set spinlock : %6.1f@." tas_ns;
   Format.printf "  ticket lock           : %6.1f@." ticket_ns
 
+(* --- Grace-period coalescing microbenchmark --- *)
+
+type gp_point = {
+  gp_flavour : string;
+  gp_syncers : int;
+  gp_coalescing : bool;
+  gp_sync_per_s : float;
+  gp_returns : int; (* synchronize calls that returned (grace_periods) *)
+  gp_coalesced : int; (* of which piggybacked on another's grace period *)
+}
+
+let gp_readers = 2
+
+(* Slot-registry width for the benchmark instances. A synchronize scan
+   walks every registry slot, so a wide registry puts the scan in the
+   CPU-bound regime the coalescing machinery targets: the cost of a grace
+   period is the walk itself, not waiting out a reader — which is also the
+   regime of a large deployment (many registered threads, short critical
+   sections). In the wait-bound regime concurrent scans overlap and share
+   their waits, so coalescing saves CPU rather than wall-clock and a
+   single-core A/B cannot resolve it. *)
+let gp_capacity = 262_144
+
+(* One measured interval: [syncers] domains calling synchronize back to
+   back against [gp_readers] domains taking brief read-side critical
+   sections (in-section ~1% of the time, so scans only occasionally wait),
+   with coalescing forced on or off via the process-global switch. *)
+let gp_measure (module R : Repro_rcu.Rcu.S) ~syncers ~duration ~coalescing =
+  Repro_rcu.Rcu.Gp.set_coalescing coalescing;
+  Repro_sync.Metrics.reset ();
+  let r = R.create ~max_threads:gp_capacity () in
+  let stop = Atomic.make false in
+  let bar = Repro_sync.Barrier.create (syncers + gp_readers + 1) in
+  let readers =
+    List.init gp_readers (fun _ ->
+        Domain.spawn (fun () ->
+            let th = R.register r in
+            Repro_sync.Barrier.wait bar;
+            while not (Atomic.get stop) do
+              R.read_lock th;
+              for _ = 1 to 20 do
+                Domain.cpu_relax ()
+              done;
+              R.read_unlock th;
+              (* Sleep, don't spin, between sections: the readers' job here
+                 is to exist (populating slots and occasionally blocking a
+                 scan), not to compete with the synchronizers for the
+                 core. Their frequent wakes double as the preemption
+                 source that lets woken piggybackers slip in behind an
+                 in-flight scan. *)
+              Unix.sleepf 200e-6
+            done;
+            R.unregister th))
+  in
+  let syncer_domains =
+    List.init syncers (fun _ ->
+        Domain.spawn (fun () ->
+            Repro_sync.Barrier.wait bar;
+            let n = ref 0 in
+            while not (Atomic.get stop) do
+              R.synchronize r;
+              incr n
+            done;
+            !n))
+  in
+  Repro_sync.Barrier.wait bar;
+  let t0 = Unix.gettimeofday () in
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  let total =
+    List.fold_left (fun acc d -> acc + Domain.join d) 0 syncer_domains
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  List.iter Domain.join readers;
+  let snap = Repro_sync.Metrics.snapshot () in
+  let get k = try int_of_float (List.assoc k snap) with Not_found -> 0 in
+  {
+    gp_flavour = R.name;
+    gp_syncers = syncers;
+    gp_coalescing = coalescing;
+    gp_sync_per_s = float_of_int total /. wall;
+    gp_returns = get "grace_periods";
+    gp_coalesced = get "sync_coalesced";
+  }
+
+let gp_point_json p =
+  Json.Obj
+    [
+      ("flavour", Json.String p.gp_flavour);
+      ("syncers", Json.Int p.gp_syncers);
+      ("readers", Json.Int gp_readers);
+      ("coalescing", Json.Bool p.gp_coalescing);
+      ("sync_per_s", Json.Float p.gp_sync_per_s);
+      ("grace_periods", Json.Int p.gp_returns);
+      ("sync_coalesced", Json.Int p.gp_coalesced);
+    ]
+
+(* The gp report does not carry workload points, so it is assembled here
+   rather than through [Json_report.report] — but with the same top-level
+   schema fields (schema_version / generator / generated_at_unix /
+   experiments) so trajectory tooling can ingest both. *)
+let gp_json ~duration points =
+  Json.Obj
+    [
+      ("schema_version", Json.Int Json_report.schema_version);
+      ("generator", Json.String "citrus-repro bench");
+      ("generated_at_unix", Json.Float (Unix.gettimeofday ()));
+      ( "meta",
+        Json.Obj
+          [
+            ("benchmark", Json.String "gp");
+            ("readers", Json.Int gp_readers);
+            ("duration_s", Json.Float duration);
+          ] );
+      ( "experiments",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("name", Json.String "gp: grace-period coalescing");
+                ("points", Json.List (List.map gp_point_json points));
+              ];
+          ] );
+    ]
+
+let gp_bench scale quick json =
+  let duration = if quick then 0.05 else Float.max scale.duration 1.0 in
+  let sweeps = if quick then [ 2; 4 ] else scale.threads in
+  (* Median of several intervals per cell: a single interval wobbles
+     +/-10% under scheduler noise on few cores, which matters when the
+     point of the table is an A/B ratio. *)
+  let reps = if quick then 1 else max scale.repeats 3 in
+  let measure (module R : Repro_rcu.Rcu.S) ~syncers ~coalescing =
+    let runs =
+      List.init reps (fun _ ->
+          gp_measure (module R) ~syncers ~duration ~coalescing)
+    in
+    let sorted =
+      List.sort (fun a b -> compare a.gp_sync_per_s b.gp_sync_per_s) runs
+    in
+    List.nth sorted (reps / 2)
+  in
+  Format.printf
+    "@.Grace-period coalescing: N domains calling synchronize back to@.\
+     back against %d readers, with the coalescing machinery on vs off.@.\
+     Expected: the uncoalesced rate decays with N (every call drives its@.\
+     own scan) while the coalesced rate holds or grows (calls piggyback@.\
+     on grace periods already in flight).@."
+    gp_readers;
+  Format.printf "%-10s %8s %14s %14s %8s %11s@." "flavour" "syncers"
+    "plain/s" "coalesced/s" "speedup" "coalesced%";
+  let points = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      Repro_rcu.Rcu.Gp.set_coalescing true;
+      Repro_sync.Metrics.reset ())
+    (fun () ->
+      List.iter
+        (fun (_, (module R : Repro_rcu.Rcu.S)) ->
+          List.iter
+            (fun syncers ->
+              let off = measure (module R) ~syncers ~coalescing:false in
+              let on_ = measure (module R) ~syncers ~coalescing:true in
+              points := on_ :: off :: !points;
+              let speedup = on_.gp_sync_per_s /. Float.max off.gp_sync_per_s 1. in
+              let frac =
+                100.
+                *. float_of_int on_.gp_coalesced
+                /. float_of_int (max on_.gp_returns 1)
+              in
+              Format.printf "%-10s %8d %14s %14s %7.2fx %10.1f%%@." R.name
+                syncers
+                (Report.si off.gp_sync_per_s)
+                (Report.si on_.gp_sync_per_s)
+                speedup frac)
+            sweeps)
+        Repro_rcu.Rcu.implementations);
+  match json with
+  | None -> ()
+  | Some file -> (
+      let doc = gp_json ~duration (List.rev !points) in
+      match Json_report.write file doc with
+      | () ->
+          Format.printf "wrote JSON report: %s (%d points)@." file
+            (List.length !points)
+      | exception Sys_error msg ->
+          Format.eprintf "cannot write JSON report: %s@." msg;
+          exit 1)
+
 (* --- Ablations --- *)
 
 let ablation scale =
@@ -709,6 +899,24 @@ let skew_cmd =
       const (wrap (fun scale _ -> skew scale))
       $ scale_term $ csv_term $ json_term)
 
+let gp_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "CI smoke scale: 50ms intervals, 2 and 4 synchronizers only. \
+             The numbers are meaningless for performance; the run \
+             validates the harness and the JSON schema.")
+  in
+  Cmd.v
+    (Cmd.info "gp"
+       ~doc:
+         "Grace-period coalescing microbenchmark: concurrent synchronize \
+          throughput with the coalescing machinery on vs off, per RCU \
+          flavour.")
+    Term.(const gp_bench $ scale_term $ quick $ json_term)
+
 let timeline_cmd =
   Cmd.v
     (Cmd.info "timeline" ~doc:"Throughput over time (grace-period stalls).")
@@ -726,6 +934,7 @@ let main =
       contention_cmd;
       skew_cmd;
       timeline_cmd;
+      gp_cmd;
       rcu_cmd;
       latency_cmd;
       micro_cmd;

@@ -243,7 +243,7 @@ let stats name threads duration keys contains_pct trace_events json_file =
    every RCU flavour unless one is named; non-zero torture errors exit 1,
    usage errors (unknown flavour / fault point, bad spec) exit 2. *)
 let torture flavour seed fault_specs stall_ms stall_mode readers writers
-    updates use_defer park_ms verbose =
+    updates use_defer use_poll park_ms verbose =
   let faults =
     List.map
       (fun spec ->
@@ -281,6 +281,7 @@ let torture flavour seed fault_specs stall_ms stall_mode readers writers
       writers;
       updates_per_writer = updates;
       use_defer;
+      use_poll;
       reader_park_ms = park_ms;
       faults;
       stall_ms;
@@ -516,6 +517,16 @@ let torture_cmd =
             "Writers free through the deferred-reclamation queue (exercises \
              $(b,defer.flush)).")
   in
+  let use_poll =
+    Arg.(
+      value & flag
+      & info [ "poll" ]
+          ~doc:
+            "Writers free through the polled grace-period path: take a \
+             cookie with $(b,read_gp_seq) after unpublishing, dawdle, then \
+             $(b,cond_synchronize) — exercising grace-period elision and \
+             coalescing.")
+  in
   let park_ms =
     Arg.(
       value & opt int 0
@@ -536,7 +547,8 @@ let torture_cmd =
           ROBUSTNESS.md).")
     Term.(
       const torture $ flavour $ seed $ faults $ stall_ms $ stall_mode
-      $ readers $ writers $ updates $ use_defer $ park_ms $ verbose)
+      $ readers $ writers $ updates $ use_defer $ use_poll $ park_ms
+      $ verbose)
 
 let main =
   Cmd.group

@@ -347,7 +347,11 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
             if Fault.enabled () then Fault.inject fault_delete_window;
             (* Wait for pre-existing readers: any search that could still
                find the successor only in its old position completes before
-               we unlink it (line 74). *)
+               we unlink it (line 74). Deliberately the synchronous form —
+               the unlink below must not happen earlier — but with many
+               updaters deleting concurrently these calls now coalesce
+               inside [synchronize] (piggybacking on a grace period already
+               in flight) rather than each driving its own scan. *)
             R.synchronize t.rcu;
             succ.marked <- true;
             if prev_succ == curr then begin

@@ -10,19 +10,33 @@ module Make (R : Rcu_intf.S) = struct
     mutable queue : (unit -> unit) list; (* newest first *)
     mutable queued : int;
     mutable executed : int;
+    (* Grace-period cookie taken at the newest enqueue. [read_gp_seq] is
+       monotonic, so a grace period elapsing past this cookie covers every
+       callback in the queue — and if one already has by flush time, the
+       synchronize is provably redundant and elided. *)
+    mutable gp : R.gp_state option;
   }
 
   let create ?(batch = 32) rcu =
     if batch <= 0 then invalid_arg "Defer.create: batch must be positive";
-    { rcu; batch; queue = []; queued = 0; executed = 0 }
+    { rcu; batch; queue = []; queued = 0; executed = 0; gp = None }
 
   let flush t =
     if t.queued > 0 then begin
       let callbacks = List.rev t.queue in
-      let n = List.length callbacks in
+      let n = t.queued in
       t.queue <- [];
       t.queued <- 0;
-      R.synchronize t.rcu;
+      (match t.gp with
+      | Some gp ->
+          if R.poll t.rcu gp then begin
+            if Repro_sync.Metrics.enabled () then
+              Repro_sync.Stats.incr Repro_sync.Metrics.defer_gp_elided
+                (Repro_sync.Metrics.slot ())
+          end;
+          R.cond_synchronize t.rcu gp
+      | None -> R.synchronize t.rcu);
+      t.gp <- None;
       if Repro_fault.Fault.enabled () && Repro_fault.Fault.fires fault_flush
       then R.synchronize t.rcu;
       List.iter (fun f -> f ()) callbacks;
@@ -38,6 +52,7 @@ module Make (R : Rcu_intf.S) = struct
   let defer t f =
     t.queue <- f :: t.queue;
     t.queued <- t.queued + 1;
+    t.gp <- Some (R.read_gp_seq t.rcu);
     if t.queued >= t.batch then flush t
 
   (* Teardown: flush until the queue is empty, including callbacks that

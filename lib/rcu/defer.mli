@@ -19,7 +19,12 @@ module Make (R : Rcu_intf.S) : sig
   (** Enqueue [f] to run after a future grace period. May flush. *)
 
   val flush : t -> unit
-  (** Force a grace period and run all pending callbacks now. *)
+  (** Run all pending callbacks after a grace period. The grace-period
+      cookie recorded at the newest {!defer} makes the wait conditional
+      ([R.cond_synchronize]): if a full grace period already elapsed since
+      that enqueue — e.g. another updater synchronized in the meantime —
+      the synchronize is elided entirely (counted by the
+      [defer_gp_elided] metric). *)
 
   val drain : t -> unit
   (** Flush repeatedly until nothing is pending, including callbacks

@@ -9,9 +9,18 @@
       set, waits until the word changes — i.e. the reader either finished
       ([flag] cleared) or started a later section ([count] increased).
 
-    Concurrent [synchronize] calls do not coordinate and take no lock, which
-    is exactly what lets Citrus scale with many updaters (Figure 8, right).
-    The count only grows, so "the word changed" is ABA-safe. *)
+    Concurrent [synchronize] calls take no lock, which is exactly what lets
+    Citrus scale with many updaters (Figure 8, right). The count only
+    grows, so "the word changed" is ABA-safe.
+
+    On top of the paper's design this implementation numbers its slot
+    scans ([gp_started]/[gp_completed], the lock-free analogue of Linux's
+    [gp_seq]) to support the {!Rcu_intf.S.poll} API and to {e coalesce}
+    concurrent synchronizers: a [synchronize] that finds a scan already in
+    flight waits for the completed number to pass its own snapshot instead
+    of re-walking the slots, and a scan overtaken by a later one aborts
+    early. See DESIGN.md ("Grace-period sequence numbers and coalescing")
+    for the encoding and the proof sketch. *)
 
 include Rcu_intf.S
 

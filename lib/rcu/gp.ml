@@ -1,0 +1,10 @@
+(* Process-global grace-period coalescing switch. Lives in its own module
+   (like Stall) so all three flavours consult one flag and the benchmark
+   harness can A/B the exact same binary: `bench/main.exe -- gp` measures
+   every flavour with coalescing off (the pre-coalescing independent-scan
+   behaviour) and on, and reports the ratio. *)
+
+let coalesce = Atomic.make true
+
+let set_coalescing b = Atomic.set coalesce b
+let coalescing () = Atomic.get coalesce

@@ -1,0 +1,20 @@
+(** Process-global grace-period coalescing switch.
+
+    All three RCU flavours coalesce concurrent [synchronize] calls by
+    default: a synchronizer that observes a full grace period elapsing
+    past its own snapshot (driven by a concurrent synchronizer) returns
+    without driving one itself. This module holds the single flag that
+    disables the optimization, so `bench/main.exe -- gp` can measure the
+    uncoalesced baseline in the same binary. Correctness does not depend
+    on the flag in either position — coalescing only elides redundant
+    waits, never required ones.
+
+    The flag is consulted on the [synchronize] slow path only (one atomic
+    load); the sequence counters behind {!Rcu_intf.S.poll} are maintained
+    regardless, so polling works even with coalescing off. *)
+
+val set_coalescing : bool -> unit
+(** Enable (default) or disable coalescing, process-wide. Benchmarks
+    must restore the default when done. *)
+
+val coalescing : unit -> bool

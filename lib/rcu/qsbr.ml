@@ -11,9 +11,25 @@ module Fault = Repro_fault.Fault
    snapshot is >= gp. *)
 
 type t = {
-  gp : int Atomic.t; (* odd, monotonically increasing *)
+  gp : int Atomic.t; (* odd, monotonically increasing; advances per scan *)
   slots : int Atomic.t Registry.t;
   gps : int Atomic.t;
+  (* [gp_completed] is the highest scan target fully waited for: some scan
+     with target [>= t] observed every online slot at or past its target.
+     Scan targets are unique (each scan advances [gp] by 2 and targets the
+     result), so [gp_completed >= gp_at_snapshot + 2] proves a scan whose
+     counter advance — and therefore whose slot checks — happened entirely
+     after the snapshot, i.e. a full grace period elapsed past it. *)
+  gp_completed : int Atomic.t;
+  (* Scans in flight: the coalescing gate (see Epoch_rcu for the shared
+     waiter/fallback structure). *)
+  scanning : int Atomic.t;
+  (* Wait queue for piggybacking synchronizers (see Epoch_rcu): scanners
+     broadcast after every scan, waiters block instead of polling. *)
+  mu : Mutex.t;
+  cond : Condition.t;
+  (* Synchronizers blocked on [cond] (see Epoch_rcu). *)
+  waiters : int Atomic.t;
 }
 
 type thread = {
@@ -22,6 +38,10 @@ type thread = {
   slot : int Atomic.t;
   mutable nesting : int;
 }
+
+type gp_state = int
+(* The scan target that must complete: snapshot s satisfied once
+   [gp_completed >= s]. *)
 
 let name = "qsbr"
 
@@ -37,6 +57,11 @@ let create ?(max_threads = 128) () =
       Registry.create ~capacity:max_threads ~make:(fun _ ->
           Repro_sync.Padding.spaced_atomic 0);
     gps = Atomic.make 0;
+    gp_completed = Atomic.make 0;
+    scanning = Atomic.make 0;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    waiters = Atomic.make 0;
   }
 
 let register rcu =
@@ -85,60 +110,145 @@ let read_unlock th =
     Trace.record Read_exit th.index
   end
 
-let synchronize rcu =
-  let t0 = Metrics.now_ns () in
-  Trace.record Sync_start 0;
-  (* Advance the grace period, then wait for each online thread to catch
-     up or go offline. Lock-free: concurrent synchronizers just wait for
-     (at least) their own period. *)
+let read_gp_seq rcu = Atomic.get rcu.gp + 2
+let poll rcu snap = Atomic.get rcu.gp_completed >= snap
+
+let rec post_completed completed n =
+  let cur = Atomic.get completed in
+  if cur < n && not (Atomic.compare_and_set completed cur n) then
+    post_completed completed n
+
+(* One scan: advance the grace period, then wait for each online thread to
+   catch up or go offline. Lock-free: concurrent scans wait for (at least)
+   their own target. With coalescing on, a scan overtaken by a later one
+   (a scan with a higher target posted [gp_completed] past ours, and its
+   counter advance followed ours) aborts its remaining slot waits. *)
+let scan rcu t0 =
   let target = Atomic.fetch_and_add rcu.gp 2 + 2 in
   if Fault.enabled () then Fault.inject fault_wait;
-  (if not (Stall.armed ()) then
-     (* Watchdog off (the default): the exact pre-watchdog wait loop. *)
-     Registry.iter
-       (fun slot ->
-         let b = Backoff.create () in
-         let rec wait () =
-           let v = Atomic.get slot in
-           if v <> 0 && v < target then begin
-             Backoff.once b;
-             wait ()
-           end
-         in
-         wait ())
-       rcu.slots
-   else begin
-     let thr = Stall.threshold_ns () in
-     Registry.iteri
-       (fun i slot ->
-         let b = Backoff.create () in
-         let deadline = ref (t0 + thr) in
-         let rec wait () =
-           let v = Atomic.get slot in
-           if v <> 0 && v < target then begin
-             Backoff.once b;
-             let now = Metrics.now_ns () in
-             if now > !deadline then begin
-               let v = Atomic.get slot in
-               if v <> 0 && v < target then
-                 (* nesting: 1 = online behind the target; phase: the
-                    grace-period snapshot the reader is stuck at. *)
-                 Stall.note
-                   (Stall.report ~flavour:name ~slot:i ~nesting:1 ~phase:v
-                      ~elapsed_ns:(now - t0)
-                      ~grace_periods:(Atomic.get rcu.gps));
-               deadline := now + thr
-             end;
-             wait ()
-           end
-         in
-         wait ())
-       rcu.slots
-   end);
+  let overtaken () =
+    Gp.coalescing () && Atomic.get rcu.gp_completed >= target
+  in
+  let armed = Stall.armed () in
+  let thr = if armed then Stall.threshold_ns () else 0 in
+  let n = Registry.capacity rcu.slots in
+  let i = ref 0 in
+  let aborted = ref false in
+  while (not !aborted) && !i < n do
+    let slot = Registry.get rcu.slots !i in
+    let b = Backoff.create () in
+    let deadline = ref (t0 + thr) in
+    let waiting = ref true in
+    while !waiting do
+      let v = Atomic.get slot in
+      if not (v <> 0 && v < target) then waiting := false
+      else if overtaken () then begin
+        aborted := true;
+        waiting := false
+      end
+      else begin
+        Backoff.once b;
+        if armed then begin
+          let now = Metrics.now_ns () in
+          if now > !deadline then begin
+            let v = Atomic.get slot in
+            if v <> 0 && v < target then
+              (* nesting: 1 = online behind the target; phase: the
+                 grace-period snapshot the reader is stuck at. *)
+              Stall.note
+                (Stall.report ~flavour:name ~slot:!i ~nesting:1 ~phase:v
+                   ~elapsed_ns:(now - t0)
+                   ~grace_periods:(Atomic.get rcu.gps));
+            deadline := now + thr
+          end
+        end
+      end
+    done;
+    incr i
+  done;
+  if not !aborted then post_completed rcu.gp_completed target
+
+let synchronize rcu =
+  let t0 = Metrics.now_ns () in
+  Trace.record Sync_start (Metrics.slot ());
+  (* Snapshot before anything else: satisfied once a scan targeting at
+     least [gp + 2] completes — such a scan advanced the counter, and then
+     checked every slot, after this point. *)
+  let snap = Atomic.get rcu.gp + 2 in
+  let coalesced = ref false in
+  let finished = ref false in
+  while not !finished do
+    if Gp.coalescing () && Atomic.get rcu.gp_completed >= snap then begin
+      (* A scan targeting >= [snap] already finished: someone else's grace
+         period covers this call entirely. *)
+      coalesced := true;
+      finished := true
+    end
+    else if (not (Gp.coalescing ())) || Atomic.get rcu.scanning = 0 then begin
+      (* Drive a scan ourselves; its target is taken after [snap], so one
+         scan always suffices. *)
+      coalesced := false;
+      Atomic.incr rcu.scanning;
+      Fun.protect
+        ~finally:(fun () ->
+          (* Wake the piggybackers whether the scan completed, aborted as
+             overtaken, or raised — they re-check and either return or
+             take over the scanning themselves. *)
+          Atomic.decr rcu.scanning;
+          Mutex.lock rcu.mu;
+          Condition.broadcast rcu.cond;
+          Mutex.unlock rcu.mu)
+        (fun () ->
+          (* Cede the CPU before the scan claims its target, so newly
+             woken synchronizers snapshot below it and the scan covers
+             them (see Epoch_rcu). *)
+          if Gp.coalescing () && Atomic.get rcu.waiters > 0 then
+            Unix.sleepf 1e-9;
+          scan rcu t0);
+      finished := true
+    end
+    else begin
+      (* Piggyback on the scan in flight, with the adaptive
+         spin/nap/block wait (see Epoch_rcu). If the finished scan proves
+         too old and nothing else is scanning, the branch above takes
+         over. The block predicate is re-checked under the mutex so a
+         completion between the gate check and the wait cannot be
+         missed. *)
+      coalesced := true;
+      let covered () = Atomic.get rcu.gp_completed >= snap in
+      let spins = ref 0 in
+      while (not (covered ())) && Atomic.get rcu.scanning > 0 && !spins < 64 do
+        Domain.cpu_relax ();
+        incr spins
+      done;
+      let naps = ref 0 in
+      while (not (covered ())) && Atomic.get rcu.scanning > 0 && !naps < 2 do
+        Unix.sleepf 1e-9;
+        incr naps
+      done;
+      if (not (covered ())) && Atomic.get rcu.scanning > 0 && Gp.coalescing ()
+      then begin
+        Atomic.incr rcu.waiters;
+        Mutex.lock rcu.mu;
+        if
+          (not (covered ()))
+          && Atomic.get rcu.scanning > 0
+          && Gp.coalescing ()
+        then Condition.wait rcu.cond rcu.mu;
+        Mutex.unlock rcu.mu;
+        Atomic.decr rcu.waiters
+      end
+    end
+  done;
   ignore (Atomic.fetch_and_add rcu.gps 1);
   let dt = Metrics.now_ns () - t0 in
-  if Metrics.enabled () then
+  if Metrics.enabled () then begin
     Stats.Timer.record Metrics.grace_period_ns (Metrics.slot ()) dt;
+    if !coalesced then Stats.incr Metrics.sync_coalesced (Metrics.slot ())
+  end;
+  if !coalesced then Trace.record Sync_coalesced (Metrics.slot ());
   Trace.record Sync_end dt
+
+let cond_synchronize rcu snap = if not (poll rcu snap) then synchronize rcu
 
 let grace_periods rcu = Atomic.get rcu.gps

@@ -15,7 +15,15 @@
     the free read side for nested sections.
 
     Native API ([online]/[offline]/[quiescent_state]) is exposed for
-    workloads that batch many read-side sections between announcements. *)
+    workloads that batch many read-side sections between announcements.
+
+    Grace periods are sequence-numbered by the global counter itself (scan
+    targets are unique, and a [gp_completed] high-water mark records the
+    highest target fully waited for) to support {!Rcu_intf.S.poll} and to
+    coalesce concurrent synchronizers exactly as in {!Epoch_rcu}: a
+    synchronizer that finds a scan in flight waits for the completed number
+    to pass its snapshot instead of re-walking the slots. See DESIGN.md
+    ("Grace-period sequence numbers and coalescing"). *)
 
 include Rcu_intf.S
 

@@ -4,6 +4,7 @@ module Epoch = Epoch_rcu
 module Urcu = Urcu
 module Qsbr = Qsbr
 module Stall = Stall
+module Gp = Gp
 
 exception Stalled = Stall.Stalled
 

@@ -22,6 +22,11 @@ module Stall : module type of Stall
 (** The grace-period stall watchdog shared by all flavours (arm/disarm,
     report shape, handler). See {!Stall}. *)
 
+module Gp : module type of Gp
+(** The process-global grace-period coalescing switch shared by all
+    flavours (on by default; benchmarks flip it to measure the
+    uncoalesced baseline). See {!Gp}. *)
+
 exception Stalled of Stall.report
 (** Raised by [synchronize] when the watchdog is armed in [Fail] mode and
     a reader blocks the grace period past the threshold. The aborted

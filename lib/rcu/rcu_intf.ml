@@ -39,8 +39,49 @@ module type S = sig
   val synchronize : t -> unit
   (** Grace period: block until every read-side critical section that was in
       progress when [synchronize] was invoked has completed. Must be called
-      outside any read-side critical section. *)
+      outside any read-side critical section.
+
+      Concurrent [synchronize] calls {e coalesce}: a call that observes a
+      full grace period elapsing after its own invocation — driven by a
+      concurrent synchronizer — returns without driving one itself (see
+      {!Repro_rcu.Gp} for the process-global switch benchmarks use to
+      disable coalescing). The guarantee above is unchanged. *)
+
+  (** {2 Sequence-numbered grace periods}
+
+      The polling API of Linux RCU ([get_state_synchronize_rcu] /
+      [poll_state_synchronize_rcu] / [cond_synchronize_rcu]): each flavour
+      maintains a monotonically increasing grace-period sequence, and a
+      caller can snapshot it, later ask cheaply whether a full grace period
+      has elapsed past the snapshot, and pay for a grace period only when
+      one has not. *)
+
+  type gp_state
+  (** An opaque grace-period sequence snapshot ("cookie"). Encodes the
+      sequence number a future grace period must complete for the snapshot
+      to be satisfied (snapshot-before / completed-after). *)
+
+  val read_gp_seq : t -> gp_state
+  (** Snapshot the grace-period sequence. [poll] on the returned state
+      becomes true only once every read-side critical section in progress
+      at this call has completed. May be called anywhere, including inside
+      a read-side critical section. *)
+
+  val poll : t -> gp_state -> bool
+  (** [poll t st] is true iff a full grace period has elapsed since
+      [read_gp_seq] returned [st]: every reader that was inside a critical
+      section at the snapshot has left it. Never blocks; O(1). Once true,
+      stays true. Note that nothing advances the sequence by itself — if no
+      thread drives grace periods, [poll] can remain false forever. *)
+
+  val cond_synchronize : t -> gp_state -> unit
+  (** [cond_synchronize t st]: a no-op if [poll t st] already holds,
+      otherwise a full [synchronize]. Either way, on return every read-side
+      critical section that was in progress at the [read_gp_seq] that
+      produced [st] has completed. Must be called outside any read-side
+      critical section. *)
 
   val grace_periods : t -> int
-  (** Number of completed [synchronize] calls (statistics). *)
+  (** Number of completed [synchronize] calls (statistics). Coalesced calls
+      count: they return with the same guarantee as any other. *)
 end

@@ -30,6 +30,7 @@ type config = {
   nest : bool;
   reader_delay : bool;
   use_defer : bool;
+  use_poll : bool;
   reader_park_ms : int;
   faults : (string * float * Fault.action option) list;
   stall_ms : int;
@@ -46,6 +47,7 @@ let default =
     nest = false;
     reader_delay = false;
     use_defer = false;
+    use_poll = false;
     reader_park_ms = 0;
     faults = [];
     stall_ms = 0;
@@ -128,6 +130,18 @@ module Make (R : Rcu_intf.S) = struct
                let old = Atomic.exchange slot fresh in
                match defer with
                | Some d -> Defer.defer d (fun () -> old.freed <- true)
+               | None when cfg.use_poll ->
+                   (* Cookie taken after unpublishing, then a dawdle: with
+                      several writers, another writer's grace period often
+                      elapses past the cookie meanwhile, so this hammers
+                      the poll/cond_synchronize elision path while the
+                      readers verify it never frees early. *)
+                   let gp = R.read_gp_seq r in
+                   for _ = 1 to Rng.int rng 100 do
+                     Domain.cpu_relax ()
+                   done;
+                   R.cond_synchronize r gp;
+                   old.freed <- true
                | None ->
                    R.synchronize r;
                    old.freed <- true

@@ -22,6 +22,11 @@ type config = {
   nest : bool;  (** readers use nested read-side sections *)
   reader_delay : bool;  (** readers dawdle inside the critical section *)
   use_defer : bool;  (** writers free through [Defer] instead of inline *)
+  use_poll : bool;
+      (** writers take a grace-period cookie ([read_gp_seq]) after
+          unpublishing, dawdle, then free through [cond_synchronize] —
+          exercising the polled/elided grace-period path instead of an
+          unconditional [synchronize] *)
   reader_park_ms : int;
       (** if > 0, reader 0 parks this long inside one critical section at
           start — the canonical stalled-grace-period schedule *)

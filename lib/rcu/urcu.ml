@@ -18,6 +18,11 @@ type t = {
   slots : int Atomic.t Registry.t;
   gp_lock : Spinlock.t;
   gps : int Atomic.t;
+  (* Grace-period sequence, Linux gp_seq encoding in one word:
+     [(completed lsl 1) lor in_progress]. Only the gp_lock holder writes
+     it; transitions are idle(k) -> in-progress(k) -> idle(k+1), so the
+     word is monotonic and [gp_seq lsr 1] is the completed count. *)
+  gp_seq : int Atomic.t;
 }
 
 type thread = {
@@ -25,6 +30,9 @@ type thread = {
   index : int;
   slot : int Atomic.t;
 }
+
+type gp_state = int
+(* A completed-count target: satisfied once [gp_seq lsr 1 >= snap]. *)
 
 let name = "urcu"
 
@@ -41,6 +49,7 @@ let create ?(max_threads = 128) () =
           Repro_sync.Padding.spaced_atomic 0);
     gp_lock = Spinlock.create ();
     gps = Atomic.make 0;
+    gp_seq = Atomic.make 0;
   }
 
 let register rcu =
@@ -113,35 +122,67 @@ let wait_for_readers rcu t0 =
       rcu.slots
   end
 
+(* A snapshot is satisfied once the completed count reaches it. If a grace
+   period is in progress at snapshot time ([in_progress] set), it may have
+   flipped the phase before our updates were published, so the snapshot
+   must demand the *next* full grace period: completed + 2 in-progress vs
+   completed + 1 idle — the same "one extra if started" rule as Linux's
+   get_state_synchronize_rcu. *)
+let read_gp_seq rcu =
+  let s = Atomic.get rcu.gp_seq in
+  (s lsr 1) + 1 + (s land 1)
+
+let poll rcu snap = Atomic.get rcu.gp_seq lsr 1 >= snap
+
 let synchronize rcu =
   (* The grace-period timer starts before the gp_lock acquisition: queueing
      on that global lock is precisely the updater serialization Figure 8
      measures, so it counts as grace-period time. The lock's own wait also
      lands in lock_wait_ns via the instrumented spinlock. *)
   let t0 = Metrics.now_ns () in
-  Trace.record Sync_start 0;
+  Trace.record Sync_start (Metrics.slot ());
+  let snap = read_gp_seq rcu in
   Spinlock.acquire rcu.gp_lock;
-  if Fault.enabled () then Fault.inject fault_pre_flip;
-  (* Two phase flips, as in liburcu: a single flip cannot distinguish a
-     reader that started just before the flip from one that started just
-     after, so the grace period performs the handshake twice. *)
-  (try
-     Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
-     wait_for_readers rcu t0;
-     Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
-     wait_for_readers rcu t0
-   with e ->
-     (* Stall.Stalled in fail mode: release the global lock so other
-        updaters are not wedged behind an abandoned grace period. The
-        phase flips already performed are harmless — the next synchronize
-        flips again and waits properly. *)
-     Spinlock.release rcu.gp_lock;
-     raise e);
+  (* Re-check after the lock queue: every grace period that completed while
+     we waited was driven under this lock, after our snapshot — if one of
+     them covers us we piggyback on it instead of flipping again. This is
+     what turns N queued synchronizers into O(1) grace periods instead of
+     N back-to-back ones. *)
+  let coalesced = Gp.coalescing () && poll rcu snap in
+  if not coalesced then begin
+    if Fault.enabled () then Fault.inject fault_pre_flip;
+    let completed = Atomic.get rcu.gp_seq lsr 1 in
+    Atomic.set rcu.gp_seq ((completed lsl 1) lor 1);
+    (* Two phase flips, as in liburcu: a single flip cannot distinguish a
+       reader that started just before the flip from one that started just
+       after, so the grace period performs the handshake twice. *)
+    (try
+       Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
+       wait_for_readers rcu t0;
+       Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
+       wait_for_readers rcu t0
+     with e ->
+       (* Stall.Stalled in fail mode: clear the in-progress bit (the grace
+          period did not complete; leaving the bit set would make every
+          later snapshot demand one extra grace period forever) and release
+          the global lock so other updaters are not wedged behind an
+          abandoned grace period. The phase flips already performed are
+          harmless — the next synchronize flips again and waits properly. *)
+       Atomic.set rcu.gp_seq (completed lsl 1);
+       Spinlock.release rcu.gp_lock;
+       raise e);
+    Atomic.set rcu.gp_seq ((completed + 1) lsl 1)
+  end;
   ignore (Atomic.fetch_and_add rcu.gps 1);
   Spinlock.release rcu.gp_lock;
   let dt = Metrics.now_ns () - t0 in
-  if Metrics.enabled () then
+  if Metrics.enabled () then begin
     Stats.Timer.record Metrics.grace_period_ns (Metrics.slot ()) dt;
+    if coalesced then Stats.incr Metrics.sync_coalesced (Metrics.slot ())
+  end;
+  if coalesced then Trace.record Sync_coalesced (Metrics.slot ());
   Trace.record Sync_end dt
+
+let cond_synchronize rcu snap = if not (poll rcu snap) then synchronize rcu
 
 let grace_periods rcu = Atomic.get rcu.gps

@@ -8,7 +8,15 @@
 
     The global lock is deliberate: it is what makes this implementation
     collapse when many updaters synchronize concurrently, which the paper
-    demonstrates and then fixes with {!Epoch_rcu}. *)
+    demonstrates and then fixes with {!Epoch_rcu}.
+
+    Grace periods are numbered with a single [gp_seq] word in the Linux
+    encoding ([(completed lsl 1) lor in_progress], written only under the
+    lock) to support {!Rcu_intf.S.poll}; a [synchronize] that queued on the
+    lock re-checks the sequence after acquiring it and, if a grace period
+    completed past its snapshot while it waited, returns without flipping —
+    N queued synchronizers coalesce into O(1) grace periods. See DESIGN.md
+    ("Grace-period sequence numbers and coalescing"). *)
 
 include Rcu_intf.S
 

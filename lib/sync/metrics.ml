@@ -23,6 +23,8 @@ let now_ns = Trace.now_ns
 let rcu_read_sections = Stats.create "rcu_read_sections"
 let rcu_stalls = Stats.create "rcu_stalls"
 let grace_period_ns = Stats.Timer.create "grace_period_ns"
+let sync_coalesced = Stats.create "sync_coalesced"
+let defer_gp_elided = Stats.create "defer_gp_elided"
 let lock_acquires = Stats.create "lock_acquires"
 let lock_contended = Stats.create "lock_contended"
 let lock_wait_ns = Stats.Timer.create "lock_wait_ns"
@@ -34,6 +36,8 @@ let reset () =
   Stats.reset rcu_read_sections;
   Stats.reset rcu_stalls;
   Stats.Timer.reset grace_period_ns;
+  Stats.reset sync_coalesced;
+  Stats.reset defer_gp_elided;
   Stats.reset lock_acquires;
   Stats.reset lock_contended;
   Stats.Timer.reset lock_wait_ns;
@@ -50,6 +54,8 @@ let snapshot () =
     ( "grace_period_total_ns",
       float_of_int (Stats.Timer.total_ns grace_period_ns) );
     ("grace_period_max_ns", float_of_int (Stats.Timer.max_ns grace_period_ns));
+    ("sync_coalesced", float_of_int (Stats.read sync_coalesced));
+    ("defer_gp_elided", float_of_int (Stats.read defer_gp_elided));
     ("lock_acquires", float_of_int (Stats.read lock_acquires));
     ("lock_contended", float_of_int (Stats.read lock_contended));
     ("lock_wait_mean_ns", Stats.Timer.mean_ns lock_wait_ns);

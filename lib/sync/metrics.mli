@@ -42,6 +42,17 @@ val grace_period_ns : Stats.Timer.t
 (** One sample per completed [synchronize] call, valued at its duration —
     the count is the number of grace periods paid, the mean their cost. *)
 
+val sync_coalesced : Stats.t
+(** [synchronize] calls that returned by piggybacking on a grace period
+    driven by a concurrent synchronizer instead of driving their own
+    (all RCU flavours). [sync_coalesced / grace_periods] is the fraction
+    of grace-period waits the coalescing machinery elided. *)
+
+val defer_gp_elided : Stats.t
+(** Deferred-reclamation flushes that skipped their grace-period wait
+    entirely because the sequence recorded at enqueue time had already
+    been overtaken ([Defer.flush] via [poll]/[cond_synchronize]). *)
+
 val lock_acquires : Stats.t
 (** Successful lock acquisitions (spinlock + ticket lock). *)
 

@@ -28,6 +28,7 @@ type kind =
   | Restart
   | Defer_flush
   | Stall
+  | Sync_coalesced
 
 let kind_to_string = function
   | Read_enter -> "read_enter"
@@ -39,6 +40,7 @@ let kind_to_string = function
   | Restart -> "restart"
   | Defer_flush -> "defer_flush"
   | Stall -> "stall"
+  | Sync_coalesced -> "sync_coalesced"
 
 let kind_index = function
   | Read_enter -> 0
@@ -50,6 +52,7 @@ let kind_index = function
   | Restart -> 6
   | Defer_flush -> 7
   | Stall -> 8
+  | Sync_coalesced -> 9
 
 let kind_of_index = function
   | 0 -> Read_enter
@@ -60,6 +63,7 @@ let kind_of_index = function
   | 5 -> Lock_contended
   | 6 -> Restart
   | 7 -> Defer_flush
+  | 9 -> Sync_coalesced
   | _ -> Stall
 
 type event = {

@@ -17,7 +17,9 @@
 type kind =
   | Read_enter  (** outermost RCU [read_lock]; arg = reader slot index *)
   | Read_exit  (** outermost RCU [read_unlock]; arg = reader slot index *)
-  | Sync_start  (** [synchronize] invoked; arg = 0 *)
+  | Sync_start  (** [synchronize] invoked; arg = calling domain's id, so
+                    traces from concurrent synchronizers are
+                    distinguishable *)
   | Sync_end  (** [synchronize] returned; arg = grace-period duration (ns) *)
   | Lock_acquire  (** uncontended lock acquisition; arg = 0 *)
   | Lock_contended  (** lock acquired after spinning; arg = wait (ns) *)
@@ -26,6 +28,11 @@ type kind =
   | Stall
       (** grace-period stall report emitted (see [Repro_rcu.Stall]);
           arg = blocking reader slot index *)
+  | Sync_coalesced
+      (** [synchronize] returned by piggybacking on a concurrent
+          synchronizer's grace period instead of driving its own;
+          arg = calling domain's id. Always followed by the matching
+          [Sync_end]. *)
 
 val kind_to_string : kind -> string
 

@@ -184,6 +184,106 @@ module Behaviour (R : Repro_rcu.Rcu.S) = struct
     Domain.join reader;
     checkb "grace periods all completed" true (R.grace_periods r >= n * per)
 
+  (* --- Grace-period sequence numbers (read_gp_seq / poll /
+     cond_synchronize) --- *)
+
+  let test_gp_seq_advances () =
+    let r = R.create () in
+    let snap = R.read_gp_seq r in
+    checkb "fresh snapshot not yet satisfied" false (R.poll r snap);
+    R.synchronize r;
+    checkb "satisfied after one grace period" true (R.poll r snap);
+    (* A snapshot taken now demands a *future* grace period. *)
+    checkb "new snapshot not satisfied by old GP" false
+      (R.poll r (R.read_gp_seq r))
+
+  (* poll must never report completion while a reader that pre-dates the
+     snapshot is still inside its critical section: the only way
+     [gp_completed] advances past the snapshot is a full scan, and that
+     scan is blocked by the parked reader. *)
+  let test_poll_never_early () =
+    let r = R.create () in
+    let ready = Barrier.create 2 in
+    let release = Atomic.make false in
+    let exited = Atomic.make false in
+    let reader =
+      Domain.spawn (fun () ->
+          let th = R.register r in
+          R.read_lock th;
+          Barrier.wait ready;
+          while not (Atomic.get release) do
+            Domain.cpu_relax ()
+          done;
+          Atomic.set exited true;
+          R.read_unlock th;
+          R.unregister th)
+    in
+    Barrier.wait ready;
+    (* The reader is parked inside its critical section. *)
+    let snap = R.read_gp_seq r in
+    let syncer = Domain.spawn (fun () -> R.synchronize r) in
+    for _ = 1 to 5 do
+      Unix.sleepf 0.01;
+      checkb "poll false while pre-existing reader parked" false
+        (R.poll r snap)
+    done;
+    Atomic.set release true;
+    Domain.join reader;
+    Domain.join syncer;
+    checkb "poll true after grace period" true (R.poll r snap);
+    checkb "reader had exited" true (Atomic.get exited)
+
+  (* cond_synchronize after the grace period already elapsed must be a
+     no-op: no new grace period is driven (the [grace_periods] counter
+     ticks on every synchronize return, so a no-op leaves it alone). *)
+  let test_cond_synchronize_elided () =
+    let r = R.create () in
+    let snap = R.read_gp_seq r in
+    R.synchronize r;
+    let gp0 = R.grace_periods r in
+    R.cond_synchronize r snap;
+    checki "elided: no extra grace period" gp0 (R.grace_periods r);
+    (* An unsatisfied snapshot still forces a real synchronize. *)
+    let fresh = R.read_gp_seq r in
+    R.cond_synchronize r fresh;
+    checki "unsatisfied snapshot drives a grace period" (gp0 + 1)
+      (R.grace_periods r);
+    checkb "and satisfies it" true (R.poll r fresh)
+
+  (* The coalescing fast paths must not weaken the synchronize guarantee:
+     several domains synchronizing at once (so most of them piggyback on
+     a shared grace period) must all still wait out a pre-existing
+     reader. *)
+  let test_coalesced_synchronize_keeps_guarantee () =
+    let n = 4 in
+    let r = R.create () in
+    let ready = Barrier.create (n + 1) in
+    let reader_done = Atomic.make false in
+    let early = Atomic.make 0 in
+    let reader =
+      Domain.spawn (fun () ->
+          let th = R.register r in
+          R.read_lock th;
+          Barrier.wait ready;
+          Unix.sleepf 0.05;
+          Atomic.set reader_done true;
+          R.read_unlock th;
+          R.unregister th)
+    in
+    let syncers =
+      List.init n (fun _ ->
+          Domain.spawn (fun () ->
+              Barrier.wait ready;
+              for _ = 1 to 20 do
+                R.synchronize r;
+                if not (Atomic.get reader_done) then Atomic.incr early
+              done))
+    in
+    List.iter Domain.join syncers;
+    Domain.join reader;
+    checki "no synchronize returned before the pre-existing reader" 0
+      (Atomic.get early)
+
   let suite name =
     ( name,
       [
@@ -201,6 +301,12 @@ module Behaviour (R : Repro_rcu.Rcu.S) = struct
         Alcotest.test_case "publication safety" `Quick test_publication_safety;
         Alcotest.test_case "concurrent synchronizers" `Quick
           test_concurrent_synchronizers;
+        Alcotest.test_case "gp_seq advances" `Quick test_gp_seq_advances;
+        Alcotest.test_case "poll never early" `Quick test_poll_never_early;
+        Alcotest.test_case "cond_synchronize elided" `Quick
+          test_cond_synchronize_elided;
+        Alcotest.test_case "coalesced synchronize keeps guarantee" `Quick
+          test_coalesced_synchronize_keeps_guarantee;
       ] )
 end
 

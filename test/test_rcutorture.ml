@@ -108,6 +108,30 @@ module Suite (R : Repro_rcu.Rcu.S) = struct
             faults = [ ("defer.flush", 0.5, None) ];
           }
           10;
+        (* Writers snapshot the grace-period sequence at unlink, dawdle,
+           then cond_synchronize: elided waits must still never free an
+           element a pre-existing reader can observe. *)
+        case "polled grace periods (cond_synchronize)"
+          {
+            base with
+            readers = 2;
+            writers = 2;
+            slots = 4;
+            updates_per_writer = 200;
+            use_poll = true;
+          }
+          1;
+        case "polled grace periods under faults"
+          {
+            base with
+            readers = 3;
+            slots = 4;
+            updates_per_writer = 100;
+            use_poll = true;
+            reader_delay = true;
+            faults = [ (sync_fault, 0.3, None) ];
+          }
+          1;
       ] )
 end
 
