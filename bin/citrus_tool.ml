@@ -243,7 +243,7 @@ let stats name threads duration keys contains_pct trace_events json_file =
    every RCU flavour unless one is named; non-zero torture errors exit 1,
    usage errors (unknown flavour / fault point, bad spec) exit 2. *)
 let torture flavour seed fault_specs stall_ms stall_mode readers writers
-    updates use_defer use_poll park_ms verbose =
+    updates use_defer use_poll park_ms sanitize quick verbose =
   let faults =
     List.map
       (fun spec ->
@@ -274,6 +274,7 @@ let torture flavour seed fault_specs stall_ms stall_mode readers writers
           (String.concat ", " Torture.flavours);
         exit 2
   in
+  let updates = if quick then min updates 100 else updates in
   let cfg =
     {
       Torture.default with
@@ -286,15 +287,17 @@ let torture flavour seed fault_specs stall_ms stall_mode readers writers
       faults;
       stall_ms;
       stall_fail = (stall_mode = `Fail);
+      sanitize;
       verbose;
     }
   in
   Printf.printf
     "torture: seed=%d readers=%d writers=%d updates=%d park_ms=%d \
-     stall_ms=%d mode=%s faults=[%s]\n\
+     stall_ms=%d mode=%s sanitize=%b faults=[%s]\n\
      %!"
     seed readers writers updates park_ms stall_ms
     (match stall_mode with `Warn -> "warn" | `Fail -> "fail")
+    sanitize
     (String.concat ", "
        (List.map (fun (nm, rate, _) -> Printf.sprintf "%s=%g" nm rate) faults));
   let failed = ref false in
@@ -302,15 +305,52 @@ let torture flavour seed fault_specs stall_ms stall_mode readers writers
     (fun f ->
       let out = Torture.run_flavour ~seed f cfg in
       Printf.printf
-        "  %-10s errors=%d grace_periods=%d stalls=%d stalled_writers=%d\n%!"
-        f out.Torture.errors out.grace_periods out.stalls out.stalled_writers;
-      if out.errors > 0 then failed := true)
+        "  %-10s errors=%d grace_periods=%d stalls=%d stalled_writers=%d \
+         violations=%d leaks=%d\n\
+         %!"
+        f out.Torture.errors out.grace_periods out.stalls out.stalled_writers
+        out.violations out.leaks;
+      if out.errors > 0 then failed := true;
+      if sanitize && (out.violations > 0 || out.leaks > 0) then failed := true)
     flavours;
   if !failed then begin
-    Printf.eprintf "torture: FAILED (freed elements observed by readers)\n";
+    Printf.eprintf
+      "torture: FAILED (freed elements observed by readers, sanitizer \
+       violations, or leaked deferrals)\n";
     exit 1
   end
   else print_endline "torture: OK"
+
+(* Mutation suite (ROBUSTNESS.md): each seeded grace-period bug must trip
+   the reclamation sanitizer; the matching clean configurations must not.
+   Any escape or control trip exits 1. *)
+let mutants seed attempts skip_controls =
+  let module Mutation = Repro_citrus.Mutation in
+  Printf.printf "mutation suite: seed=%d attempts=%d\n%!" seed attempts;
+  let results = Mutation.all ~seed ~attempts () in
+  List.iter (fun r -> Printf.printf "  %s\n%!" (Mutation.pp_result r)) results;
+  let escaped = List.filter (fun r -> not r.Mutation.caught) results in
+  let tripped =
+    if skip_controls then []
+    else begin
+      let controls = Mutation.controls ~seed () in
+      List.iter
+        (fun r -> Printf.printf "  %s\n%!" (Mutation.pp_result r))
+        controls;
+      List.filter (fun r -> r.Mutation.caught) controls
+    end
+  in
+  if escaped <> [] then begin
+    Printf.eprintf "mutants: FAILED — seeded bug(s) not detected: %s\n"
+      (String.concat ", " (List.map (fun r -> r.Mutation.mutant) escaped));
+    exit 1
+  end;
+  if tripped <> [] then begin
+    Printf.eprintf "mutants: FAILED — control run(s) raised violations: %s\n"
+      (String.concat ", " (List.map (fun r -> r.Mutation.mutant) tripped));
+    exit 1
+  end;
+  print_endline "mutants: OK (all seeded bugs detected, controls clean)"
 
 let balance_demo keys =
   let module T = Repro_citrus.Citrus_int.Epoch in
@@ -535,6 +575,21 @@ let torture_cmd =
             "Park reader 0 inside a read-side critical section this long \
              at start, stalling the grace period on purpose.")
   in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Arm the reclamation sanitizer: every element carries a shadow \
+             record and readers check it on each touch; violations or \
+             leaked deferrals fail the run (see ROBUSTNESS.md).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Cap updates per writer at 100 (CI smoke runs).")
+  in
   let verbose =
     Arg.(
       value & flag
@@ -543,12 +598,38 @@ let torture_cmd =
   Cmd.v
     (Cmd.info "torture"
        ~doc:
-         "rcutorture with fault injection and stall detection (see \
-          ROBUSTNESS.md).")
+         "rcutorture with fault injection, stall detection, and the \
+          reclamation sanitizer (see ROBUSTNESS.md).")
     Term.(
       const torture $ flavour $ seed $ faults $ stall_ms $ stall_mode
       $ readers $ writers $ updates $ use_defer $ use_poll $ park_ms
-      $ verbose)
+      $ sanitize $ quick $ verbose)
+
+let mutants_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Base seed (attempt $(i,i) uses seed+$(i,i)).")
+  in
+  let attempts =
+    Arg.(
+      value & opt int 8
+      & info [ "attempts" ]
+          ~doc:"Attempt budget per mutant before declaring it escaped.")
+  in
+  let skip_controls =
+    Arg.(
+      value & flag
+      & info [ "skip-controls" ]
+          ~doc:"Only run the seeded bugs, not the clean control runs.")
+  in
+  Cmd.v
+    (Cmd.info "mutants"
+       ~doc:
+         "Prove the reclamation sanitizer catches seeded grace-period bugs \
+          (skipped synchronize, single urcu flip, qsbr quiescence inside a \
+          section) and stays quiet on the clean controls.")
+    Term.(const mutants $ seed $ attempts $ skip_controls)
 
 let main =
   Cmd.group
@@ -562,6 +643,7 @@ let main =
       latency_cmd;
       soak_cmd;
       torture_cmd;
+      mutants_cmd;
     ]
 
 let () = exit (Cmd.eval main)

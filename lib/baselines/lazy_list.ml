@@ -1,5 +1,6 @@
 module Spinlock = Repro_sync.Spinlock
 module Backoff = Repro_sync.Backoff
+module San = Repro_sanitizer.Sanitizer
 
 type 'v node = {
   key : int;
@@ -7,9 +8,10 @@ type 'v node = {
   next : 'v node option Atomic.t;
   marked : bool Atomic.t; (* read lock-free by contains/validation *)
   lock : Spinlock.t;
+  mutable shadow : San.record option; (* attached by tests when sanitizing *)
 }
 
-type 'v t = { head : 'v node }
+type 'v t = { head : 'v node; san : San.domain }
 
 let make_node key value next =
   {
@@ -18,24 +20,33 @@ let make_node key value next =
     next = Atomic.make next;
     marked = Atomic.make false;
     lock = Spinlock.create ();
+    shadow = None;
   }
 
 let create () =
   let tail = make_node max_int None None in
-  { head = make_node min_int None (Some tail) }
+  { head = make_node min_int None (Some tail); san = San.create "lazy_list" }
 
 (* Unsynchronized search: (pred, curr) with pred.key < key <= curr.key.
-   curr is never None (the tail sentinel has max_int). *)
-let find t key =
+   curr is never None (the tail sentinel has max_int). [check] runs on
+   every node visited — the read path passes the sanitizer probe, update
+   paths pass nothing (they revalidate under locks and may legitimately
+   traverse nodes a test has marked reclaimed). *)
+let find ?(check = fun _ -> ()) t key =
   let rec go pred =
     match Atomic.get pred.next with
     | None -> assert false (* only the tail has None, and tail.key = max_int *)
-    | Some curr -> if curr.key < key then go curr else (pred, curr)
+    | Some curr ->
+        check curr;
+        if curr.key < key then go curr else (pred, curr)
   in
   go t.head
 
 let contains t key =
-  let _, curr = find t key in
+  let check n =
+    if San.enabled () then Option.iter (fun s -> San.check s) n.shadow
+  in
+  let _, curr = find ~check t key in
   if curr.key = key && not (Atomic.get curr.marked) then curr.value else None
 
 let mem t key = Option.is_some (contains t key)
@@ -103,6 +114,17 @@ let delete t key =
     end
   in
   attempt ()
+
+(* Test hook: give the node holding [key] a shadow record registered in
+   this list's sanitizer domain (None if the key is absent). *)
+let attach_shadow t key =
+  let _, curr = find t key in
+  if curr.key = key && not (Atomic.get curr.marked) then begin
+    let sh = San.register t.san in
+    curr.shadow <- Some sh;
+    Some sh
+  end
+  else None
 
 (* --- Quiescent-state helpers --- *)
 

@@ -28,6 +28,14 @@ val delete : 'v t -> int -> bool
 val size : 'v t -> int
 val to_list : 'v t -> (int * 'v) list
 
+val attach_shadow : 'v t -> int -> Repro_sanitizer.Sanitizer.record option
+(** Test hook for the reclamation sanitizer: attach a freshly registered
+    shadow record to the (unmarked) node holding the key. With the
+    sanitizer armed, [contains] checks shadows on every node its
+    traversal visits; update paths do not (they revalidate under locks).
+    Deletion never touches shadows — the GC reclaims unlinked nodes, so
+    there is no logical free to record. *)
+
 exception Invariant_violation of string
 
 val check_invariants : 'v t -> unit

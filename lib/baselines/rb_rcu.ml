@@ -1,4 +1,5 @@
 module Spinlock = Repro_sync.Spinlock
+module San = Repro_sanitizer.Sanitizer
 
 type color = Red | Black
 
@@ -10,12 +11,14 @@ module Make (R : Repro_rcu.Rcu.S) = struct
     right : 'v node option Atomic.t;
     mutable color : color; (* writer-only (single writer under lock) *)
     mutable parent : 'v node option; (* writer-only *)
+    mutable shadow : San.record option; (* set by delete when sanitizing *)
   }
 
   type 'v t = {
     root : 'v node option Atomic.t;
     writer : Spinlock.t;
     rcu : R.t;
+    san : San.domain;
   }
 
   type 'v handle = { tree : 'v t; rt : R.thread }
@@ -37,23 +40,33 @@ module Make (R : Repro_rcu.Rcu.S) = struct
       root = Atomic.make None;
       writer = Spinlock.create ();
       rcu = R.create ?max_threads ();
+      san = San.create ("rb_rcu/" ^ R.name);
     }
 
   let register tree = { tree; rt = R.register tree.rcu }
   let unregister h = R.unregister h.rt
 
   let contains h key =
+    (* Lock first so the finally may assume it is held; the sanitizer
+       check can raise [San.Violation] and no node locks are held here,
+       so raising (and unwinding through the read unlock) is safe. *)
     R.read_lock h.rt;
-    let rec go = function
-      | None -> None
-      | Some n ->
-          if key < n.key then go (child n left)
-          else if key > n.key then go (child n right)
-          else Some n.value
-    in
-    let r = go (Atomic.get h.tree.root) in
-    R.read_unlock h.rt;
-    r
+    Fun.protect
+      ~finally:(fun () -> R.read_unlock h.rt)
+      (fun () ->
+        let rec go = function
+          | None -> None
+          | Some n ->
+              if San.enabled () then
+                Option.iter
+                  (San.check ~slot:(R.reader_slot h.rt)
+                     ~cookie:(R.reader_cookie h.rt))
+                  n.shadow;
+              if key < n.key then go (child n left)
+              else if key > n.key then go (child n right)
+              else Some n.value
+        in
+        go (Atomic.get h.tree.root))
 
   let mem h key = Option.is_some (contains h key)
 
@@ -91,6 +104,7 @@ module Make (R : Repro_rcu.Rcu.S) = struct
         parent = Some y;
         left = Atomic.make (if d = left then a else b);
         right = Atomic.make (if d = left then b else a);
+        shadow = None;
       }
     in
     set_parent a (Some x');
@@ -160,6 +174,7 @@ module Make (R : Repro_rcu.Rcu.S) = struct
               parent;
               left = Atomic.make None;
               right = Atomic.make None;
+              shadow = None;
             }
           in
           (match parent with
@@ -271,15 +286,36 @@ module Make (R : Repro_rcu.Rcu.S) = struct
                   parent = z.parent;
                   left = Atomic.make (child z left);
                   right = Atomic.make (child z right);
+                  shadow = None;
                 }
               in
               set_parent (child z' left) (Some z');
               set_parent (child z' right) (Some z');
               swing t z (Some z');
+              let sh =
+                if San.enabled () then begin
+                  let sh = San.register t.san in
+                  s.shadow <- Some sh;
+                  San.on_defer sh ~gp:(R.gp_cookie t.rcu);
+                  Some sh
+                end
+                else None
+              in
               (* Readers searching for s.key may still be between z and s:
                  let them finish before s disappears from its old spot. *)
               R.synchronize t.rcu;
               bypass t s;
+              (match sh with
+              | None -> ()
+              | Some sh ->
+                  (* The first grace period only licenses the bypass above:
+                     readers that entered during it may legally traverse [s]
+                     right up to the unlink. Only after a second grace
+                     period is touching [s] a use-after-reclaim, so the
+                     shadow flips to Reclaimed here — mirroring where a C
+                     implementation would [free]. *)
+                  R.synchronize t.rcu;
+                  San.on_reclaim ~gp:(R.gp_cookie t.rcu) sh);
               true)
     in
     Spinlock.release t.writer;

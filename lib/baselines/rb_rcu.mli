@@ -16,7 +16,14 @@
       — the same discipline Citrus uses.
 
     The functor takes the RCU flavour; the evaluation instantiates it with
-    the paper's new RCU. *)
+    the paper's new RCU.
+
+    When the reclamation sanitizer ([Repro_sanitizer.Sanitizer]) is armed,
+    the successor unlinked by a two-child delete carries a shadow record
+    ([Deferred] at unpublication, [Reclaimed] one further grace period
+    after the unlink) and [contains] checks every node it visits, raising
+    [Sanitizer.Violation] on a logical use-after-free. Disarmed, the only
+    read-side cost is one branch per visited node. *)
 
 module Make (R : Repro_rcu.Rcu.S) : sig
   type 'v t

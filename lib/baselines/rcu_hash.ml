@@ -1,11 +1,18 @@
 module Spinlock = Repro_sync.Spinlock
+module San = Repro_sanitizer.Sanitizer
 
-type 'v node = { key : int; value : 'v; next : 'v node option Atomic.t }
+type 'v node = {
+  key : int;
+  value : 'v;
+  next : 'v node option Atomic.t;
+  mutable shadow : San.record option; (* attached by tests when sanitizing *)
+}
 
 type 'v t = {
   mask : int;
   chains : 'v node option Atomic.t array;
   locks : Spinlock.t array;
+  san : San.domain;
 }
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
@@ -17,16 +24,22 @@ let create ?(buckets = 1024) () =
     mask = n - 1;
     chains = Array.init n (fun _ -> Atomic.make None);
     locks = Array.init n (fun _ -> Spinlock.create ());
+    san = San.create "rcu_hash";
   }
 
 (* Fibonacci hashing spreads consecutive keys across buckets. *)
 let bucket t key = (key * 0x2545F4914F6CDD1D) lsr 12 land t.mask
 
 let contains t key =
-  (* Wait-free: one chain traversal over atomically-read links. *)
+  (* Wait-free: one chain traversal over atomically-read links. The
+     sanitizer check is one branch when disarmed; armed, it raises
+     [San.Violation] if the traversal touches a shadow-reclaimed node
+     (shadows are attached by [attach_shadow] in tests — the GC performs
+     the actual reclamation here, so production runs carry none). *)
   let rec go = function
     | None -> None
     | Some n ->
+        if San.enabled () then Option.iter (fun s -> San.check s) n.shadow;
         if n.key < key then go (Atomic.get n.next)
         else if n.key = key then Some n.value
         else None
@@ -45,7 +58,8 @@ let insert t key value =
         | Some n when n.key < key -> go n.next
         | Some n when n.key = key -> false
         | tail ->
-            Atomic.set field (Some { key; value; next = Atomic.make tail });
+            Atomic.set field
+              (Some { key; value; next = Atomic.make tail; shadow = None });
             true
       in
       go t.chains.(b))
@@ -65,6 +79,23 @@ let delete t key =
         | Some _ | None -> false
       in
       go t.chains.(b))
+
+(* Test hook: give the node holding [key] a shadow record registered in
+   this table's sanitizer domain, so tests can walk it through the
+   Deferred/Reclaimed lifecycle and assert [contains] trips on it. *)
+let attach_shadow t key =
+  let rec go = function
+    | None -> None
+    | Some n ->
+        if n.key < key then go (Atomic.get n.next)
+        else if n.key = key then begin
+          let sh = San.register t.san in
+          n.shadow <- Some sh;
+          Some sh
+        end
+        else None
+  in
+  go (Atomic.get t.chains.(bucket t key))
 
 (* --- Quiescent-state helpers --- *)
 

@@ -31,6 +31,16 @@ val size : 'v t -> int
 val to_list : 'v t -> (int * 'v) list
 (** Sorted by key (collected across buckets). *)
 
+val attach_shadow : 'v t -> int -> Repro_sanitizer.Sanitizer.record option
+(** Test hook for the reclamation sanitizer: attach a freshly registered
+    shadow record to the node holding the key (None if absent). With the
+    sanitizer armed, [contains] checks shadows on every node it visits —
+    tests drive the record to [Reclaimed] and assert the traversal raises
+    [Sanitizer.Violation]. Deletion here never touches shadows (the GC
+    reclaims unlinked nodes, so there is no logical free to record);
+    production runs therefore carry no shadows and pay one branch per
+    visited node. *)
+
 exception Invariant_violation of string
 
 val check_invariants : 'v t -> unit

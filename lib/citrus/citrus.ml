@@ -3,6 +3,7 @@ module Stats = Repro_sync.Stats
 module Metrics = Repro_sync.Metrics
 module Trace = Repro_sync.Trace
 module Fault = Repro_fault.Fault
+module San = Repro_sanitizer.Sanitizer
 
 (* The delete-with-two-children window (paper, Section 4): between
    publishing the successor copy and unlinking the original, readers can
@@ -10,6 +11,13 @@ module Fault = Repro_fault.Fault
    ordering bugs, so it gets its own injection point. Registered outside
    the functor: one point shared by every instantiation. *)
 let fault_delete_window = Fault.register "citrus.delete.window"
+
+(* Fires at every node visit of the wait-free search, while the traversal
+   holds only the read lock (never node locks, so a [raise] action unwinds
+   cleanly through the Fun.protect). Parking a reader mid-traversal with a
+   delay action is how the mutation suite makes a broken grace period
+   reclaim the very node the reader stands on. *)
+let fault_read_step = Fault.register "citrus.read.step"
 
 module type ORDERED = sig
   type t
@@ -47,6 +55,9 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
     mutable reclaimed : bool;
         (* Set by deferred reclamation one grace period after the node is
            unlinked; a reader observing it has found a use-after-free. *)
+    mutable shadow : San.record option;
+        (* Reclamation-sanitizer record, attached by [retire] while the
+           sanitizer is armed; None otherwise. *)
   }
 
   and 'v tag_array = int Atomic.t array
@@ -64,6 +75,7 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
     root : 'v node;
     rcu : R.t;
     reclamation : bool;
+    san : San.domain;
     hooks : hooks;
     group : Stats.group;
     restarts : Stats.t;
@@ -92,6 +104,7 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
       marked = false;
       lock = Spinlock.create ();
       reclaimed = false;
+      shadow = None;
     }
 
   let create ?max_threads ?(reclamation = false) () =
@@ -112,6 +125,7 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
       root;
       rcu = R.create ?max_threads ();
       reclamation;
+      san = San.create ("citrus/" ^ R.name);
       hooks =
         {
           on_restart = ignore;
@@ -156,7 +170,19 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
     | Some d ->
         let t = h.tree in
         let id = h.id in
-        Defer.defer d (fun () ->
+        (* Armed sanitizer: give the node a shadow record now, so every
+           traversal that touches it from here on is checked. Defer carries
+           it through Deferred (here) and Reclaimed (when the callback runs
+           after its grace period). *)
+        let shadow =
+          if San.enabled () then begin
+            let s = San.register t.san in
+            node.shadow <- Some s;
+            Some s
+          end
+          else None
+        in
+        Defer.defer d ?shadow (fun () ->
             node.reclaimed <- true;
             Stats.incr t.reclaimed_nodes id)
 
@@ -179,38 +205,88 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
     | Some x, Some y -> x == y
     | None, Some _ | Some _, None -> false
 
+  (* Sanitizer probes, one per lock discipline at the probing site:
+     [san_check] raises (traversals holding only the read lock, released
+     by Fun.protect on the way out), [san_note] records without raising
+     (the successor walk runs while delete holds node locks a raise would
+     leak), [san_observe] counts the touch only (post-lock validation,
+     where reaching a retired node is legal — validate is specified to
+     return false on it). All are no-ops unless the sanitizer is armed. *)
+  let san_check h n =
+    match n.shadow with
+    | None -> ()
+    | Some s ->
+        San.check ~slot:(R.reader_slot h.rt) ~cookie:(R.reader_cookie h.rt) s
+
+  let san_note h n =
+    match n.shadow with
+    | None -> ()
+    | Some s ->
+        San.note ~slot:(R.reader_slot h.rt) ~cookie:(R.reader_cookie h.rt) s
+
+  let san_observe n =
+    match n.shadow with None -> () | Some s -> San.observe s
+
   (* get (paper lines 1-15): wait-free search from the root inside an RCU
      read-side critical section. Returns (prev, tag, curr, direction) where
      curr is the node holding [key] (or None), prev its parent, and tag the
-     snapshot of prev.tag[direction] taken inside the critical section. *)
+     snapshot of prev.tag[direction] taken inside the critical section.
+
+     The read lock is taken before the body so the handler can assume it
+     is held; everything that can raise — client comparisons, sanitizer
+     checks, raise-action faults — runs inside the match, so the section
+     is exited on every path. Spelled as match-with-exception rather than
+     [Fun.protect]: this is the hot path of every operation, and the two
+     closures Fun.protect would allocate per call cost measurable
+     read-side throughput. *)
   let get h key =
     let t = h.tree in
     let skey = Key key in
     R.read_lock h.rt;
-    let prev = ref t.root in
-    let curr = ref (child t.root right) in
-    (* root's right child is never None *)
-    let direction = ref right in
-    let continue = ref true in
-    while !continue do
-      match !curr with
-      | None -> continue := false
-      | Some c ->
-          (* Use-after-free detector: a reclaimed node must never be seen
-             inside a read-side critical section (see [retire]). *)
-          if c.reclaimed then Stats.incr t.use_after_reclaim h.id;
-          let cmp = compare_skey c.key skey in
-          if cmp = 0 then continue := false
-          else begin
-            prev := c;
-            direction := if cmp > 0 then left else right;
-            curr := child c !direction
-          end
-    done;
-    (* Save the tag inside the read-side critical section (line 13). *)
-    let tag = Atomic.get (!prev).tags.(!direction) in
-    R.read_unlock h.rt;
-    (!prev, tag, !curr, !direction)
+    match
+      (* Arming state is snapshot once per critical section: the calls
+         are not inlined across modules, and per-visited-node calls
+         measurably tax the wait-free search this tree exists for. A
+         traversal that began before arming is allowed to finish
+         unprobed — arming is a debug-time operation. *)
+      let fault_on = Fault.enabled () in
+      let san_on = San.enabled () in
+      let prev = ref t.root in
+      let curr = ref (child t.root right) in
+      (* root's right child is never None *)
+      let direction = ref right in
+      let continue = ref true in
+      while !continue do
+        match !curr with
+        | None -> continue := false
+        | Some c ->
+            if fault_on then Fault.inject fault_read_step;
+            (* Use-after-free detector: a reclaimed node must never be
+               seen inside a read-side critical section (see [retire]). *)
+            if c.reclaimed then Stats.incr t.use_after_reclaim h.id;
+            if san_on then san_check h c;
+            let cmp = compare_skey c.key skey in
+            if cmp = 0 then continue := false
+            else begin
+              prev := c;
+              direction := if cmp > 0 then left else right;
+              curr := child c !direction
+            end
+      done;
+      (* Save the tag inside the read-side critical section (line 13);
+         [prev] was vetted when traversed, but the tag dereference must
+         not outlive its grace period either. *)
+      if san_on then san_check h !prev;
+      let tag = Atomic.get (!prev).tags.(!direction) in
+      (!prev, tag, !curr, !direction)
+    with
+    | result ->
+        R.read_unlock h.rt;
+        result
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        R.read_unlock h.rt;
+        Printexc.raise_with_backtrace e bt
 
   (* contains (lines 16-20). *)
   let contains h key =
@@ -243,6 +319,7 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
     | None ->
         t.hooks.between_get_and_lock ();
         Spinlock.acquire prev.lock;
+        if San.enabled () then san_observe prev;
         if validate prev tag None direction then begin
           let node = new_node (Key key) (Some value) in
           Atomic.set prev.children.(direction) (Some node);
@@ -264,20 +341,25 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
      we wrap the walk in a read-side critical section so a concurrent
      grace period cannot retire nodes under our feet. *)
   let find_successor h curr =
-    let reclaiming = h.tree.reclamation in
-    if reclaiming then R.read_lock h.rt;
     let rec down prev_succ succ =
+      (* The caller (delete) holds node locks across this walk, so the
+         sanitizer probe must not raise: [san_note] records the violation
+         and lets the locks be released normally. *)
+      if San.enabled () then san_note h succ;
       match child succ left with
       | None -> (prev_succ, succ)
       | Some next -> down succ next
     in
-    let result =
+    let walk () =
       match child curr right with
       | None -> assert false (* caller checked curr has two children *)
       | Some first -> down curr first
     in
-    if reclaiming then R.read_unlock h.rt;
-    result
+    if not h.tree.reclamation then walk ()
+    else begin
+      R.read_lock h.rt;
+      Fun.protect ~finally:(fun () -> R.read_unlock h.rt) walk
+    end
 
   (* delete (lines 42-84). *)
   let rec delete h key =
@@ -289,6 +371,10 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
         t.hooks.between_get_and_lock ();
         Spinlock.acquire prev.lock;
         Spinlock.acquire curr.lock;
+        if San.enabled () then begin
+          san_observe prev;
+          san_observe curr
+        end;
         if not (validate prev 0 (Some curr) direction) then begin
           Spinlock.release curr.lock;
           Spinlock.release prev.lock;
@@ -318,6 +404,10 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
           let succ_direction = if curr == prev_succ then right else left in
           if curr != prev_succ then Spinlock.acquire prev_succ.lock;
           Spinlock.acquire succ.lock;
+          if San.enabled () then begin
+            san_observe prev_succ;
+            san_observe succ
+          end;
           let succ_left_tag = Atomic.get succ.tags.(left) in
           if
             validate prev_succ 0 (Some succ) succ_direction
@@ -338,6 +428,7 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
                 marked = false;
                 lock = Spinlock.create ();
                 reclaimed = false;
+                shadow = None;
               }
             in
             Spinlock.acquire node.lock;

@@ -45,7 +45,14 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) : sig
       accesses (it must stay 0; the test-suite asserts this under stress).
       With reclamation on, the successor walk of a two-child delete runs
       inside a read-side critical section — the paper omits this because it
-      never frees memory during runs. *)
+      never frees memory during runs.
+
+      When the reclamation sanitizer ([Repro_sanitizer.Sanitizer]) is
+      armed, retired nodes additionally carry shadow records and every
+      traversal step checks them: a search that touches a node after its
+      grace-period-protected reclamation raises [Sanitizer.Violation] out
+      of [contains]/[mem] (read sections unwind cleanly; node-lock-holding
+      paths record the violation without raising). See ROBUSTNESS.md. *)
 
   val register : 'v t -> 'v handle
   (** Register the calling domain. One handle per domain per tree. *)

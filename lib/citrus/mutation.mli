@@ -1,0 +1,46 @@
+(** Mutation suite: prove the reclamation sanitizer detects real bugs.
+
+    Each hunt runs a seeded grace-period bug under the armed sanitizer
+    ([Repro_sanitizer.Sanitizer]) with fault-injection delays widening
+    the vulnerable windows, retrying with derived seeds until a
+    [Sanitizer.Violation] is observed or the attempt budget runs out.
+    {!controls} replays the same configurations without the mutants and
+    must report zero violations. [citrus_tool mutants] and the test
+    suite drive both and fail if any mutant escapes or any control
+    trips. *)
+
+type result = {
+  mutant : string;  (** which seeded bug (or ["control:..."]) *)
+  attempts : int;  (** attempts used (the catching one, or the budget) *)
+  violations : int;  (** total sanitizer violations observed *)
+  caught : bool;  (** true iff at least one violation was raised *)
+}
+
+val pp_result : result -> string
+(** One-line human-readable summary. *)
+
+val skip_sync : ?seed:int -> ?attempts:int -> unit -> result
+(** Mutant (a): Citrus over {!Citrus_buggy.Broken_sync} — [synchronize]
+    is a no-op, so the two-child delete's grace period (and all deferred
+    reclamation) is skipped and retired nodes are freed while parked
+    readers still hold them. *)
+
+val urcu_single_flip : ?seed:int -> ?attempts:int -> unit -> result
+(** Mutant (b): [Repro_rcu.Urcu.Buggy.single_flip] — the grace period
+    flips the reader phase once instead of twice, missing readers whose
+    phase snapshot went stale between loading the phase and publishing
+    their slot (forced by the [urcu.read.enter] fault point). *)
+
+val qsbr_quiescence : ?seed:int -> ?attempts:int -> unit -> result
+(** Mutant (c): [Repro_rcu.Qsbr.Buggy.quiescent_in_section] — a nested
+    read-side entry reports a fresh quiescent state, releasing a
+    grace-period scan that was correctly waiting out the enclosing
+    section. *)
+
+val all : ?seed:int -> ?attempts:int -> unit -> result list
+(** The three mutants, in order (a), (b), (c). Every [caught] must be
+    true. *)
+
+val controls : ?seed:int -> unit -> result list
+(** The same configurations with the mutants disabled; every
+    [violations] must be 0. *)

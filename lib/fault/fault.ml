@@ -21,6 +21,9 @@
 type action =
   | Yield of int (* storm of [n] Domain.cpu_relax calls *)
   | Delay_ns of int (* busy-wait for [n] nanoseconds *)
+  | Raise (* raise [Injected point_name] out of the window *)
+
+exception Injected of string
 
 type t = {
   id : int;
@@ -174,21 +177,31 @@ let perform p =
       while now_ns () < deadline do
         Domain.cpu_relax ()
       done
+  | Raise -> raise (Injected p.name)
 
 let inject p = if fires p then perform p
 
-(* --- specs: "POINT=RATE", with optional ":yield=N" / ":delay_ns=N" --- *)
+(* --- specs: "POINT=RATE", with optional ":yield=N" / ":delay_ns=N" /
+   ":raise" --- *)
 
 let parse_action s =
-  match String.index_opt s '=' with
-  | None -> Error (Printf.sprintf "bad fault action %S (want yield=N or delay_ns=N)" s)
-  | Some i -> (
-      let kind = String.sub s 0 i in
-      let arg = String.sub s (i + 1) (String.length s - i - 1) in
-      match (kind, int_of_string_opt arg) with
-      | "yield", Some n when n > 0 -> Ok (Yield n)
-      | "delay_ns", Some n when n > 0 -> Ok (Delay_ns n)
-      | _ -> Error (Printf.sprintf "bad fault action %S (want yield=N or delay_ns=N)" s))
+  let err () =
+    Error
+      (Printf.sprintf
+         "bad fault action %S (want yield=N, delay_ns=N, or raise)" s)
+  in
+  match s with
+  | "raise" -> Ok Raise
+  | _ -> (
+      match String.index_opt s '=' with
+      | None -> err ()
+      | Some i -> (
+          let kind = String.sub s 0 i in
+          let arg = String.sub s (i + 1) (String.length s - i - 1) in
+          match (kind, int_of_string_opt arg) with
+          | "yield", Some n when n > 0 -> Ok (Yield n)
+          | "delay_ns", Some n when n > 0 -> Ok (Delay_ns n)
+          | _ -> err ()))
 
 let parse_spec spec =
   match String.index_opt spec '=' with
@@ -228,12 +241,15 @@ let parse_spec spec =
 let catalogue =
   [
     "urcu.sync.pre_flip";
+    "urcu.read.enter";
     "qsbr.wait";
     "epoch.advance";
     "defer.flush";
     "lock.spin.acquire";
     "lock.ticket.acquire";
     "citrus.delete.window";
+    "citrus.read.step";
+    "torture.reader.hold";
   ]
 
 let () = List.iter (fun n -> ignore (register n)) catalogue

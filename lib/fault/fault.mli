@@ -24,9 +24,18 @@
 type action =
   | Yield of int  (** a storm of [n] [Domain.cpu_relax] calls *)
   | Delay_ns of int  (** busy-wait for [n] nanoseconds *)
+  | Raise
+      (** raise {!Injected} out of the window, to exercise exception paths
+          through locks, [synchronize] and read-side sections *)
 
 type t
 (** A registered injection point. *)
+
+exception Injected of string
+(** Raised by the [Raise] action, carrying the firing point's name.
+    Deliberately {e not} caught anywhere in the stack: the test arming a
+    [raise] fault asserts that the subsystem under it unwinds cleanly
+    (locks released, read sections exited). *)
 
 exception Unknown_point of string
 (** Raised by {!set} (and hence {!configure}) for a name no subsystem
@@ -84,5 +93,5 @@ val reset_counters : unit -> unit
 
 val parse_spec : string -> (string * float * action option, string) result
 (** Parse a CLI/env spec ["POINT=RATE"], optionally suffixed with
-    [":yield=N"] or [":delay_ns=N"]. Returns a descriptive error message
-    for malformed specs; does not check the point exists. *)
+    [":yield=N"], [":delay_ns=N"] or [":raise"]. Returns a descriptive
+    error message for malformed specs; does not check the point exists. *)

@@ -3,6 +3,8 @@
    callers accidentally relying on flush-count = grace-period-count. *)
 let fault_flush = Repro_fault.Fault.register "defer.flush"
 
+module San = Repro_sanitizer.Sanitizer
+
 module Make (R : Rcu_intf.S) = struct
   type t = {
     rcu : R.t;
@@ -49,7 +51,22 @@ module Make (R : Rcu_intf.S) = struct
       Repro_sync.Trace.record Defer_flush n
     end
 
-  let defer t f =
+  (* [shadow]: the object's reclamation-sanitizer record, when the caller
+     tracks one. Transitioned to Deferred here — *before* touching the
+     queue, so a double-enqueue of the same object is rejected
+     ([Sanitizer.Violation], kind [Double_free]) with the queue unchanged
+     instead of silently scheduling a second free — and to Reclaimed when
+     the callback runs after its grace period. *)
+  let defer t ?shadow f =
+    let f =
+      match shadow with
+      | None -> f
+      | Some s ->
+          San.on_defer s ~gp:(R.gp_cookie t.rcu);
+          fun () ->
+            San.on_reclaim ~gp:(R.gp_cookie t.rcu) s;
+            f ()
+    in
     t.queue <- f :: t.queue;
     t.queued <- t.queued + 1;
     t.gp <- Some (R.read_gp_seq t.rcu);

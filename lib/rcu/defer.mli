@@ -15,8 +15,14 @@ module Make (R : Rcu_intf.S) : sig
       callbacks accumulate (default 32), the next {!defer} triggers
       [R.synchronize] and runs them. Not shareable between threads. *)
 
-  val defer : t -> (unit -> unit) -> unit
-  (** Enqueue [f] to run after a future grace period. May flush. *)
+  val defer : t -> ?shadow:Repro_sanitizer.Sanitizer.record -> (unit -> unit) -> unit
+  (** Enqueue [f] to run after a future grace period. May flush.
+
+      [shadow], when given, is the object's reclamation-sanitizer record:
+      it is marked [Deferred] here — rejecting a double-enqueue of the
+      same object with [Sanitizer.Violation] (kind [Double_free]) before
+      the queue is touched — and [Reclaimed] when [f] runs after its
+      grace period. Callers pass it only while the sanitizer is armed. *)
 
   val flush : t -> unit
   (** Run all pending callbacks after a grace period. The grace-period

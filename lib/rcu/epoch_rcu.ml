@@ -4,6 +4,7 @@ module Stats = Repro_sync.Stats
 module Metrics = Repro_sync.Metrics
 module Trace = Repro_sync.Trace
 module Fault = Repro_fault.Fault
+module San = Repro_sanitizer.Sanitizer
 
 type slot = int Atomic.t
 (* Encoding: [count lsl 1) lor flag]. Only the owning thread writes its
@@ -42,6 +43,9 @@ type thread = {
   index : int;
   slot : slot;
   mutable nesting : int;
+  (* gp_cookie at the last outermost read_lock; written only while the
+     reclamation sanitizer is armed. *)
+  mutable entry_cookie : int;
 }
 
 type gp_state = int
@@ -73,7 +77,7 @@ let register rcu =
   let index = Registry.acquire rcu.slots in
   let slot = Registry.get rcu.slots index in
   Atomic.set slot (Atomic.get slot land lnot 1);
-  { rcu; index; slot; nesting = 0 }
+  { rcu; index; slot; nesting = 0; entry_cookie = 0 }
 
 let unregister th =
   if th.nesting <> 0 then
@@ -85,6 +89,8 @@ let read_lock th =
     let count = Atomic.get th.slot lsr 1 in
     (* One SC store publishes both the new count and the flag. *)
     Atomic.set th.slot (((count + 1) lsl 1) lor 1);
+    if San.enabled () then
+      th.entry_cookie <- Atomic.get th.rcu.gp_started + 1;
     if Metrics.enabled () then
       Stats.incr Metrics.rcu_read_sections th.index;
     Trace.record Read_enter th.index
@@ -265,3 +271,6 @@ let synchronize rcu =
 let cond_synchronize rcu snap = if not (poll rcu snap) then synchronize rcu
 
 let grace_periods rcu = Atomic.get rcu.gps
+let gp_cookie rcu = read_gp_seq rcu
+let reader_slot th = th.index
+let reader_cookie th = th.entry_cookie

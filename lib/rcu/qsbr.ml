@@ -4,6 +4,7 @@ module Stats = Repro_sync.Stats
 module Metrics = Repro_sync.Metrics
 module Trace = Repro_sync.Trace
 module Fault = Repro_fault.Fault
+module San = Repro_sanitizer.Sanitizer
 
 (* Slot encoding: 0 = offline; otherwise a snapshot of the global
    grace-period counter (always odd, so 0 is unambiguous). A thread is
@@ -37,6 +38,9 @@ type thread = {
   index : int;
   slot : int Atomic.t;
   mutable nesting : int;
+  (* gp_cookie at the last outermost read_lock; written only while the
+     reclamation sanitizer is armed. *)
+  mutable entry_cookie : int;
 }
 
 type gp_state = int
@@ -49,6 +53,17 @@ let name = "qsbr"
    the slot scan — the window where QSBR's documented weakness (a thread
    that stops announcing quiescence) bites hardest. *)
 let fault_wait = Fault.register "qsbr.wait"
+
+(* Mutation-testing hook (see ROBUSTNESS.md and lib/citrus/mutation.ml):
+   when set, every *nested* read_lock refreshes the slot to the current
+   grace-period counter — announcing a quiescent state while still inside
+   the critical section, QSBR's cardinal sin. Never set outside the
+   mutation suite. *)
+let quiesce_in_section_bug = Atomic.make false
+
+module Buggy = struct
+  let quiescent_in_section b = Atomic.set quiesce_in_section_bug b
+end
 
 let create ?(max_threads = 128) () =
   {
@@ -68,7 +83,7 @@ let register rcu =
   let index = Registry.acquire rcu.slots in
   let slot = Registry.get rcu.slots index in
   Atomic.set slot 0;
-  { rcu; index; slot; nesting = 0 }
+  { rcu; index; slot; nesting = 0; entry_cookie = 0 }
 
 let unregister th =
   if th.nesting <> 0 then
@@ -95,10 +110,16 @@ let quiescent_state th =
 let read_lock th =
   if th.nesting = 0 then begin
     online th;
+    if San.enabled () then th.entry_cookie <- Atomic.get th.rcu.gp + 2;
     if Metrics.enabled () then
       Stats.incr Metrics.rcu_read_sections th.index;
     Trace.record Read_enter th.index
-  end;
+  end
+  else if Atomic.get quiesce_in_section_bug then
+    (* Seeded bug (c): a nested entry treated as a quiescent state — the
+       slot jumps to the current counter, releasing any scan that was
+       waiting for this (still running) section. *)
+    Atomic.set th.slot (Atomic.get th.rcu.gp);
   th.nesting <- th.nesting + 1
 
 let read_unlock th =
@@ -252,3 +273,6 @@ let synchronize rcu =
 let cond_synchronize rcu snap = if not (poll rcu snap) then synchronize rcu
 
 let grace_periods rcu = Atomic.get rcu.gps
+let gp_cookie rcu = read_gp_seq rcu
+let reader_slot th = th.index
+let reader_cookie th = th.entry_cookie

@@ -84,4 +84,29 @@ module type S = sig
   val grace_periods : t -> int
   (** Number of completed [synchronize] calls (statistics). Coalesced calls
       count: they return with the same guarantee as any other. *)
+
+  (** {2 Reclamation-sanitizer diagnostics}
+
+      Cheap identity hooks the reclamation sanitizer
+      ([Repro_sanitizer.Sanitizer]) uses to name the guilty parties in a
+      violation report. They carry no synchronization weight of their
+      own. *)
+
+  val gp_cookie : t -> int
+  (** The current {!read_gp_seq} snapshot as a plain integer, for stamping
+      shadow records ("deferred at gp N" / "reclaimed at gp N"). Values
+      are monotone and comparable within one [t]; the unit is
+      flavour-specific. *)
+
+  val reader_slot : thread -> int
+  (** The thread's registry slot index — the same index the stall
+      watchdog reports, so sanitizer and stall output name readers
+      consistently. *)
+
+  val reader_cookie : thread -> int
+  (** The [gp_cookie] captured when this thread last entered an outermost
+      read-side critical section — but only while the sanitizer is armed
+      (otherwise 0, so the hot path stays store-free). A violation report
+      with [reader_cookie <= reclaimed_gp] proves the reclaim happened
+      inside the reader's section. *)
 end

@@ -14,13 +14,19 @@
    On top of the classic configuration axes this harness drives the
    robustness machinery: fault points armed per run ([faults]), a reader
    that parks inside its critical section ([reader_park_ms]) to provoke
-   the stall watchdog, and the watchdog itself ([stall_ms]/[stall_fail]).
-   Fault and watchdog state are process-global, so [run] restores both on
-   the way out. *)
+   the stall watchdog, the watchdog itself ([stall_ms]/[stall_fail]), and
+   the reclamation sanitizer ([sanitize]): every element carries a shadow
+   record through the Deferred/Reclaimed lifecycle and readers check it on
+   each touch, so a grace period that ends too early surfaces as a
+   [Sanitizer.Violation] naming the reader — even on an interleaving where
+   the plain [freed]-flag check happens to miss. Fault, watchdog and
+   sanitizer state are process-global, so [run] restores all three on the
+   way out. *)
 
 module Barrier = Repro_sync.Barrier
 module Rng = Repro_sync.Rng
 module Fault = Repro_fault.Fault
+module San = Repro_sanitizer.Sanitizer
 
 type config = {
   readers : int;
@@ -35,6 +41,7 @@ type config = {
   faults : (string * float * Fault.action option) list;
   stall_ms : int;
   stall_fail : bool;
+  sanitize : bool;
   verbose : bool;
 }
 
@@ -52,6 +59,7 @@ let default =
     faults = [];
     stall_ms = 0;
     stall_fail = false;
+    sanitize = false;
     verbose = false;
   }
 
@@ -60,20 +68,47 @@ type outcome = {
   grace_periods : int;
   stalls : int;
   stalled_writers : int;
+  violations : int;
+  leaks : int;
 }
 
-type elem = { id : int; mutable freed : bool }
+type elem = { id : int; mutable freed : bool; shadow : San.record option }
+
+(* Fault point: fires while a reader holds an element inside its critical
+   section, before the end-of-section re-check — stretching exactly the
+   window a premature reclamation must not overlap. The mutation suite
+   arms it with multi-millisecond delays to force the overlap on the
+   seeded-buggy flavours. *)
+let fault_reader_hold = Fault.register "torture.reader.hold"
 
 module Make (R : Rcu_intf.S) = struct
   module Defer = Defer.Make (R)
 
-  let body cfg ~seed ~stall_count =
+  let body cfg ~seed ~stall_count ~san =
     let r = R.create ~max_threads:(cfg.readers + cfg.writers + 1) () in
+    let new_shadow () =
+      match san with Some d -> Some (San.register d) | None -> None
+    in
+    let mark_deferred e =
+      match e.shadow with
+      | Some s -> San.on_defer s ~gp:(R.gp_cookie r)
+      | None -> ()
+    in
+    let mark_reclaimed e =
+      match e.shadow with
+      | Some s -> San.on_reclaim ~gp:(R.gp_cookie r) s
+      | None -> ()
+    in
     let slots =
-      Array.init cfg.slots (fun i -> Atomic.make { id = i; freed = false })
+      Array.init cfg.slots (fun i ->
+          Atomic.make { id = i; freed = false; shadow = new_shadow () })
     in
     let errors = Atomic.make 0 in
     let stalled_writers = Atomic.make 0 in
+    let violations = Atomic.make 0 in
+    (* Completed reader critical sections; writers pace themselves
+       against it (see the writer loop). *)
+    let reader_iters = Atomic.make 0 in
     let stop = Atomic.make false in
     let start = Barrier.create (cfg.readers + cfg.writers) in
     (* With [reader_park_ms], writers hold their updates until reader 0 is
@@ -97,20 +132,55 @@ module Make (R : Rcu_intf.S) = struct
             R.read_unlock th
           end;
           while not (Atomic.get stop) do
+            Atomic.incr reader_iters;
+            (* The lock is taken before [Fun.protect] so the finally can
+               assume it is held; everything that can raise — sanitizer
+               checks, raise-action faults — runs inside, so the section
+               is always exited. *)
             R.read_lock th;
-            if cfg.nest then R.read_lock th;
-            let slot = slots.(Rng.int rng cfg.slots) in
-            let p = Atomic.get slot in
-            if p.freed then Atomic.incr errors;
-            if cfg.reader_delay then
-              for _ = 1 to Rng.int rng 50 do
-                Domain.cpu_relax ()
-              done;
-            (* The element must remain valid for the whole critical
-               section, no matter how long we dawdled. *)
-            if p.freed then Atomic.incr errors;
-            if cfg.nest then R.read_unlock th;
-            R.read_unlock th
+            try
+              Fun.protect
+                ~finally:(fun () -> R.read_unlock th)
+                (fun () ->
+                  let slot = slots.(Rng.int rng cfg.slots) in
+                  let p = Atomic.get slot in
+                  let check () =
+                    (match p.shadow with
+                    | Some s ->
+                        San.check ~slot:(R.reader_slot th)
+                          ~cookie:(R.reader_cookie th) s
+                    | None -> ());
+                    if p.freed then Atomic.incr errors
+                  in
+                  check ();
+                  let dawdle () =
+                    if Fault.enabled () then Fault.inject fault_reader_hold;
+                    if cfg.reader_delay then
+                      for _ = 1 to Rng.int rng 50 do
+                        Domain.cpu_relax ()
+                      done
+                  in
+                  (* One hold before any nested section and one inside it:
+                     the window a premature reclamation must overlap, and
+                     (with [nest]) time for a writer to reach the wait the
+                     seeded qsbr bug then releases at the nested entry. *)
+                  dawdle ();
+                  if cfg.nest then begin
+                    R.read_lock th;
+                    Fun.protect ~finally:(fun () -> R.read_unlock th) dawdle
+                  end;
+                  (* The element must remain valid for the whole critical
+                     section, no matter how long we dawdled. *)
+                  check ())
+            with San.Violation _ ->
+              (* The sanitizer caught a reclamation inside this section
+                 (already counted and traced by the sanitizer itself, with
+                 the report printed by uncaught-exception printers when
+                 tests want it). Stop the run: one caught mutant is
+                 proof enough, and a broken flavour would only pile up
+                 thousands more. *)
+              Atomic.incr violations;
+              Atomic.set stop true
           done;
           R.unregister th)
     in
@@ -124,36 +194,70 @@ module Make (R : Rcu_intf.S) = struct
             Domain.cpu_relax ()
           done;
           (try
-             for u = 1 to cfg.updates_per_writer do
+             let u = ref 1 in
+             while !u <= cfg.updates_per_writer && not (Atomic.get stop) do
+               (* Rate-match updates to reader progress (with headroom so
+                  grace periods still complete while a reader is parked
+                  in a fault-injected delay). Without this, on few cores
+                  the writers finish all their updates before the readers
+                  are ever scheduled inside a critical section, and the
+                  reader/reclaimer races this harness exists to provoke
+                  never actually overlap. *)
+               if cfg.readers > 0 then
+                 while
+                   !u > Atomic.get reader_iters + 16 && not (Atomic.get stop)
+                 do
+                   Domain.cpu_relax ()
+                 done;
                let slot = slots.(Rng.int rng cfg.slots) in
-               let fresh = { id = (i * 1_000_000) + u; freed = false } in
+               let fresh =
+                 { id = (i * 1_000_000) + !u; freed = false;
+                   shadow = new_shadow () }
+               in
                let old = Atomic.exchange slot fresh in
-               match defer with
-               | Some d -> Defer.defer d (fun () -> old.freed <- true)
+               (match defer with
+               | Some d ->
+                   (* Defer owns the shadow lifecycle: Deferred at enqueue
+                      (rejecting double-enqueues), Reclaimed when the
+                      callback runs after its grace period. *)
+                   Defer.defer d ?shadow:old.shadow (fun () ->
+                       old.freed <- true)
                | None when cfg.use_poll ->
                    (* Cookie taken after unpublishing, then a dawdle: with
                       several writers, another writer's grace period often
                       elapses past the cookie meanwhile, so this hammers
                       the poll/cond_synchronize elision path while the
                       readers verify it never frees early. *)
+                   mark_deferred old;
                    let gp = R.read_gp_seq r in
                    for _ = 1 to Rng.int rng 100 do
                      Domain.cpu_relax ()
                    done;
                    R.cond_synchronize r gp;
-                   old.freed <- true
+                   old.freed <- true;
+                   mark_reclaimed old
                | None ->
+                   mark_deferred old;
                    R.synchronize r;
-                   old.freed <- true
+                   old.freed <- true;
+                   mark_reclaimed old);
+               incr u
              done;
              match defer with Some d -> Defer.drain d | None -> ()
-           with Stall.Stalled _ ->
-             (* Fail-mode watchdog: the aborted synchronize gives no
-                grace-period guarantee, so bail out without freeing and
-                stop the run — exactly what a production workload should
-                do instead of hanging. *)
-             Atomic.incr stalled_writers;
-             Atomic.set stop true);
+           with
+          | Stall.Stalled _ ->
+              (* Fail-mode watchdog: the aborted synchronize gives no
+                 grace-period guarantee, so bail out without freeing and
+                 stop the run — exactly what a production workload should
+                 do instead of hanging. *)
+              Atomic.incr stalled_writers;
+              Atomic.set stop true
+          | San.Violation _ ->
+              (* Double_free from the shadow table (can only happen with a
+                 harness bug or a seeded mutant): count and stop like a
+                 reader-side catch. *)
+              Atomic.incr violations;
+              Atomic.set stop true);
           ignore th;
           R.unregister th)
     in
@@ -167,6 +271,15 @@ module Make (R : Rcu_intf.S) = struct
       grace_periods = R.grace_periods r;
       stalls = Atomic.get stall_count;
       stalled_writers = Atomic.get stalled_writers;
+      violations = Atomic.get violations;
+      (* Shadow records still Deferred after every writer drained its
+         queue are frees that were promised and never ran. With a
+         violation the run stopped early and pending deferrals are
+         expected, so only a clean run is audited. *)
+      leaks =
+        (match san with
+        | Some d when Atomic.get violations = 0 -> List.length (San.audit d)
+        | _ -> 0);
     }
 
   let run ?(seed = 42) cfg =
@@ -180,20 +293,29 @@ module Make (R : Rcu_intf.S) = struct
     Stall.set_handler (fun rep ->
         Atomic.incr stall_count;
         if cfg.verbose then Stall.default_handler rep);
+    let san_was_armed = San.enabled () in
+    let san =
+      if cfg.sanitize then begin
+        San.arm ();
+        Some (San.create ("torture/" ^ R.name))
+      end
+      else None
+    in
     Fun.protect
       ~finally:(fun () ->
         Fault.disable_all ();
         Stall.disarm ();
-        Stall.reset_handler ())
+        Stall.reset_handler ();
+        if cfg.sanitize && not san_was_armed then San.disarm ())
       (fun () ->
-        let out = body cfg ~seed ~stall_count in
+        let out = body cfg ~seed ~stall_count ~san in
         if cfg.verbose then
           Printf.eprintf
             "torture %s: errors=%d grace_periods=%d stalls=%d \
-             stalled_writers=%d\n\
+             stalled_writers=%d violations=%d leaks=%d\n\
              %!"
-            R.name out.errors out.grace_periods out.stalls
-            out.stalled_writers;
+            R.name out.errors out.grace_periods out.stalls out.stalled_writers
+            out.violations out.leaks;
         out)
 end
 

@@ -9,10 +9,14 @@
 
     Beyond the classic rcutorture axes, a run can arm fault-injection
     points ({!config.faults}), park a reader inside its critical section
-    to provoke a grace-period stall ({!config.reader_park_ms}), and arm
-    the stall watchdog ({!config.stall_ms}, {!config.stall_fail}).
-    [run] owns the process-global fault and watchdog state for its
-    duration and restores both before returning, even on exceptions. *)
+    to provoke a grace-period stall ({!config.reader_park_ms}), arm
+    the stall watchdog ({!config.stall_ms}, {!config.stall_fail}), and
+    arm the reclamation sanitizer ({!config.sanitize}): every element
+    then carries a shadow record ([Repro_sanitizer.Sanitizer]) through
+    its Deferred/Reclaimed lifecycle, readers check it on every touch,
+    and the outcome reports violations and leaked deferrals. [run] owns
+    the process-global fault, watchdog and sanitizer state for its
+    duration and restores them before returning, even on exceptions. *)
 
 type config = {
   readers : int;
@@ -35,6 +39,10 @@ type config = {
           override) *)
   stall_ms : int;  (** if > 0, arm the stall watchdog at this threshold *)
   stall_fail : bool;  (** watchdog mode: [true] = fail, [false] = warn *)
+  sanitize : bool;
+      (** arm the reclamation sanitizer for this run: elements carry
+          shadow records, readers check them on every dereference, and
+          the outcome counts {!outcome.violations} and {!outcome.leaks} *)
   verbose : bool;  (** print stall reports and a per-run summary *)
 }
 
@@ -48,6 +56,15 @@ type outcome = {
   stalls : int;  (** stall reports emitted by the watchdog *)
   stalled_writers : int;
       (** writers that aborted on {!Rcu.Stalled} (fail mode only) *)
+  violations : int;
+      (** reclamation-sanitizer violations caught ([sanitize] runs only;
+          the run stops at the first one). Must be 0 on a correct
+          flavour; the mutation suite requires > 0 on the seeded-buggy
+          ones. *)
+  leaks : int;
+      (** shadow records still [Deferred] after every writer drained —
+          frees promised but never executed. Audited only on violation-free
+          [sanitize] runs; must be 0. *)
 }
 
 module Make (R : Rcu_intf.S) : sig

@@ -5,6 +5,7 @@ module Stats = Repro_sync.Stats
 module Metrics = Repro_sync.Metrics
 module Trace = Repro_sync.Trace
 module Fault = Repro_fault.Fault
+module San = Repro_sanitizer.Sanitizer
 
 (* Per-thread word layout (as in liburcu): low 16 bits = nesting count,
    bit 16 = phase. A thread is a quiescent reader when its nesting bits are
@@ -29,6 +30,9 @@ type thread = {
   rcu : t;
   index : int;
   slot : int Atomic.t;
+  (* gp_cookie at the last outermost read_lock; written only while the
+     reclamation sanitizer is armed. *)
+  mutable entry_cookie : int;
 }
 
 type gp_state = int
@@ -40,6 +44,23 @@ let name = "urcu"
    before the first phase flip — a delay here extends every queued
    updater's wait, the exact serialization Figure 8 measures. *)
 let fault_pre_flip = Fault.register "urcu.sync.pre_flip"
+
+(* Fault point: fires in the outermost read_lock between loading the
+   global phase and publishing it in the slot — the stale-phase window
+   the two-flip handshake exists for. Stretching it (and crippling the
+   handshake with [Buggy.single_flip]) is how the mutation suite proves
+   the reclamation sanitizer catches a single-flip urcu. *)
+let fault_read_enter = Fault.register "urcu.read.enter"
+
+(* Mutation-testing hook (see ROBUSTNESS.md and lib/citrus/mutation.ml):
+   when set, [synchronize] performs only ONE phase flip + reader wait
+   instead of liburcu's two — the classic broken-urcu bug. Never set
+   outside the mutation suite. *)
+let single_flip_bug = Atomic.make false
+
+module Buggy = struct
+  let single_flip b = Atomic.set single_flip_bug b
+end
 
 let create ?(max_threads = 128) () =
   {
@@ -56,7 +77,7 @@ let register rcu =
   let index = Registry.acquire rcu.slots in
   let slot = Registry.get rcu.slots index in
   Atomic.set slot 0;
-  { rcu; index; slot }
+  { rcu; index; slot; entry_cookie = 0 }
 
 let read_depth th = Atomic.get th.slot land nest_mask
 
@@ -65,11 +86,27 @@ let unregister th =
     invalid_arg "Urcu.unregister: inside a read-side critical section";
   Registry.release th.rcu.slots th.index
 
+(* Defined before [read_lock] so the sanitizer entry cookie can reuse it.
+   A snapshot is satisfied once the completed count reaches it. If a grace
+   period is in progress at snapshot time ([in_progress] set), it may have
+   flipped the phase before our updates were published, so the snapshot
+   must demand the *next* full grace period: completed + 2 in-progress vs
+   completed + 1 idle — the same "one extra if started" rule as Linux's
+   get_state_synchronize_rcu. *)
+let read_gp_seq rcu =
+  let s = Atomic.get rcu.gp_seq in
+  (s lsr 1) + 1 + (s land 1)
+
+let poll rcu snap = Atomic.get rcu.gp_seq lsr 1 >= snap
+
 let read_lock th =
   let v = Atomic.get th.slot in
   if v land nest_mask = 0 then begin
     (* Outermost: adopt the current global phase with nesting 1. *)
-    Atomic.set th.slot (Atomic.get th.rcu.gp_ctr lor 1);
+    let phase = Atomic.get th.rcu.gp_ctr in
+    if Fault.enabled () then Fault.inject fault_read_enter;
+    Atomic.set th.slot (phase lor 1);
+    if San.enabled () then th.entry_cookie <- read_gp_seq th.rcu;
     if Metrics.enabled () then
       Stats.incr Metrics.rcu_read_sections th.index;
     Trace.record Read_enter th.index
@@ -122,18 +159,6 @@ let wait_for_readers rcu t0 =
       rcu.slots
   end
 
-(* A snapshot is satisfied once the completed count reaches it. If a grace
-   period is in progress at snapshot time ([in_progress] set), it may have
-   flipped the phase before our updates were published, so the snapshot
-   must demand the *next* full grace period: completed + 2 in-progress vs
-   completed + 1 idle — the same "one extra if started" rule as Linux's
-   get_state_synchronize_rcu. *)
-let read_gp_seq rcu =
-  let s = Atomic.get rcu.gp_seq in
-  (s lsr 1) + 1 + (s land 1)
-
-let poll rcu snap = Atomic.get rcu.gp_seq lsr 1 >= snap
-
 let synchronize rcu =
   (* The grace-period timer starts before the gp_lock acquisition: queueing
      on that global lock is precisely the updater serialization Figure 8
@@ -159,8 +184,10 @@ let synchronize rcu =
     (try
        Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
        wait_for_readers rcu t0;
-       Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
-       wait_for_readers rcu t0
+       if not (Atomic.get single_flip_bug) then begin
+         Atomic.set rcu.gp_ctr (Atomic.get rcu.gp_ctr lxor phase_bit);
+         wait_for_readers rcu t0
+       end
      with e ->
        (* Stall.Stalled in fail mode: clear the in-progress bit (the grace
           period did not complete; leaving the bit set would make every
@@ -186,3 +213,6 @@ let synchronize rcu =
 let cond_synchronize rcu snap = if not (poll rcu snap) then synchronize rcu
 
 let grace_periods rcu = Atomic.get rcu.gps
+let gp_cookie rcu = read_gp_seq rcu
+let reader_slot th = th.index
+let reader_cookie th = th.entry_cookie

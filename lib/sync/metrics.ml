@@ -31,6 +31,8 @@ let lock_wait_ns = Stats.Timer.create "lock_wait_ns"
 let restarts = Stats.create "restarts"
 let defer_flushes = Stats.create "defer_flushes"
 let defer_callbacks = Stats.create "defer_callbacks"
+let sanitizer_checks = Stats.create "sanitizer_checks"
+let sanitizer_violations = Stats.create "sanitizer_violations"
 
 let reset () =
   Stats.reset rcu_read_sections;
@@ -43,7 +45,9 @@ let reset () =
   Stats.Timer.reset lock_wait_ns;
   Stats.reset restarts;
   Stats.reset defer_flushes;
-  Stats.reset defer_callbacks
+  Stats.reset defer_callbacks;
+  Stats.reset sanitizer_checks;
+  Stats.reset sanitizer_violations
 
 let snapshot () =
   [
@@ -64,4 +68,6 @@ let snapshot () =
     ("restarts", float_of_int (Stats.read restarts));
     ("defer_flushes", float_of_int (Stats.read defer_flushes));
     ("defer_callbacks", float_of_int (Stats.read defer_callbacks));
+    ("sanitizer_checks", float_of_int (Stats.read sanitizer_checks));
+    ("sanitizer_violations", float_of_int (Stats.read sanitizer_violations));
   ]

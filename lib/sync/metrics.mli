@@ -71,6 +71,14 @@ val defer_flushes : Stats.t
 val defer_callbacks : Stats.t
 (** Individual deferred callbacks run. *)
 
+val sanitizer_checks : Stats.t
+(** Shadow-record lookups performed by the reclamation sanitizer
+    ([Repro_sanitizer.Sanitizer]); 0 unless the sanitizer is armed. *)
+
+val sanitizer_violations : Stats.t
+(** Reclamation-sanitizer violations detected (logical use-after-free,
+    double-free); 0 on a correct implementation even when armed. *)
+
 (** {2 Snapshot} *)
 
 val snapshot : unit -> (string * float) list

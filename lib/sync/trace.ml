@@ -29,6 +29,7 @@ type kind =
   | Defer_flush
   | Stall
   | Sync_coalesced
+  | Sanitize_violation
 
 let kind_to_string = function
   | Read_enter -> "read_enter"
@@ -41,6 +42,7 @@ let kind_to_string = function
   | Defer_flush -> "defer_flush"
   | Stall -> "stall"
   | Sync_coalesced -> "sync_coalesced"
+  | Sanitize_violation -> "sanitize_violation"
 
 let kind_index = function
   | Read_enter -> 0
@@ -53,6 +55,7 @@ let kind_index = function
   | Defer_flush -> 7
   | Stall -> 8
   | Sync_coalesced -> 9
+  | Sanitize_violation -> 10
 
 let kind_of_index = function
   | 0 -> Read_enter
@@ -64,6 +67,7 @@ let kind_of_index = function
   | 6 -> Restart
   | 7 -> Defer_flush
   | 9 -> Sync_coalesced
+  | 10 -> Sanitize_violation
   | _ -> Stall
 
 type event = {

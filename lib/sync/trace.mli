@@ -33,6 +33,10 @@ type kind =
           synchronizer's grace period instead of driving its own;
           arg = calling domain's id. Always followed by the matching
           [Sync_end]. *)
+  | Sanitize_violation
+      (** reclamation-sanitizer violation detected (logical
+          use-after-free or double-free, see [Repro_sanitizer.Sanitizer]);
+          arg = offending shadow-record id *)
 
 val kind_to_string : kind -> string
 
