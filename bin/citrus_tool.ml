@@ -243,7 +243,7 @@ let stats name threads duration keys contains_pct trace_events json_file =
    every RCU flavour unless one is named; non-zero torture errors exit 1,
    usage errors (unknown flavour / fault point, bad spec) exit 2. *)
 let torture flavour seed fault_specs stall_ms stall_mode readers writers
-    updates use_defer use_poll park_ms sanitize quick verbose =
+    updates use_defer use_poll park_ms sanitize lockdep quick verbose =
   let faults =
     List.map
       (fun spec ->
@@ -288,16 +288,17 @@ let torture flavour seed fault_specs stall_ms stall_mode readers writers
       stall_ms;
       stall_fail = (stall_mode = `Fail);
       sanitize;
+      lockdep;
       verbose;
     }
   in
   Printf.printf
     "torture: seed=%d readers=%d writers=%d updates=%d park_ms=%d \
-     stall_ms=%d mode=%s sanitize=%b faults=[%s]\n\
+     stall_ms=%d mode=%s sanitize=%b lockdep=%b faults=[%s]\n\
      %!"
     seed readers writers updates park_ms stall_ms
     (match stall_mode with `Warn -> "warn" | `Fail -> "fail")
-    sanitize
+    sanitize lockdep
     (String.concat ", "
        (List.map (fun (nm, rate, _) -> Printf.sprintf "%s=%g" nm rate) faults));
   let failed = ref false in
@@ -306,17 +307,18 @@ let torture flavour seed fault_specs stall_ms stall_mode readers writers
       let out = Torture.run_flavour ~seed f cfg in
       Printf.printf
         "  %-10s errors=%d grace_periods=%d stalls=%d stalled_writers=%d \
-         violations=%d leaks=%d\n\
+         violations=%d leaks=%d lockdep=%d\n\
          %!"
         f out.Torture.errors out.grace_periods out.stalls out.stalled_writers
-        out.violations out.leaks;
+        out.violations out.leaks out.lockdep_violations;
       if out.errors > 0 then failed := true;
-      if sanitize && (out.violations > 0 || out.leaks > 0) then failed := true)
+      if sanitize && (out.violations > 0 || out.leaks > 0) then failed := true;
+      if lockdep && out.lockdep_violations > 0 then failed := true)
     flavours;
   if !failed then begin
     Printf.eprintf
       "torture: FAILED (freed elements observed by readers, sanitizer \
-       violations, or leaked deferrals)\n";
+       violations, leaked deferrals, or lockdep violations)\n";
     exit 1
   end
   else print_endline "torture: OK"
@@ -324,22 +326,26 @@ let torture flavour seed fault_specs stall_ms stall_mode readers writers
 (* Mutation suite (ROBUSTNESS.md): each seeded grace-period bug must trip
    the reclamation sanitizer; the matching clean configurations must not.
    Any escape or control trip exits 1. *)
-let mutants seed attempts skip_controls =
+let mutants seed attempts skip_controls lockdep =
   let module Mutation = Repro_citrus.Mutation in
-  Printf.printf "mutation suite: seed=%d attempts=%d\n%!" seed attempts;
-  let results = Mutation.all ~seed ~attempts () in
-  List.iter (fun r -> Printf.printf "  %s\n%!" (Mutation.pp_result r)) results;
-  let escaped = List.filter (fun r -> not r.Mutation.caught) results in
-  let tripped =
-    if skip_controls then []
+  let results, controls =
+    if lockdep then begin
+      (* The lockdep mutants are control-flow bugs: one single-domain
+         round each, deterministic, no seeds or attempt budgets. *)
+      Printf.printf "lockdep mutation suite:\n%!";
+      ( Mutation.lockdep_all (),
+        if skip_controls then [] else Mutation.lockdep_controls () )
+    end
     else begin
-      let controls = Mutation.controls ~seed () in
-      List.iter
-        (fun r -> Printf.printf "  %s\n%!" (Mutation.pp_result r))
-        controls;
-      List.filter (fun r -> r.Mutation.caught) controls
+      Printf.printf "mutation suite: seed=%d attempts=%d\n%!" seed attempts;
+      ( Mutation.all ~seed ~attempts (),
+        if skip_controls then [] else Mutation.controls ~seed () )
     end
   in
+  List.iter (fun r -> Printf.printf "  %s\n%!" (Mutation.pp_result r)) results;
+  List.iter (fun r -> Printf.printf "  %s\n%!" (Mutation.pp_result r)) controls;
+  let escaped = List.filter (fun r -> not r.Mutation.caught) results in
+  let tripped = List.filter (fun r -> r.Mutation.caught) controls in
   if escaped <> [] then begin
     Printf.eprintf "mutants: FAILED — seeded bug(s) not detected: %s\n"
       (String.concat ", " (List.map (fun r -> r.Mutation.mutant) escaped));
@@ -584,6 +590,15 @@ let torture_cmd =
              record and readers check it on each touch; violations or \
              leaked deferrals fail the run (see ROBUSTNESS.md).")
   in
+  let lockdep =
+    Arg.(
+      value & flag
+      & info [ "lockdep" ]
+          ~doc:
+            "Arm the lockdep validator: every lock acquisition/release and \
+             read-side entry/exit is checked against the locking protocol; \
+             any violation fails the run (see CORRECTNESS.md).")
+  in
   let quick =
     Arg.(
       value & flag
@@ -603,7 +618,7 @@ let torture_cmd =
     Term.(
       const torture $ flavour $ seed $ faults $ stall_ms $ stall_mode
       $ readers $ writers $ updates $ use_defer $ use_poll $ park_ms
-      $ sanitize $ quick $ verbose)
+      $ sanitize $ lockdep $ quick $ verbose)
 
 let mutants_cmd =
   let seed =
@@ -623,13 +638,25 @@ let mutants_cmd =
       & info [ "skip-controls" ]
           ~doc:"Only run the seeded bugs, not the clean control runs.")
   in
+  let lockdep =
+    Arg.(
+      value & flag
+      & info [ "lockdep" ]
+          ~doc:
+            "Run the lockdep mutation suite instead: seeded \
+             locking-protocol bugs (ABBA delete, synchronize inside a \
+             read section, unbalanced unlock) must each raise a \
+             structured lockdep violation, and clean lockdep-armed \
+             rounds over all flavours must stay silent.")
+  in
   Cmd.v
     (Cmd.info "mutants"
        ~doc:
          "Prove the reclamation sanitizer catches seeded grace-period bugs \
           (skipped synchronize, single urcu flip, qsbr quiescence inside a \
-          section) and stays quiet on the clean controls.")
-    Term.(const mutants $ seed $ attempts $ skip_controls)
+          section) and stays quiet on the clean controls; with \
+          $(b,--lockdep), prove the same for the lockdep validator.")
+    Term.(const mutants $ seed $ attempts $ skip_controls $ lockdep)
 
 let main =
   Cmd.group

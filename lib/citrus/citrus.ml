@@ -4,6 +4,7 @@ module Metrics = Repro_sync.Metrics
 module Trace = Repro_sync.Trace
 module Fault = Repro_fault.Fault
 module San = Repro_sanitizer.Sanitizer
+module Lockdep = Repro_lockdep.Lockdep
 
 (* The delete-with-two-children window (paper, Section 4): between
    publishing the successor copy and unlinking the original, readers can
@@ -19,6 +20,26 @@ let fault_delete_window = Fault.register "citrus.delete.window"
    reclaim the very node the reader stands on. *)
 let fault_read_step = Fault.register "citrus.read.step"
 
+(* Mutation-testing hooks for the lockdep validator (see ROBUSTNESS.md and
+   lib/citrus/mutation.ml): each seeds one locking-protocol bug into the
+   real update paths — an inverted lock order in delete, a grace-period
+   wait from inside a read-side critical section, and an unlock of a lock
+   the caller never took. A lockdep-armed run must turn each into a
+   structured [Lockdep.Violation]; a disarmed ABBA delete would deadlock
+   and a disarmed sync-in-read would self-deadlock, so these are only ever
+   set by the single-domain, lockdep-armed mutation hunts. Registered
+   outside the functor, like the fault points: one switch per bug shared
+   by every instantiation. *)
+let abba_delete_bug = Atomic.make false
+let sync_in_read_bug = Atomic.make false
+let unbalanced_unlock_bug = Atomic.make false
+
+module Buggy = struct
+  let abba_delete b = Atomic.set abba_delete_bug b
+  let sync_in_read b = Atomic.set sync_in_read_bug b
+  let unbalanced_unlock b = Atomic.set unbalanced_unlock_bug b
+end
+
 module type ORDERED = sig
   type t
 
@@ -32,6 +53,18 @@ let right = 1
 
 module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
   module Defer = Repro_rcu.Defer.Make (R)
+
+  (* One *ordered* lockdep class for every node lock of every tree built
+     from this instantiation. The locking protocol (paper, Section 3) only
+     ever takes node locks top-down along one search path, so each
+     acquisition carries its depth-rank as the order token:
+     prev=0, curr=1, prev_succ=2, succ=3, freshly published copy=4 (and
+     p=0, n=1, c=2 in rotations). Armed, lockdep flags any acquisition
+     whose rank does not exceed every held rank in this class — the ABBA
+     schedule — on its *first* occurrence, before the schedule has to
+     actually deadlock against a second domain. *)
+  let node_cls =
+    Lockdep.new_class ~ordered:true Lockdep.Tree_node ("citrus/" ^ R.name)
 
   (* Sentinel keys: the paper's -1 / infinity dummies (Section 2). The root
      holds Neg_inf; its right child holds Pos_inf; every real node lives in
@@ -102,7 +135,7 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
       children = [| Atomic.make None; Atomic.make None |];
       tags = [| Atomic.make 0; Atomic.make 0 |];
       marked = false;
-      lock = Spinlock.create ();
+      lock = Spinlock.create ~cls:node_cls ();
       reclaimed = false;
       shadow = None;
     }
@@ -318,12 +351,19 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
     | Some _ -> false (* the key was found (line 25) *)
     | None ->
         t.hooks.between_get_and_lock ();
-        Spinlock.acquire prev.lock;
+        Spinlock.acquire_ordered prev.lock 0;
         if San.enabled () then san_observe prev;
         if validate prev tag None direction then begin
           let node = new_node (Key key) (Some value) in
           Atomic.set prev.children.(direction) (Some node);
-          Spinlock.release prev.lock;
+          (* Seeded bug (lockdep mutant): unlock the root's lock — which
+             this domain never took — instead of prev's. Armed lockdep
+             turns it into [Release_not_held] before the lock word is
+             touched; prev.lock is left held, wedging the tree, so the
+             hunt discards it. *)
+          Spinlock.release
+            (if Atomic.get unbalanced_unlock_bug then t.root.lock
+             else prev.lock);
           Stats.incr t.inserts h.id;
           true
         end
@@ -369,8 +409,19 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
     | None -> false (* the key was not found (line 46) *)
     | Some curr ->
         t.hooks.between_get_and_lock ();
-        Spinlock.acquire prev.lock;
-        Spinlock.acquire curr.lock;
+        if Atomic.get abba_delete_bug then begin
+          (* Seeded bug (lockdep mutant): child before parent — against a
+             concurrent top-down update this is the classic ABBA deadlock.
+             Armed lockdep raises [Order_inversion] at the second
+             acquisition (held rank 1, acquiring rank 0), single-domain,
+             before any deadlock has to materialize. *)
+          Spinlock.acquire_ordered curr.lock 1;
+          Spinlock.acquire_ordered prev.lock 0
+        end
+        else begin
+          Spinlock.acquire_ordered prev.lock 0;
+          Spinlock.acquire_ordered curr.lock 1
+        end;
         if San.enabled () then begin
           san_observe prev;
           san_observe curr
@@ -402,8 +453,8 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
           let prev_succ, succ = find_successor h curr in
           t.hooks.after_find_successor ();
           let succ_direction = if curr == prev_succ then right else left in
-          if curr != prev_succ then Spinlock.acquire prev_succ.lock;
-          Spinlock.acquire succ.lock;
+          if curr != prev_succ then Spinlock.acquire_ordered prev_succ.lock 2;
+          Spinlock.acquire_ordered succ.lock 3;
           if San.enabled () then begin
             san_observe prev_succ;
             san_observe succ
@@ -426,12 +477,12 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
                   |];
                 tags = [| Atomic.make 0; Atomic.make 0 |];
                 marked = false;
-                lock = Spinlock.create ();
+                lock = Spinlock.create ~cls:node_cls ();
                 reclaimed = false;
                 shadow = None;
               }
             in
-            Spinlock.acquire node.lock;
+            Spinlock.acquire_ordered node.lock 4;
             curr.marked <- true;
             Atomic.set prev.children.(direction) (Some node);
             t.hooks.before_synchronize ();
@@ -443,7 +494,19 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
                updaters deleting concurrently these calls now coalesce
                inside [synchronize] (piggybacking on a grace period already
                in flight) rather than each driving its own scan. *)
-            R.synchronize t.rcu;
+            if Atomic.get sync_in_read_bug then begin
+              (* Seeded bug (lockdep mutant): the grace-period wait issued
+                 from *inside* a read-side critical section — the waiter is
+                 its own blocking reader, so disarmed this self-deadlocks.
+                 Armed, [check_sync] raises [Sync_in_read_section] before
+                 the wait begins; the Fun.protect unwinds the read section
+                 so only the node locks are left wedged. *)
+              R.read_lock h.rt;
+              Fun.protect
+                ~finally:(fun () -> R.read_unlock h.rt)
+                (fun () -> R.synchronize t.rcu)
+            end
+            else R.synchronize t.rcu;
             succ.marked <- true;
             if prev_succ == curr then begin
               (* succ is the right child of curr, which [node] replaced. *)
@@ -576,8 +639,8 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
   let try_rotate h p pdir n sink_dir =
     let t = h.tree in
     let rise_dir = 1 - sink_dir in
-    Spinlock.acquire p.lock;
-    Spinlock.acquire n.lock;
+    Spinlock.acquire_ordered p.lock 0;
+    Spinlock.acquire_ordered n.lock 1;
     let rising =
       if (not p.marked) && (not n.marked) && same_node (child p pdir) (Some n)
       then child n rise_dir
@@ -589,7 +652,7 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
         Spinlock.release p.lock;
         false
     | Some c ->
-        Spinlock.acquire c.lock;
+        Spinlock.acquire_ordered c.lock 2;
         if c.marked then begin
           Spinlock.release c.lock;
           Spinlock.release n.lock;

@@ -29,6 +29,7 @@
 
 module Fault = Repro_fault.Fault
 module San = Repro_sanitizer.Sanitizer
+module Lockdep = Repro_lockdep.Lockdep
 module Torture = Repro_rcu.Torture
 module Barrier = Repro_sync.Barrier
 module Rng = Repro_sync.Rng
@@ -206,6 +207,108 @@ let all ?seed ?attempts () =
     skip_sync ?seed ?attempts ();
     urcu_single_flip ?seed ?attempts ();
     qsbr_quiescence ?seed ?attempts ();
+  ]
+
+(* --- Lockdep mutation suite ---
+
+   The sanitizer hunts above chase scheduling races; the lockdep bugs are
+   control-flow, so one single-domain round is deterministic: the seeded
+   bug either trips the validator on its first execution or the validator
+   is broken. No retries, no fault injection, attempts = 1 by
+   construction. *)
+
+(* One round of tree operations covering every locking-protocol site a
+   seeded bug corrupts: inserts (prev lock + release), a two-child delete
+   (the full prev/curr/succ/copy lock ladder and the grace-period wait),
+   then the remaining deletes and a lookup's read-side section. The round
+   stops at the first [Lockdep.Violation]: a caught violation leaves the
+   involved node locks (deliberately) wedged, so continuing would only
+   report echoes of the same bug. The tree is discarded; the caller
+   resets lockdep's held-stack state afterwards. *)
+let lockdep_round (module T : TREE) ~reclamation =
+  let t = T.create ~reclamation () in
+  let h = T.register t in
+  (try
+     ignore (T.insert h 2 2);
+     ignore (T.insert h 1 1);
+     ignore (T.insert h 3 3);
+     ignore (T.mem h 1);
+     (* Key 2 has two children: the successor path and the synchronize. *)
+     ignore (T.delete h 2);
+     ignore (T.delete h 1);
+     ignore (T.delete h 3)
+   with Lockdep.Violation _ -> ());
+  (* Read-side nesting is always unwound by the time a violation
+     propagates here (Fun.protect in the update paths), so unregistering
+     is safe even after a catch. *)
+  T.unregister h
+
+(* Arm lockdep around one clean-slate round with [set_bug] switched on,
+   restoring both; the count is a delta off a freshly reset validator. *)
+let lockdep_hunt ~mutant ~set_bug =
+  Lockdep.reset ();
+  let was = Lockdep.enabled () in
+  Lockdep.arm ();
+  let v =
+    Fun.protect
+      ~finally:(fun () ->
+        set_bug false;
+        if not was then Lockdep.disarm ();
+        Lockdep.reset ())
+      (fun () ->
+        set_bug true;
+        lockdep_round (module Citrus_int.Epoch) ~reclamation:false;
+        Lockdep.violations ())
+  in
+  { mutant; attempts = 1; violations = v; caught = v > 0 }
+
+let lockdep_abba_name = "lockdep-abba-delete"
+let lockdep_sync_in_read_name = "lockdep-sync-in-read"
+let lockdep_unbalanced_name = "lockdep-unbalanced-unlock"
+
+let lockdep_abba () =
+  lockdep_hunt ~mutant:lockdep_abba_name ~set_bug:Citrus.Buggy.abba_delete
+
+let lockdep_sync_in_read () =
+  lockdep_hunt ~mutant:lockdep_sync_in_read_name
+    ~set_bug:Citrus.Buggy.sync_in_read
+
+let lockdep_unbalanced_unlock () =
+  lockdep_hunt ~mutant:lockdep_unbalanced_name
+    ~set_bug:Citrus.Buggy.unbalanced_unlock
+
+let lockdep_all () =
+  [ lockdep_abba (); lockdep_sync_in_read (); lockdep_unbalanced_unlock () ]
+
+(* Clean lockdep-armed rounds over all three flavours, with reclamation
+   on so the successor walk's read section, the deferred queues and the
+   drain-time grace periods are all validated too: the full locking
+   protocol must be silent. *)
+let lockdep_controls () =
+  let flavoured name (module T : TREE) =
+    Lockdep.reset ();
+    let was = Lockdep.enabled () in
+    Lockdep.arm ();
+    let v =
+      Fun.protect
+        ~finally:(fun () ->
+          if not was then Lockdep.disarm ();
+          Lockdep.reset ())
+        (fun () ->
+          lockdep_round (module T) ~reclamation:true;
+          Lockdep.violations ())
+    in
+    {
+      mutant = "control:lockdep-" ^ name;
+      attempts = 1;
+      violations = v;
+      caught = v > 0;
+    }
+  in
+  [
+    flavoured "epoch" (module Citrus_int.Epoch);
+    flavoured "urcu" (module Citrus_int.Urcu);
+    flavoured "qsbr" (module Citrus_int.Qsbr);
   ]
 
 (* The same three configurations with every mutant disabled. Shorter

@@ -44,3 +44,31 @@ val all : ?seed:int -> ?attempts:int -> unit -> result list
 val controls : ?seed:int -> unit -> result list
 (** The same configurations with the mutants disabled; every
     [violations] must be 0. *)
+
+(** {2 Lockdep mutants}
+
+    Same contract for the lockdep validator ([Repro_lockdep.Lockdep]):
+    three locking-protocol bugs seeded into the real Citrus update paths
+    ({!Citrus.Buggy}) must each raise a structured [Lockdep.Violation].
+    Unlike the sanitizer hunts, these are control-flow bugs — one
+    single-domain round is deterministic, so every hunt uses exactly one
+    attempt and needs no fault injection. *)
+
+val lockdep_abba : unit -> result
+(** [delete] takes curr's lock before prev's: [Order_inversion] on the
+    ordered tree-node class, flagged at the second acquisition. *)
+
+val lockdep_sync_in_read : unit -> result
+(** The two-child delete waits for a grace period from inside a
+    read-side critical section: [Sync_in_read_section]. *)
+
+val lockdep_unbalanced_unlock : unit -> result
+(** [insert] unlocks a lock the caller never took: [Release_not_held]. *)
+
+val lockdep_all : unit -> result list
+(** The three lockdep mutants, in the order above. Every [caught] must
+    be true. *)
+
+val lockdep_controls : unit -> result list
+(** Clean lockdep-armed rounds (reclamation on) over all three RCU
+    flavours; every [violations] must be 0. *)

@@ -5,6 +5,7 @@ module Metrics = Repro_sync.Metrics
 module Trace = Repro_sync.Trace
 module Fault = Repro_fault.Fault
 module San = Repro_sanitizer.Sanitizer
+module Lockdep = Repro_lockdep.Lockdep
 
 type slot = int Atomic.t
 (* Encoding: [count lsl 1) lor flag]. Only the owning thread writes its
@@ -31,11 +32,7 @@ type t = {
      until woken instead of polling — the analogue of the kernel's RCU
      wait queues. Polling here is not just wasteful: on few cores the
      polls steal the CPU from the very scan being waited for. *)
-  mu : Mutex.t;
-  cond : Condition.t;
-  (* Number of synchronizers blocked on [cond] (or about to be): lets the
-     scanner skip the post-broadcast yield when nobody is waiting. *)
-  waiters : int Atomic.t;
+  waitq : Gp.Waitq.t;
 }
 
 type thread = {
@@ -68,9 +65,7 @@ let create ?(max_threads = 128) () =
     gp_started = Atomic.make 0;
     gp_completed = Atomic.make 0;
     scanning = Atomic.make 0;
-    mu = Mutex.create ();
-    cond = Condition.create ();
-    waiters = Atomic.make 0;
+    waitq = Gp.Waitq.create ();
   }
 
 let register rcu =
@@ -85,6 +80,7 @@ let unregister th =
   Registry.release th.rcu.slots th.index
 
 let read_lock th =
+  if Lockdep.enabled () then Lockdep.rcu_read_enter ~slot:th.index;
   if th.nesting = 0 then begin
     let count = Atomic.get th.slot lsr 1 in
     (* One SC store publishes both the new count and the flag. *)
@@ -98,6 +94,10 @@ let read_lock th =
   th.nesting <- th.nesting + 1
 
 let read_unlock th =
+  (* The lockdep check runs first: armed, an unbalanced unlock is a
+     structured [Lockdep.Violation]; disarmed, the historical
+     [Invalid_argument] below still fires. *)
+  if Lockdep.enabled () then Lockdep.rcu_read_exit ();
   if th.nesting <= 0 then
     invalid_arg "Epoch_rcu.read_unlock: not inside a read-side critical section";
   th.nesting <- th.nesting - 1;
@@ -167,6 +167,10 @@ let scan rcu t0 my =
   if not !aborted then post_completed rcu.gp_completed my
 
 let synchronize rcu =
+  (* RCU rule 1 (lockdep-enforced): a grace-period wait inside a
+     read-side critical section can never return — the waiter is the
+     reader it waits for. *)
+  if Lockdep.enabled () then Lockdep.check_sync ();
   let t0 = Metrics.now_ns () in
   Trace.record Sync_start (Metrics.slot ());
   if Fault.enabled () then Fault.inject fault_advance;
@@ -196,9 +200,7 @@ let synchronize rcu =
              re-check the completed number and the gate and either return
              or take over the scanning themselves. *)
           Atomic.decr rcu.scanning;
-          Mutex.lock rcu.mu;
-          Condition.broadcast rcu.cond;
-          Mutex.unlock rcu.mu)
+          Gp.Waitq.broadcast rcu.waitq)
         (fun () ->
           (* Cede the CPU before claiming the scan number: synchronizers
              just woken by the previous broadcast get to run, take their
@@ -211,7 +213,7 @@ let synchronize rcu =
              cond_resched() before starting a new GP). A real sleep, not
              sleepf 0.: only an actual deschedule lets them in. Skipped
              when nobody is waiting. *)
-          if Gp.coalescing () && Atomic.get rcu.waiters > 0 then
+          if Gp.coalescing () && Gp.Waitq.waiters rcu.waitq > 0 then
             Unix.sleepf 1e-9;
           let my = Atomic.fetch_and_add rcu.gp_started 1 + 1 in
           scan rcu t0 my);
@@ -229,10 +231,10 @@ let synchronize rcu =
          awaited scan turns out to be too old (numbered below [snap]) and
          no other scan is in flight, the branch above takes over — the
          fallback keeps this loop deadlock-free without any handshake
-         between synchronizers. The block predicate is re-checked under
-         the mutex so a completion between the gate check and the wait
-         cannot be missed (the scanner broadcasts under the same
-         mutex). *)
+         between synchronizers. [Gp.Waitq.wait] re-checks the block
+         predicate under its mutex so a completion between the gate
+         check and the wait cannot be missed (the scanner broadcasts
+         under the same mutex). *)
       coalesced := true;
       let covered () = Atomic.get rcu.gp_completed >= snap in
       let spins = ref 0 in
@@ -246,17 +248,11 @@ let synchronize rcu =
         incr naps
       done;
       if (not (covered ())) && Atomic.get rcu.scanning > 0 && Gp.coalescing ()
-      then begin
-        Atomic.incr rcu.waiters;
-        Mutex.lock rcu.mu;
-        if
-          (not (covered ()))
-          && Atomic.get rcu.scanning > 0
-          && Gp.coalescing ()
-        then Condition.wait rcu.cond rcu.mu;
-        Mutex.unlock rcu.mu;
-        Atomic.decr rcu.waiters
-      end
+      then
+        Gp.Waitq.wait rcu.waitq ~block_if:(fun () ->
+            (not (covered ()))
+            && Atomic.get rcu.scanning > 0
+            && Gp.coalescing ())
     end
   done;
   ignore (Atomic.fetch_and_add rcu.gps 1);
@@ -268,7 +264,12 @@ let synchronize rcu =
   if !coalesced then Trace.record Sync_coalesced (Metrics.slot ());
   Trace.record Sync_end dt
 
-let cond_synchronize rcu snap = if not (poll rcu snap) then synchronize rcu
+let cond_synchronize rcu snap =
+  (* Checked even on the elided path: the call is *allowed* to wait, so
+     making it legal only when the grace period happens to have elapsed
+     would hide the bug until the unlucky schedule. *)
+  if Lockdep.enabled () then Lockdep.check_sync ();
+  if not (poll rcu snap) then synchronize rcu
 
 let grace_periods rcu = Atomic.get rcu.gps
 let gp_cookie rcu = read_gp_seq rcu

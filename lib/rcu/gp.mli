@@ -18,3 +18,31 @@ val set_coalescing : bool -> unit
     must restore the default when done. *)
 
 val coalescing : unit -> bool
+
+(** Condvar wait queue for piggybacking synchronizers (epoch-rcu and
+    qsbr block here instead of polling for the in-flight scan). This is
+    the {e only} module in the library allowed to touch
+    [Stdlib.Mutex]/[Condition] — `dune build @lint` enforces it — and
+    {!Waitq.wait} runs the lockdep RCU-context check, so blocking on a
+    grace period from inside a read-side critical section raises
+    [Repro_lockdep.Lockdep.Violation] on this path exactly as on the
+    direct [synchronize] path. *)
+module Waitq : sig
+  type t
+
+  val create : unit -> t
+
+  val waiters : t -> int
+  (** Synchronizers currently blocked (or about to block): scanners
+      consult this to skip their pre-scan yield when nobody waits. *)
+
+  val broadcast : t -> unit
+  (** Wake every waiter (taken and released under the internal mutex, so
+      a waiter's predicate re-check cannot miss the wakeup). *)
+
+  val wait : t -> block_if:(unit -> bool) -> unit
+  (** Register as a waiter and block until {!broadcast}, unless
+      [block_if ()] — re-evaluated under the internal mutex — is already
+      false. With lockdep armed, raises [Lockdep.Violation] if called
+      inside a read-side critical section. *)
+end

@@ -5,6 +5,7 @@ module Metrics = Repro_sync.Metrics
 module Trace = Repro_sync.Trace
 module Fault = Repro_fault.Fault
 module San = Repro_sanitizer.Sanitizer
+module Lockdep = Repro_lockdep.Lockdep
 
 (* Slot encoding: 0 = offline; otherwise a snapshot of the global
    grace-period counter (always odd, so 0 is unambiguous). A thread is
@@ -27,10 +28,7 @@ type t = {
   scanning : int Atomic.t;
   (* Wait queue for piggybacking synchronizers (see Epoch_rcu): scanners
      broadcast after every scan, waiters block instead of polling. *)
-  mu : Mutex.t;
-  cond : Condition.t;
-  (* Synchronizers blocked on [cond] (see Epoch_rcu). *)
-  waiters : int Atomic.t;
+  waitq : Gp.Waitq.t;
 }
 
 type thread = {
@@ -74,9 +72,7 @@ let create ?(max_threads = 128) () =
     gps = Atomic.make 0;
     gp_completed = Atomic.make 0;
     scanning = Atomic.make 0;
-    mu = Mutex.create ();
-    cond = Condition.create ();
-    waiters = Atomic.make 0;
+    waitq = Gp.Waitq.create ();
   }
 
 let register rcu =
@@ -108,6 +104,7 @@ let quiescent_state th =
    read_unlock announces quiescence and goes offline, so idle registered
    threads never stall writers. Nested sections cost nothing. *)
 let read_lock th =
+  if Lockdep.enabled () then Lockdep.rcu_read_enter ~slot:th.index;
   if th.nesting = 0 then begin
     online th;
     if San.enabled () then th.entry_cookie <- Atomic.get th.rcu.gp + 2;
@@ -123,6 +120,8 @@ let read_lock th =
   th.nesting <- th.nesting + 1
 
 let read_unlock th =
+  (* Lockdep first (see Epoch_rcu.read_unlock). *)
+  if Lockdep.enabled () then Lockdep.rcu_read_exit ();
   if th.nesting <= 0 then
     invalid_arg "Qsbr.read_unlock: not inside a read-side critical section";
   th.nesting <- th.nesting - 1;
@@ -190,6 +189,8 @@ let scan rcu t0 =
   if not !aborted then post_completed rcu.gp_completed target
 
 let synchronize rcu =
+  (* RCU rule 1 (lockdep-enforced, see Epoch_rcu.synchronize). *)
+  if Lockdep.enabled () then Lockdep.check_sync ();
   let t0 = Metrics.now_ns () in
   Trace.record Sync_start (Metrics.slot ());
   (* Snapshot before anything else: satisfied once a scan targeting at
@@ -216,14 +217,12 @@ let synchronize rcu =
              overtaken, or raised — they re-check and either return or
              take over the scanning themselves. *)
           Atomic.decr rcu.scanning;
-          Mutex.lock rcu.mu;
-          Condition.broadcast rcu.cond;
-          Mutex.unlock rcu.mu)
+          Gp.Waitq.broadcast rcu.waitq)
         (fun () ->
           (* Cede the CPU before the scan claims its target, so newly
              woken synchronizers snapshot below it and the scan covers
              them (see Epoch_rcu). *)
-          if Gp.coalescing () && Atomic.get rcu.waiters > 0 then
+          if Gp.coalescing () && Gp.Waitq.waiters rcu.waitq > 0 then
             Unix.sleepf 1e-9;
           scan rcu t0);
       finished := true
@@ -232,9 +231,9 @@ let synchronize rcu =
       (* Piggyback on the scan in flight, with the adaptive
          spin/nap/block wait (see Epoch_rcu). If the finished scan proves
          too old and nothing else is scanning, the branch above takes
-         over. The block predicate is re-checked under the mutex so a
-         completion between the gate check and the wait cannot be
-         missed. *)
+         over. [Gp.Waitq.wait] re-checks the block predicate under its
+         mutex so a completion between the gate check and the wait
+         cannot be missed. *)
       coalesced := true;
       let covered () = Atomic.get rcu.gp_completed >= snap in
       let spins = ref 0 in
@@ -248,17 +247,11 @@ let synchronize rcu =
         incr naps
       done;
       if (not (covered ())) && Atomic.get rcu.scanning > 0 && Gp.coalescing ()
-      then begin
-        Atomic.incr rcu.waiters;
-        Mutex.lock rcu.mu;
-        if
-          (not (covered ()))
-          && Atomic.get rcu.scanning > 0
-          && Gp.coalescing ()
-        then Condition.wait rcu.cond rcu.mu;
-        Mutex.unlock rcu.mu;
-        Atomic.decr rcu.waiters
-      end
+      then
+        Gp.Waitq.wait rcu.waitq ~block_if:(fun () ->
+            (not (covered ()))
+            && Atomic.get rcu.scanning > 0
+            && Gp.coalescing ())
     end
   done;
   ignore (Atomic.fetch_and_add rcu.gps 1);
@@ -270,7 +263,10 @@ let synchronize rcu =
   if !coalesced then Trace.record Sync_coalesced (Metrics.slot ());
   Trace.record Sync_end dt
 
-let cond_synchronize rcu snap = if not (poll rcu snap) then synchronize rcu
+let cond_synchronize rcu snap =
+  (* Checked even on the elided path (see Epoch_rcu.cond_synchronize). *)
+  if Lockdep.enabled () then Lockdep.check_sync ();
+  if not (poll rcu snap) then synchronize rcu
 
 let grace_periods rcu = Atomic.get rcu.gps
 let gp_cookie rcu = read_gp_seq rcu

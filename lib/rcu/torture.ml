@@ -27,6 +27,7 @@ module Barrier = Repro_sync.Barrier
 module Rng = Repro_sync.Rng
 module Fault = Repro_fault.Fault
 module San = Repro_sanitizer.Sanitizer
+module Lockdep = Repro_lockdep.Lockdep
 
 type config = {
   readers : int;
@@ -42,6 +43,7 @@ type config = {
   stall_ms : int;
   stall_fail : bool;
   sanitize : bool;
+  lockdep : bool;
   verbose : bool;
 }
 
@@ -60,6 +62,7 @@ let default =
     stall_ms = 0;
     stall_fail = false;
     sanitize = false;
+    lockdep = false;
     verbose = false;
   }
 
@@ -70,6 +73,7 @@ type outcome = {
   stalled_writers : int;
   violations : int;
   leaks : int;
+  lockdep_violations : int;
 }
 
 type elem = { id : int; mutable freed : bool; shadow : San.record option }
@@ -280,6 +284,8 @@ module Make (R : Rcu_intf.S) = struct
         (match san with
         | Some d when Atomic.get violations = 0 -> List.length (San.audit d)
         | _ -> 0);
+      (* Filled in by [run], which owns the lockdep arming window. *)
+      lockdep_violations = 0;
     }
 
   let run ?(seed = 42) cfg =
@@ -301,21 +307,32 @@ module Make (R : Rcu_intf.S) = struct
       end
       else None
     in
+    (* Lockdep mirrors the sanitizer: armed here (a quiescent point — no
+       domain holds a lock or a read-side section yet), restored on the
+       way out, and reported as a violation *delta* so an already-armed
+       process keeps its running totals. *)
+    let ld_was_armed = Lockdep.enabled () in
+    if cfg.lockdep then Lockdep.arm ();
+    let ld_before = Lockdep.violations () in
     Fun.protect
       ~finally:(fun () ->
         Fault.disable_all ();
         Stall.disarm ();
         Stall.reset_handler ();
-        if cfg.sanitize && not san_was_armed then San.disarm ())
+        if cfg.sanitize && not san_was_armed then San.disarm ();
+        if cfg.lockdep && not ld_was_armed then Lockdep.disarm ())
       (fun () ->
         let out = body cfg ~seed ~stall_count ~san in
+        let out =
+          { out with lockdep_violations = Lockdep.violations () - ld_before }
+        in
         if cfg.verbose then
           Printf.eprintf
             "torture %s: errors=%d grace_periods=%d stalls=%d \
-             stalled_writers=%d violations=%d leaks=%d\n\
+             stalled_writers=%d violations=%d leaks=%d lockdep=%d\n\
              %!"
             R.name out.errors out.grace_periods out.stalls out.stalled_writers
-            out.violations out.leaks;
+            out.violations out.leaks out.lockdep_violations;
         out)
 end
 

@@ -43,6 +43,12 @@ type config = {
       (** arm the reclamation sanitizer for this run: elements carry
           shadow records, readers check them on every dereference, and
           the outcome counts {!outcome.violations} and {!outcome.leaks} *)
+  lockdep : bool;
+      (** arm the lockdep validator ([Repro_lockdep.Lockdep]) for this
+          run: every lock acquisition/release and every read-side
+          entry/exit is validated against the locking protocol, and the
+          outcome counts {!outcome.lockdep_violations} (must be 0 — the
+          harness and the flavours follow the protocol) *)
   verbose : bool;  (** print stall reports and a per-run summary *)
 }
 
@@ -65,6 +71,9 @@ type outcome = {
       (** shadow records still [Deferred] after every writer drained —
           frees promised but never executed. Audited only on violation-free
           [sanitize] runs; must be 0. *)
+  lockdep_violations : int;
+      (** lockdep violations observed during the run ([lockdep] runs
+          only); must be 0 on the clean harness *)
 }
 
 module Make (R : Rcu_intf.S) : sig

@@ -6,6 +6,7 @@ module Metrics = Repro_sync.Metrics
 module Trace = Repro_sync.Trace
 module Fault = Repro_fault.Fault
 module San = Repro_sanitizer.Sanitizer
+module Lockdep = Repro_lockdep.Lockdep
 
 (* Per-thread word layout (as in liburcu): low 16 bits = nesting count,
    bit 16 = phase. A thread is a quiescent reader when its nesting bits are
@@ -62,13 +63,19 @@ module Buggy = struct
   let single_flip b = Atomic.set single_flip_bug b
 end
 
+(* One lockdep class for every urcu instance's grace-period lock: its
+   role in the dependency graph (GP waits serialize behind it, tree-node
+   locks are routinely held across it) is the same whichever tree owns
+   the instance. *)
+let gp_lock_cls = Lockdep.new_class Lockdep.Gp "urcu/gp_lock"
+
 let create ?(max_threads = 128) () =
   {
     gp_ctr = Atomic.make 0;
     slots =
       Registry.create ~capacity:max_threads ~make:(fun _ ->
           Repro_sync.Padding.spaced_atomic 0);
-    gp_lock = Spinlock.create ();
+    gp_lock = Spinlock.create ~cls:gp_lock_cls ();
     gps = Atomic.make 0;
     gp_seq = Atomic.make 0;
   }
@@ -100,6 +107,7 @@ let read_gp_seq rcu =
 let poll rcu snap = Atomic.get rcu.gp_seq lsr 1 >= snap
 
 let read_lock th =
+  if Lockdep.enabled () then Lockdep.rcu_read_enter ~slot:th.index;
   let v = Atomic.get th.slot in
   if v land nest_mask = 0 then begin
     (* Outermost: adopt the current global phase with nesting 1. *)
@@ -114,6 +122,8 @@ let read_lock th =
   else Atomic.set th.slot (v + 1)
 
 let read_unlock th =
+  (* Lockdep first (see Epoch_rcu.read_unlock). *)
+  if Lockdep.enabled () then Lockdep.rcu_read_exit ();
   let v = Atomic.get th.slot in
   if v land nest_mask = 0 then
     invalid_arg "Urcu.read_unlock: not inside a read-side critical section";
@@ -164,6 +174,9 @@ let synchronize rcu =
      on that global lock is precisely the updater serialization Figure 8
      measures, so it counts as grace-period time. The lock's own wait also
      lands in lock_wait_ns via the instrumented spinlock. *)
+  (* RCU rule 1 (lockdep-enforced, see Epoch_rcu.synchronize) — checked
+     before queueing on the gp_lock, which a reader could block forever. *)
+  if Lockdep.enabled () then Lockdep.check_sync ();
   let t0 = Metrics.now_ns () in
   Trace.record Sync_start (Metrics.slot ());
   let snap = read_gp_seq rcu in
@@ -210,7 +223,10 @@ let synchronize rcu =
   if coalesced then Trace.record Sync_coalesced (Metrics.slot ());
   Trace.record Sync_end dt
 
-let cond_synchronize rcu snap = if not (poll rcu snap) then synchronize rcu
+let cond_synchronize rcu snap =
+  (* Checked even on the elided path (see Epoch_rcu.cond_synchronize). *)
+  if Lockdep.enabled () then Lockdep.check_sync ();
+  if not (poll rcu snap) then synchronize rcu
 
 let grace_periods rcu = Atomic.get rcu.gps
 let gp_cookie rcu = read_gp_seq rcu

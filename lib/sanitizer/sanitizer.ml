@@ -26,6 +26,16 @@
 module Stats = Repro_sync.Stats
 module Metrics = Repro_sync.Metrics
 module Trace = Repro_sync.Trace
+module Spinlock = Repro_sync.Spinlock
+module Lockdep = Repro_lockdep.Lockdep
+
+(* The deferred-table guard is an instrumented spinlock (not a raw
+   Stdlib.Mutex, which the @lint rule reserves for [Gp.Waitq]): its
+   critical sections are a few hashtable operations, and going through
+   [Spinlock] puts the sanitizer's own locking under the lockdep
+   validator like every other lock in the repository. One Registry-role
+   class covers every sanitizer domain's table. *)
+let table_cls = Lockdep.new_class Lockdep.Registry "sanitizer/deferred-table"
 
 type kind = Use_after_reclaim | Double_free | Leaked_deferral
 
@@ -36,7 +46,7 @@ type state =
 
 type domain = {
   dname : string;
-  mu : Mutex.t;
+  mu : Spinlock.t;
   (* Only records currently in the Deferred state, keyed by record id. *)
   deferred : (int, record) Hashtbl.t;
   ids : int Atomic.t;
@@ -91,7 +101,12 @@ let violations () = Atomic.get violations_total
 let reset_violations () = Atomic.set violations_total 0
 
 let create dname =
-  { dname; mu = Mutex.create (); deferred = Hashtbl.create 64; ids = Atomic.make 0 }
+  {
+    dname;
+    mu = Spinlock.create ~cls:table_cls ();
+    deferred = Hashtbl.create 64;
+    ids = Atomic.make 0;
+  }
 
 let domain_name d = d.dname
 
@@ -165,9 +180,9 @@ let observe _r = count_check ()
 let on_defer r ~gp =
   if Atomic.compare_and_set r.state Live (Deferred gp) then begin
     let d = r.owner in
-    Mutex.lock d.mu;
+    Spinlock.acquire d.mu;
     Hashtbl.replace d.deferred r.id r;
-    Mutex.unlock d.mu
+    Spinlock.release d.mu
   end
   else
     (* Already Deferred or Reclaimed: the same object was queued for a
@@ -184,22 +199,22 @@ let rec on_reclaim ?gp r =
       if Atomic.compare_and_set r.state cur (Reclaimed (deferred_gp, reclaimed_gp))
       then begin
         let d = r.owner in
-        Mutex.lock d.mu;
+        Spinlock.acquire d.mu;
         Hashtbl.remove d.deferred r.id;
-        Mutex.unlock d.mu
+        Spinlock.release d.mu
       end
       else on_reclaim ?gp r
 
 let deferred_count d =
-  Mutex.lock d.mu;
+  Spinlock.acquire d.mu;
   let n = Hashtbl.length d.deferred in
-  Mutex.unlock d.mu;
+  Spinlock.release d.mu;
   n
 
 let audit d =
-  Mutex.lock d.mu;
+  Spinlock.acquire d.mu;
   let leaked = Hashtbl.fold (fun _ r acc -> r :: acc) d.deferred [] in
-  Mutex.unlock d.mu;
+  Spinlock.release d.mu;
   leaked
   |> List.sort (fun a b -> compare a.id b.id)
   |> List.map (fun r ->

@@ -47,7 +47,8 @@ let reset () =
   Stats.reset defer_flushes;
   Stats.reset defer_callbacks;
   Stats.reset sanitizer_checks;
-  Stats.reset sanitizer_violations
+  Stats.reset sanitizer_violations;
+  Repro_lockdep.Lockdep.reset_counters ()
 
 let snapshot () =
   [
@@ -70,4 +71,11 @@ let snapshot () =
     ("defer_callbacks", float_of_int (Stats.read defer_callbacks));
     ("sanitizer_checks", float_of_int (Stats.read sanitizer_checks));
     ("sanitizer_violations", float_of_int (Stats.read sanitizer_violations));
+    (* Lockdep keeps its own process-global counters (it sits below this
+       module in the dependency stack); snapshotting reads them directly
+       so the JSON reports cover the validator like every other debug
+       tool. Both are 0 unless lockdep is armed. *)
+    ("lockdep_checks", float_of_int (Repro_lockdep.Lockdep.checks ()));
+    ( "lockdep_violations",
+      float_of_int (Repro_lockdep.Lockdep.violations ()) );
   ]

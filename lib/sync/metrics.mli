@@ -79,6 +79,12 @@ val sanitizer_violations : Stats.t
 (** Reclamation-sanitizer violations detected (logical use-after-free,
     double-free); 0 on a correct implementation even when armed. *)
 
+(** The [lockdep_checks] / [lockdep_violations] rows of {!snapshot} are
+    read directly from [Repro_lockdep.Lockdep.checks]/[violations]
+    (lockdep sits below this module and keeps its own counters); both
+    are 0 unless lockdep is armed, and [lockdep_violations] stays 0 on
+    code that follows the locking protocol. *)
+
 (** {2 Snapshot} *)
 
 val snapshot : unit -> (string * float) list

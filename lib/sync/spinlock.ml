@@ -1,20 +1,38 @@
-type t = bool Atomic.t
+module Lockdep = Repro_lockdep.Lockdep
 
-let create () = Atomic.make false
+type t = {
+  state : bool Atomic.t;
+  cls : Lockdep.cls; (* lockdep class, [Lockdep.generic] by default *)
+  id : int; (* per-lock lockdep identity *)
+}
+
+let create ?(cls = Lockdep.generic) () =
+  { state = Atomic.make false; cls; id = Lockdep.new_lock_id () }
 
 let fault_acquire = Repro_fault.Fault.register "lock.spin.acquire"
 
-let try_acquire t = (not (Atomic.get t)) && Atomic.compare_and_set t false true
+let try_acquire_raw t =
+  (not (Atomic.get t.state)) && Atomic.compare_and_set t.state false true
 
-let acquire t =
+let try_acquire t =
+  let ok = try_acquire_raw t in
+  if ok && Lockdep.enabled () then
+    Lockdep.trylock_acquired t.cls ~id:t.id ~order:(-1);
+  ok
+
+let acquire_ordered t order =
   (* Fault injection: delay some arrivals before they attempt the lock,
      widening the contention window (ROBUSTNESS.md). Disabled cost: one
-     atomic load and a branch. *)
+     atomic load and a branch — and the same again for lockdep. *)
   if Repro_fault.Fault.enabled () then Repro_fault.Fault.inject fault_acquire;
-  if try_acquire t then begin
+  (* Validated before the first spin: an inverted acquisition order is
+     reported as a [Lockdep.Violation] instead of (sometimes) deadlocking
+     right here. *)
+  if Lockdep.enabled () then Lockdep.lock_acquired t.cls ~id:t.id ~order;
+  if try_acquire_raw t then begin
     if Metrics.enabled () then
       Stats.incr Metrics.lock_acquires (Metrics.slot ());
-    Trace.record Lock_acquire 0
+    Trace.record Lock_acquire (Lockdep.cls_id t.cls)
   end
   else begin
     (* Contended path: time the spin so lock_wait_ns captures exactly the
@@ -23,7 +41,7 @@ let acquire t =
     let measure = Metrics.enabled () || Trace.enabled () in
     let t0 = if measure then Metrics.now_ns () else 0 in
     let b = Backoff.create () in
-    while not (try_acquire t) do
+    while not (try_acquire_raw t) do
       Backoff.once b
     done;
     if measure then begin
@@ -38,11 +56,17 @@ let acquire t =
     end
   end
 
+let acquire t = acquire_ordered t (-1)
+
 let release t =
-  if not (Atomic.exchange t false) then
+  (* The held-stack check runs before the lock word changes: a double or
+     foreign unlock raises with the lock state intact, so the actual
+     holder is not silently robbed. *)
+  if Lockdep.enabled () then Lockdep.lock_released t.cls ~id:t.id;
+  if not (Atomic.exchange t.state false) then
     invalid_arg "Spinlock.release: lock was not held"
 
-let is_locked t = Atomic.get t
+let is_locked t = Atomic.get t.state
 
 let with_lock t f =
   acquire t;

@@ -3,21 +3,40 @@
     Used as the per-node lock of Citrus and the lock-based baselines: a heap
     word per lock (much lighter than [Mutex.t]) and fast in the uncontended
     case. Acquisition loops use {!Backoff} so spinning never starves the
-    holder on a single core. *)
+    holder on a single core.
+
+    Every lock belongs to a [Repro_lockdep.Lockdep] class (default:
+    {!Repro_lockdep.Lockdep.generic}); while lockdep is armed, every
+    acquisition and release is validated against the locking protocol
+    (held-lock stack, class-dependency graph, within-class order tokens)
+    and raises [Lockdep.Violation] on recursion, order inversion,
+    potential ABBA deadlock, or double/foreign unlock. Disarmed cost:
+    one atomic load and a branch per acquisition. *)
 
 type t
 
-val create : unit -> t
+val create : ?cls:Repro_lockdep.Lockdep.cls -> unit -> t
+(** A free lock in lockdep class [cls] (default
+    [Repro_lockdep.Lockdep.generic]). *)
 
 val acquire : t -> unit
 (** Block (spin) until the lock is held by the caller. Not reentrant. *)
+
+val acquire_ordered : t -> int -> unit
+(** [acquire_ordered t order] is {!acquire} carrying a within-class
+    order token for lockdep's ordered classes: while armed, taking a
+    token not strictly above every held token of the same class raises
+    [Lockdep.Violation] (Citrus's hand-over-hand protocol). [-1] means
+    unordered ({!acquire} is [acquire_ordered t (-1)]). *)
 
 val try_acquire : t -> bool
 (** Attempt to take the lock without spinning; [true] on success. *)
 
 val release : t -> unit
 (** Release a held lock. Releasing a free lock is a programming error and
-    raises [Invalid_argument]. *)
+    raises [Invalid_argument]; with lockdep armed, releasing a lock this
+    domain does not hold (double unlock, foreign unlock) raises
+    [Lockdep.Violation] first, with the lock state untouched. *)
 
 val is_locked : t -> bool
 (** Snapshot of the lock state, for assertions and statistics only. *)

@@ -1,17 +1,31 @@
+module Lockdep = Repro_lockdep.Lockdep
+
 type t = {
   next : int Atomic.t; (* next ticket to hand out *)
   serving : int Atomic.t; (* ticket currently allowed in *)
+  cls : Lockdep.cls; (* lockdep class, [Lockdep.generic] by default *)
+  id : int; (* per-lock lockdep identity *)
 }
 
-let create () = { next = Atomic.make 0; serving = Atomic.make 0 }
+let create ?(cls = Lockdep.generic) () =
+  {
+    next = Atomic.make 0;
+    serving = Atomic.make 0;
+    cls;
+    id = Lockdep.new_lock_id ();
+  }
 
 let fault_acquire = Repro_fault.Fault.register "lock.ticket.acquire"
 
-let acquire t =
+let acquire_ordered t order =
   (* Fault injection before the ticket is drawn: a delayed arrival holds no
      place in the FIFO yet, so the fault widens contention without blocking
      later tickets. *)
   if Repro_fault.Fault.enabled () then Repro_fault.Fault.inject fault_acquire;
+  (* Validated before the ticket is drawn: an inverted acquisition order
+     is a [Lockdep.Violation] report, not an eventual deadlock — and no
+     FIFO slot is wasted on the refused acquisition. *)
+  if Lockdep.enabled () then Lockdep.lock_acquired t.cls ~id:t.id ~order;
   let ticket = Atomic.fetch_and_add t.next 1 in
   if Atomic.get t.serving <> ticket then begin
     let measure = Metrics.enabled () || Trace.enabled () in
@@ -31,15 +45,27 @@ let acquire t =
     end
   end;
   if Metrics.enabled () then Stats.incr Metrics.lock_acquires (Metrics.slot ());
-  Trace.record Lock_acquire 0
+  Trace.record Lock_acquire (Lockdep.cls_id t.cls)
+
+let acquire t = acquire_ordered t (-1)
 
 let try_acquire t =
   let serving = Atomic.get t.serving in
   (* Only attempt when the queue is empty: the CAS takes the ticket that
      is immediately served. *)
-  Atomic.get t.next = serving && Atomic.compare_and_set t.next serving (serving + 1)
+  let ok =
+    Atomic.get t.next = serving
+    && Atomic.compare_and_set t.next serving (serving + 1)
+  in
+  if ok && Lockdep.enabled () then
+    Lockdep.trylock_acquired t.cls ~id:t.id ~order:(-1);
+  ok
 
 let release t =
+  (* Held-stack check first (see Spinlock.release): a double or foreign
+     unlock raises without serving the next ticket, so the FIFO is not
+     corrupted under the real holder. *)
+  if Lockdep.enabled () then Lockdep.lock_released t.cls ~id:t.id;
   let serving = Atomic.get t.serving in
   if Atomic.get t.next = serving then
     invalid_arg "Ticket_lock.release: lock was not held";

@@ -4,21 +4,32 @@
     Under heavy contention a TAS lock lets one thread re-acquire
     repeatedly (unfair but cache-friendly); a ticket lock serves strictly
     in arrival order. The micro-benchmarks compare both so the choice of
-    per-node lock in the trees is a measured decision, not folklore. *)
+    per-node lock in the trees is a measured decision, not folklore.
+
+    Like {!Spinlock}, every lock belongs to a [Repro_lockdep.Lockdep]
+    class and armed-mode acquisitions/releases are validated against the
+    locking protocol (disarmed cost: one atomic load and a branch). *)
 
 type t
 
-val create : unit -> t
+val create : ?cls:Repro_lockdep.Lockdep.cls -> unit -> t
+(** A free lock in lockdep class [cls] (default
+    [Repro_lockdep.Lockdep.generic]). *)
 
 val acquire : t -> unit
 (** Take a ticket and spin (with backoff) until served. Not reentrant. *)
+
+val acquire_ordered : t -> int -> unit
+(** {!acquire} carrying a lockdep within-class order token; [-1] means
+    unordered (see {!Spinlock.acquire_ordered}). *)
 
 val try_acquire : t -> bool
 (** Acquire only if the lock is free and no one is waiting. *)
 
 val release : t -> unit
 (** Serve the next ticket. Raises [Invalid_argument] if the lock is not
-    held. *)
+    held; with lockdep armed, a double/foreign unlock raises
+    [Lockdep.Violation] first, leaving the FIFO untouched. *)
 
 val is_locked : t -> bool
 val with_lock : t -> (unit -> 'a) -> 'a

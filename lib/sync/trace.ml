@@ -30,6 +30,7 @@ type kind =
   | Stall
   | Sync_coalesced
   | Sanitize_violation
+  | Lockdep_violation
 
 let kind_to_string = function
   | Read_enter -> "read_enter"
@@ -43,6 +44,7 @@ let kind_to_string = function
   | Stall -> "stall"
   | Sync_coalesced -> "sync_coalesced"
   | Sanitize_violation -> "sanitize_violation"
+  | Lockdep_violation -> "lockdep_violation"
 
 let kind_index = function
   | Read_enter -> 0
@@ -56,6 +58,7 @@ let kind_index = function
   | Stall -> 8
   | Sync_coalesced -> 9
   | Sanitize_violation -> 10
+  | Lockdep_violation -> 11
 
 let kind_of_index = function
   | 0 -> Read_enter
@@ -68,6 +71,7 @@ let kind_of_index = function
   | 7 -> Defer_flush
   | 9 -> Sync_coalesced
   | 10 -> Sanitize_violation
+  | 11 -> Lockdep_violation
   | _ -> Stall
 
 type event = {
@@ -136,6 +140,15 @@ let record kind arg =
 let length () =
   let r = !ring in
   min (Atomic.get r.cursor) (r.mask + 1)
+
+(* Lockdep sits below this module in the dependency stack, so it cannot
+   record its own violations; instead it exposes a hook, installed here
+   at module initialization (top-level effects of linked modules run at
+   program start, before any workload). The hook argument is the
+   offending lockdep class id, matching the [Lock_acquire] argument. *)
+let () =
+  Repro_lockdep.Lockdep.set_violation_hook (fun cls_id ->
+      record Lockdep_violation cls_id)
 
 let dump () =
   let r = !ring in

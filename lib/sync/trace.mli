@@ -21,7 +21,10 @@ type kind =
                     traces from concurrent synchronizers are
                     distinguishable *)
   | Sync_end  (** [synchronize] returned; arg = grace-period duration (ns) *)
-  | Lock_acquire  (** uncontended lock acquisition; arg = 0 *)
+  | Lock_acquire
+      (** uncontended lock acquisition; arg = the lock's
+          [Repro_lockdep.Lockdep] class id (0 = unclassified), so traces
+          distinguish tree-node locks from the GP lock *)
   | Lock_contended  (** lock acquired after spinning; arg = wait (ns) *)
   | Restart  (** optimistic traversal restarted after failed validation *)
   | Defer_flush  (** deferred-free batch executed; arg = callbacks run *)
@@ -37,6 +40,11 @@ type kind =
       (** reclamation-sanitizer violation detected (logical
           use-after-free or double-free, see [Repro_sanitizer.Sanitizer]);
           arg = offending shadow-record id *)
+  | Lockdep_violation
+      (** locking-protocol violation detected by the lockdep validator
+          (order inversion, dependency cycle, release-not-held, RCU
+          context rule; see [Repro_lockdep.Lockdep]); arg = offending
+          lockdep class id *)
 
 val kind_to_string : kind -> string
 

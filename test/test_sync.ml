@@ -33,7 +33,51 @@ let test_spinlock_release_unheld () =
 let test_spinlock_with_lock_exception () =
   let l = Spinlock.create () in
   (try Spinlock.with_lock l (fun () -> failwith "boom") with Failure _ -> ());
-  checkb "released after exception" false (Spinlock.is_locked l)
+  checkb "released after exception" false (Spinlock.is_locked l);
+  (* The lock must remain fully usable after the unwound section. *)
+  Spinlock.with_lock l (fun () -> checkb "re-lockable" true (Spinlock.is_locked l));
+  checkb "free again" false (Spinlock.is_locked l)
+
+(* Lockdep-armed misuse detection (debug mode): double unlock and foreign
+   unlock are structured violations raised *before* the lock word is
+   touched, so the real holder is never broken. Disarmed, the historical
+   Invalid_argument on a free lock still applies (tested above). *)
+
+module Lockdep = Repro_lockdep.Lockdep
+
+let with_lockdep f =
+  Lockdep.reset ();
+  let was = Lockdep.enabled () in
+  Lockdep.arm ();
+  Fun.protect
+    ~finally:(fun () ->
+      if not was then Lockdep.disarm ();
+      Lockdep.reset ())
+    f
+
+let test_spinlock_double_unlock_armed () =
+  with_lockdep (fun () ->
+      let l = Spinlock.create () in
+      Spinlock.acquire l;
+      Spinlock.release l;
+      match Spinlock.release l with
+      | () -> Alcotest.fail "double unlock not detected"
+      | exception Lockdep.Violation r ->
+          checkb "release-not-held report" true
+            (r.Lockdep.kind = Lockdep.Release_not_held))
+
+let test_spinlock_foreign_unlock_armed () =
+  with_lockdep (fun () ->
+      let l = Spinlock.create () in
+      (* Another domain takes the lock and keeps holding it. *)
+      Domain.join (Domain.spawn (fun () -> Spinlock.acquire l));
+      (match Spinlock.release l with
+      | () -> Alcotest.fail "foreign unlock not detected"
+      | exception Lockdep.Violation r ->
+          checkb "release-not-held report" true
+            (r.Lockdep.kind = Lockdep.Release_not_held));
+      (* The refused release must leave the holder's lock intact. *)
+      checkb "lock state untouched" true (Spinlock.is_locked l))
 
 let test_spinlock_mutual_exclusion () =
   let l = Spinlock.create () in
@@ -81,6 +125,16 @@ let test_ticket_mutual_exclusion () =
   let domains = List.init 4 (fun _ -> Domain.spawn worker) in
   List.iter Domain.join domains;
   checki "all increments preserved" (4 * iterations) !counter
+
+let test_ticket_with_lock_exception () =
+  let l = Ticket_lock.create () in
+  (try Ticket_lock.with_lock l (fun () -> failwith "boom")
+   with Failure _ -> ());
+  checkb "released after exception" false (Ticket_lock.is_locked l);
+  (* The FIFO must not have lost a slot: later acquisitions proceed. *)
+  Ticket_lock.with_lock l (fun () ->
+      checkb "re-lockable" true (Ticket_lock.is_locked l));
+  checkb "free again" false (Ticket_lock.is_locked l)
 
 let test_ticket_fifo_order () =
   (* Threads arrive with generously staggered delays while the main thread
@@ -135,6 +189,19 @@ let test_barrier_reusable () =
   let domains = List.init n (fun i -> Domain.spawn (worker i)) in
   List.iter Domain.join domains;
   checki "parties" n (Barrier.parties bar)
+
+let test_barrier_second_cohort () =
+  (* A barrier must reset itself completely: a second, entirely fresh
+     cohort of domains (not the same ones looping) passes it too. *)
+  let n = 3 in
+  let bar = Barrier.create n in
+  let wave () =
+    let ds = List.init n (fun _ -> Domain.spawn (fun () -> Barrier.wait bar)) in
+    List.iter Domain.join ds
+  in
+  wave ();
+  wave ();
+  checki "parties unchanged" n (Barrier.parties bar)
 
 let test_barrier_invalid () =
   Alcotest.check_raises "zero parties"
@@ -272,10 +339,16 @@ let () =
             test_spinlock_with_lock_exception;
           Alcotest.test_case "mutual exclusion" `Quick
             test_spinlock_mutual_exclusion;
+          Alcotest.test_case "double unlock (lockdep)" `Quick
+            test_spinlock_double_unlock_armed;
+          Alcotest.test_case "foreign unlock (lockdep)" `Quick
+            test_spinlock_foreign_unlock_armed;
         ] );
       ( "ticket_lock",
         [
           Alcotest.test_case "basic" `Quick test_ticket_basic;
+          Alcotest.test_case "with_lock exception" `Quick
+            test_ticket_with_lock_exception;
           Alcotest.test_case "mutual exclusion" `Quick
             test_ticket_mutual_exclusion;
           Alcotest.test_case "FIFO order" `Quick test_ticket_fifo_order;
@@ -285,6 +358,7 @@ let () =
       ( "barrier",
         [
           Alcotest.test_case "reusable rounds" `Quick test_barrier_reusable;
+          Alcotest.test_case "second cohort" `Quick test_barrier_second_cohort;
           Alcotest.test_case "invalid parties" `Quick test_barrier_invalid;
         ] );
       ( "rng",
