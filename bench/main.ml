@@ -764,6 +764,85 @@ let contention scale =
     ];
   collect "contention: throughput vs update fraction" !jpoints
 
+(* Serving benchmark: the sharded service under saturating open-loop
+   load, sweeping the shard count. The interesting number is aggregate
+   write throughput (operations drained per second): with one shard every
+   grace period a two-child delete pays stalls the whole write path,
+   while with N shards only the paying shard stalls and the other
+   updaters keep draining. See SERVING.md. *)
+let serve_bench scale quick json =
+  let module Serve = Repro_server.Serve in
+  let module Open_loop = Repro_workload.Open_loop in
+  let duration = if quick then 0.2 else Float.max scale.duration 1.0 in
+  let shard_counts = if quick then [ 1; 2 ] else [ 1; 4; 8 ] in
+  (* The configuration that makes the unsharded baseline grace-period
+     bound, so sharding has something real to fix: citrus-urcu (whose
+     synchronize pays reader flips, the paper's expensive flavour), a
+     deep tree (long traversals = long read sections = long grace
+     periods), an update-heavy mix (every two-child delete pays a grace
+     period), and an offered load far above capacity so the queues never
+     run dry — drained/s measures service capacity. *)
+  let mix = W.mix ~contains:30 ~insert:35 ~delete:35 in
+  let key_range = 32_768 in
+  let rate = if quick then 50_000.0 else 400_000.0 in
+  Format.printf
+    "@.Serving: open-loop load on the sharded citrus-urcu service (async@.\
+     writes, %s offered ops/s, 30%%c/35%%i/35%%d on %d keys), sweeping@.\
+     shards. Shard 1 is the unsharded baseline: one tree, one updater,@.\
+     every two-child-delete grace period stalls the entire write path;@.\
+     with N shards a grace period stalls only its own shard and the@.\
+     other updaters keep draining.@."
+    (Report.si rate) key_range;
+  Format.printf "%7s %12s %12s %12s %10s %14s %14s@." "shards" "offered/s"
+    "achieved/s" "drained/s" "drops" "contains-p99" "write-p99";
+  let results =
+    List.map
+      (fun shards ->
+        let c =
+          Serve.cfg ~shards ~clients:4 ~queue_depth:4096 ~drain_batch:64
+            ~rate ~duration ~mix ~key_range ~write_mode:Serve.Async ()
+        in
+        let r = Serve.run ~observe:true (module Dict.Citrus_urcu) c in
+        let l = r.Serve.load in
+        let pct op =
+          match List.assoc_opt op l.Open_loop.latency with
+          | Some h ->
+              (Repro_workload.Latency.summarize h).Repro_workload.Latency.p99
+          | None -> 0.
+        in
+        Format.printf "%7d %12s %12s %12s %10d %12.0fns %12.0fns@." shards
+          (Report.si l.Open_loop.offered)
+          (Report.si l.Open_loop.achieved)
+          (Report.si r.Serve.write_throughput)
+          l.Open_loop.dropped (pct W.Contains) (pct W.Insert);
+        r)
+      shard_counts
+  in
+  (match (results, List.rev results) with
+  | one :: _, many :: _ when one != many ->
+      Format.printf
+        "@.aggregate write throughput: %s/s at %d shards vs %s/s at %d \
+         shards (%.2fx)@."
+        (Report.si many.Serve.write_throughput)
+        many.Serve.cfg.Serve.shards
+        (Report.si one.Serve.write_throughput)
+        one.Serve.cfg.Serve.shards
+        (many.Serve.write_throughput /. Float.max one.Serve.write_throughput 1.)
+  | _ -> ());
+  match json with
+  | None -> ()
+  | Some file -> (
+      let doc =
+        Serve.report ~name:"serve: write throughput vs shards" results
+      in
+      match Json_report.write file doc with
+      | () ->
+          Format.printf "wrote JSON report: %s (%d points)@." file
+            (List.length results)
+      | exception Sys_error msg ->
+          Format.eprintf "cannot write JSON report: %s@." msg;
+          exit 1)
+
 (* --- command line --- *)
 
 open Cmdliner
@@ -917,6 +996,24 @@ let gp_cmd =
           flavour.")
     Term.(const gp_bench $ scale_term $ quick $ json_term)
 
+let serve_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "CI smoke scale: 0.2s runs at 1 and 2 shards. The numbers are \
+             meaningless for performance; the run validates the harness \
+             and the JSON schema.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Sharded-service benchmark: aggregate write throughput under \
+          saturating open-loop load as the shard count grows (see \
+          SERVING.md).")
+    Term.(const serve_bench $ scale_term $ quick $ json_term)
+
 let timeline_cmd =
   Cmd.v
     (Cmd.info "timeline" ~doc:"Throughput over time (grace-period stalls).")
@@ -934,6 +1031,7 @@ let main =
       contention_cmd;
       skew_cmd;
       timeline_cmd;
+      serve_cmd;
       gp_cmd;
       rcu_cmd;
       latency_cmd;

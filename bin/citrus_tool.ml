@@ -16,6 +16,7 @@ module Checker = Repro_linchecker.Checker
 module Lin_harness = Repro_linchecker.Lin_harness
 module Fault = Repro_fault.Fault
 module Torture = Repro_rcu.Torture
+module Serve = Repro_server.Serve
 
 (* A full thread registry is an operator error (too many --threads for the
    structure's slot capacity), not a crash: report it in one line and exit
@@ -234,6 +235,75 @@ let stats name threads duration keys contains_pct trace_events json_file =
           ]
       in
       (match Repro_workload.Json_report.write file doc with
+      | () -> Printf.printf "wrote JSON report: %s\n" file
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write JSON report: %s\n" msg;
+          exit 1)
+
+(* Open-loop serving demo: stand up the sharded service over one
+   structure, offer a fixed load, report per-op latency percentiles and
+   the drop/queue accounting (SERVING.md). *)
+let serve name shards clients queue_depth drain_batch rate duration keys
+    contains_pct write_mode quick json_file =
+  let (module D) = resolve name in
+  let mix = contains_mix contains_pct in
+  let duration = if quick then Float.min duration 0.3 else duration in
+  let rate = if quick then Float.min rate 4_000.0 else rate in
+  let c =
+    try
+      Serve.cfg ~shards ~clients ~queue_depth ~drain_batch ~rate ~duration
+        ~mix ~key_range:keys ~write_mode ()
+    with Invalid_argument msg ->
+      Printf.eprintf "bad serve configuration: %s\n" msg;
+      exit 2
+  in
+  Printf.printf
+    "serving %s: %d shards, %d clients, %.0f ops/s offered for %.1fs, keys \
+     [0,%d), %s, %s writes, queue depth %d, drain batch %d\n\
+     %!"
+    D.name shards clients rate duration keys
+    (Format.asprintf "%a" W.pp_mix mix)
+    (Serve.write_mode_name write_mode)
+    queue_depth drain_batch;
+  let r =
+    try registry_guard clients (fun () -> Serve.run ~observe:true (module D) c)
+    with Invalid_argument msg ->
+      Printf.eprintf "bad serve configuration: %s\n" msg;
+      exit 2
+  in
+  let l = r.Serve.load in
+  Printf.printf
+    "offered %.0f ops/s, achieved %.0f ops/s (%d issued, %d completed, %d \
+     dropped, max schedule lag %.2fms)\n"
+    l.Repro_workload.Open_loop.offered l.Repro_workload.Open_loop.achieved
+    l.Repro_workload.Open_loop.issued l.Repro_workload.Open_loop.completed
+    l.Repro_workload.Open_loop.dropped
+    (float_of_int l.Repro_workload.Open_loop.max_lag_ns /. 1e6);
+  Printf.printf
+    "write path: %d applied in window (%.0f ops/s), %d total after backlog \
+     drain, final size %d\n"
+    r.Serve.drained r.Serve.write_throughput r.Serve.drained_total
+    r.Serve.final_size;
+  Array.iteri
+    (fun i (q : Repro_server.Mod_queue.stats) ->
+      Printf.printf
+        "  shard %d: enqueued %d, drained %d, dropped %d, high-water %d/%d\n"
+        i q.enqueued q.drained q.dropped q.max_depth q.depth)
+    r.Serve.queues;
+  Format.printf "per-operation latency (scheduled arrival -> completion):@.";
+  List.iter
+    (fun (op, h) ->
+      Format.printf "  %-9s %a@."
+        (Repro_workload.Json_report.op_name op)
+        Repro_workload.Latency.pp_summary
+        (Repro_workload.Latency.summarize h))
+    l.Repro_workload.Open_loop.latency;
+  print_endline "invariants: OK";
+  match json_file with
+  | None -> ()
+  | Some file -> (
+      let doc = Serve.report [ r ] in
+      match Repro_workload.Json_report.write file doc with
       | () -> Printf.printf "wrote JSON report: %s\n" file
       | exception Sys_error msg ->
           Printf.eprintf "cannot write JSON report: %s\n" msg;
@@ -505,6 +575,84 @@ let balance_cmd =
        ~doc:"Demonstrate maintenance rebalancing on a degenerate tree.")
     Term.(const balance_demo $ keys)
 
+let serve_cmd =
+  let structure =
+    Arg.(
+      value & pos 0 string "citrus"
+      & info [] ~docv:"STRUCTURE"
+          ~doc:"Structure to serve (default citrus; see `list`).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~doc:"Hash-partitioned shards, one updater each.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~doc:"Client domains (Poisson sources).")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 1024
+      & info [ "queue-depth" ]
+          ~doc:"Per-shard modification-queue capacity (backpressure bound).")
+  in
+  let drain_batch =
+    Arg.(
+      value & opt int 64
+      & info [ "drain-batch" ]
+          ~doc:"Operations an updater splices out per drain.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 20_000.0
+      & info [ "rate" ] ~doc:"Aggregate offered load, operations per second.")
+  in
+  let duration =
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~doc:"Seconds.")
+  in
+  let keys =
+    Arg.(value & opt int 16_384 & info [ "keys" ] ~doc:"Key range size.")
+  in
+  let contains =
+    Arg.(
+      value & opt int 50
+      & info [ "contains" ] ~doc:"Percentage of contains operations.")
+  in
+  let write_mode =
+    Arg.(
+      value
+      & opt (enum [ ("wait", Serve.Wait); ("async", Serve.Async) ]) Serve.Wait
+      & info [ "write-mode" ]
+          ~doc:
+            "$(b,wait): each write spins on a completion cell until its \
+             shard's updater applies it (latency includes queueing delay); \
+             $(b,async): fire-and-forget, complete on enqueue.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Cap duration at 0.3s and rate at 4k ops/s (CI smoke runs).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the serve report as schema-v1 JSON.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the sharded key-value service under open-loop load: direct \
+          RCU reads, writes through per-shard modification queues drained \
+          by updater domains (see SERVING.md).")
+    Term.(
+      const serve $ structure $ shards $ clients $ queue_depth $ drain_batch
+      $ rate $ duration $ keys $ contains $ write_mode $ quick $ json)
+
 let torture_cmd =
   let flavour =
     Arg.(
@@ -664,6 +812,7 @@ let main =
     [
       list_command;
       stress_cmd;
+      serve_cmd;
       stats_cmd;
       lincheck_cmd;
       balance_cmd;

@@ -1,0 +1,157 @@
+module Spinlock = Repro_sync.Spinlock
+module Backoff = Repro_sync.Backoff
+module Metrics = Repro_sync.Metrics
+module Trace = Repro_sync.Trace
+module Stats = Repro_sync.Stats
+module Fault = Repro_fault.Fault
+module Lockdep = Repro_lockdep.Lockdep
+
+(* Bounded MPSC modification queue: many client domains enqueue, one
+   updater domain drains. A spinlock-guarded ring rather than a lock-free
+   queue on purpose: the critical section is a handful of stores, the
+   lock gives lockdep a class to validate (the lock-free baselines are
+   invisible to it), and the bound is what produces backpressure — a
+   lock-free unbounded queue would just move the overload into memory. *)
+
+type op = Insert of int * int | Delete of int
+
+(* 0 = pending, 1 = completed false, 2 = completed true. A completion is
+   write-once (complete) / spin-read (await); no lock, so a waiter costs
+   the updater nothing. *)
+type completion = int Atomic.t
+
+let completion () = Atomic.make 0
+
+let complete c result = Atomic.set c (if result then 2 else 1)
+
+let peek c =
+  match Atomic.get c with 0 -> None | 1 -> Some false | _ -> Some true
+
+let await c =
+  let b = Backoff.create () in
+  let rec go () =
+    match Atomic.get c with
+    | 0 ->
+        Backoff.once b;
+        go ()
+    | 1 -> false
+    | _ -> true
+  in
+  go ()
+
+type entry = { op : op; completion : completion option; enqueued_at : int }
+
+let dummy = { op = Delete 0; completion = None; enqueued_at = 0 }
+
+type t = {
+  id : int;
+  depth : int;
+  lock : Spinlock.t;
+  buf : entry array;
+  (* All four cursors/counters below are guarded by [lock]; [stats] and
+     [length] read them without it (racy snapshots, documented). *)
+  mutable head : int; (* next slot to drain *)
+  mutable len : int;
+  mutable enqueued : int;
+  mutable dropped : int;
+  mutable drained : int;
+  mutable max_depth : int;
+}
+
+type stats = {
+  enqueued : int;
+  dropped : int;
+  drained : int;
+  max_depth : int;
+  depth : int;
+}
+
+(* One lockdep class for every modification-queue lock: the protocol is
+   that it is a leaf lock (never held across tree operations — drains
+   splice entries out and release before applying), so no dependency
+   edge from it to the Tree_node classes may ever appear. *)
+let queue_class = Lockdep.new_class Lockdep.Generic "server.mod_queue"
+
+let fp_enqueue = Fault.register "server.enqueue"
+let fp_drain = Fault.register "server.drain"
+
+let create ?(id = 0) ~depth () =
+  if depth <= 0 then invalid_arg "Mod_queue.create: depth must be positive";
+  {
+    id;
+    depth;
+    lock = Spinlock.create ~cls:queue_class ();
+    buf = Array.make depth dummy;
+    head = 0;
+    len = 0;
+    enqueued = 0;
+    dropped = 0;
+    drained = 0;
+    max_depth = 0;
+  }
+
+let id (t : t) = t.id
+let depth (t : t) = t.depth
+let length t = t.len
+
+let try_enqueue t ?completion op =
+  (* Fault point fires before the lock so a [Raise] action unwinds with
+     the queue untouched. *)
+  if Fault.enabled () then Fault.inject fp_enqueue;
+  let enqueued_at = if Metrics.enabled () then Metrics.now_ns () else 0 in
+  Spinlock.acquire t.lock;
+  if t.len = t.depth then begin
+    t.dropped <- t.dropped + 1;
+    Spinlock.release t.lock;
+    if Metrics.enabled () then Stats.incr Metrics.mod_drops (Metrics.slot ());
+    false
+  end
+  else begin
+    t.buf.((t.head + t.len) mod t.depth) <- { op; completion; enqueued_at };
+    t.len <- t.len + 1;
+    if t.len > t.max_depth then t.max_depth <- t.len;
+    t.enqueued <- t.enqueued + 1;
+    Spinlock.release t.lock;
+    if Metrics.enabled () then
+      Stats.incr Metrics.mod_enqueues (Metrics.slot ());
+    Trace.record Trace.Mod_enqueue t.id;
+    true
+  end
+
+let drain t ~max =
+  if max <= 0 then invalid_arg "Mod_queue.drain: max must be positive";
+  if Fault.enabled () then Fault.inject fp_drain;
+  Spinlock.acquire t.lock;
+  let k = min max t.len in
+  let out = Array.init k (fun i -> t.buf.((t.head + i) mod t.depth)) in
+  for i = 0 to k - 1 do
+    t.buf.((t.head + i) mod t.depth) <- dummy
+  done;
+  t.head <- (t.head + k) mod t.depth;
+  t.len <- t.len - k;
+  t.drained <- t.drained + k;
+  Spinlock.release t.lock;
+  if k > 0 then begin
+    if Metrics.enabled () then begin
+      let slot = Metrics.slot () in
+      Stats.add Metrics.mod_drained slot k;
+      let now = Metrics.now_ns () in
+      Array.iter
+        (fun e ->
+          if e.enqueued_at > 0 then
+            Stats.Timer.record Metrics.mod_queue_wait_ns slot
+              (now - e.enqueued_at))
+        out
+    end;
+    Trace.record Trace.Mod_drain k
+  end;
+  out
+
+let stats (t : t) =
+  {
+    enqueued = t.enqueued;
+    dropped = t.dropped;
+    drained = t.drained;
+    max_depth = t.max_depth;
+    depth = t.depth;
+  }

@@ -1,0 +1,89 @@
+(** Bounded multi-producer single-consumer modification queue.
+
+    The write path of the serving layer: client domains enqueue [Insert]/
+    [Delete] operations, one updater domain per shard drains them in FIFO
+    order and applies them to the shard's Citrus tree (see
+    {!Shard_router} and SERVING.md). The queue is a spinlock-guarded ring
+    — the critical section is a handful of stores, the lock carries the
+    lockdep class ["server.mod_queue"] so the leaf-lock protocol (never
+    held across tree operations) is machine-checked, and the bound is the
+    backpressure mechanism: a full queue rejects the enqueue rather than
+    buffering unbounded overload.
+
+    Observability: accepted enqueues count [mod_enqueues] and trace
+    [Mod_enqueue], rejections count [mod_drops], drains count
+    [mod_drained] / trace [Mod_drain] and sample each operation's
+    enqueue-to-drain delay into [mod_queue_wait_ns]
+    ([Repro_sync.Metrics]). Fault points ["server.enqueue"] and
+    ["server.drain"] fire before the lock is taken
+    ([Repro_fault.Fault]). *)
+
+type op = Insert of int * int | Delete of int
+
+(** {2 Completions}
+
+    A write-once cell a client may attach to an operation to wait for its
+    result — the synchronous option on the asynchronous write path. *)
+
+type completion
+
+val completion : unit -> completion
+(** A fresh pending cell. *)
+
+val complete : completion -> bool -> unit
+(** Resolve the cell with the operation's result (updater side). *)
+
+val peek : completion -> bool option
+(** [None] while pending, [Some result] once applied. *)
+
+val await : completion -> bool
+(** Spin (with {!Repro_sync.Backoff}, so the wait escalates to naps and
+    never starves the updater on one core) until the cell resolves;
+    returns the operation's result. Only terminates if an updater is
+    draining the queue the operation was accepted into. *)
+
+(** {2 The queue} *)
+
+type entry = {
+  op : op;
+  completion : completion option;
+  enqueued_at : int;  (** [Metrics.now_ns] at enqueue; 0 if metrics off *)
+}
+
+type t
+
+type stats = {
+  enqueued : int;  (** operations accepted *)
+  dropped : int;  (** enqueue attempts rejected (queue full) *)
+  drained : int;  (** operations spliced out by {!drain} *)
+  max_depth : int;  (** high-water mark of the queue length *)
+  depth : int;  (** the configured capacity *)
+}
+
+val create : ?id:int -> depth:int -> unit -> t
+(** A queue holding at most [depth] pending operations. [id] labels
+    [Mod_enqueue] trace events (the owning shard's index).
+    @raise Invalid_argument if [depth <= 0]. *)
+
+val id : t -> int
+val depth : t -> int
+
+val length : t -> int
+(** Current queue length — racy snapshot, for monitoring only. *)
+
+val try_enqueue : t -> ?completion:completion -> op -> bool
+(** Append an operation; [false] (and the operation is NOT queued, any
+    [completion] never resolves) if the queue is full. Safe from any
+    domain. *)
+
+val drain : t -> max:int -> entry array
+(** Splice out up to [max] operations in FIFO order. The lock is released
+    before returning: the caller applies the entries lock-free with
+    respect to this queue, so queue locks never nest with tree-node
+    locks. Single consumer: FIFO application order is only meaningful
+    with one draining domain. Empty array = queue empty.
+    @raise Invalid_argument if [max <= 0]. *)
+
+val stats : t -> stats
+(** Racy counter snapshot; exact once producers and the consumer have
+    stopped. *)

@@ -1,0 +1,213 @@
+module W = Repro_workload.Workload
+module Open_loop = Repro_workload.Open_loop
+module Latency = Repro_workload.Latency
+module Json_report = Repro_workload.Json_report
+module Json = Repro_obs.Json
+module Metrics = Repro_sync.Metrics
+module Rng = Repro_sync.Rng
+
+type write_mode = Async | Wait
+
+let write_mode_name = function Async -> "async" | Wait -> "wait"
+
+type cfg = {
+  shards : int;
+  clients : int;
+  queue_depth : int;
+  drain_batch : int;
+  rate : float;
+  duration : float;
+  mix : W.mix;
+  key_range : int;
+  key_dist : W.key_dist;
+  prefill_fraction : float;
+  write_mode : write_mode;
+  seed : int64;
+}
+
+let cfg ?(shards = 4) ?(clients = 4) ?(queue_depth = 1024) ?(drain_batch = 64)
+    ?(rate = 20_000.0) ?(duration = 1.0) ?(mix = W.contains_50)
+    ?(key_range = 16_384) ?(key_dist = W.Uniform_keys)
+    ?(prefill_fraction = 0.5) ?(write_mode = Wait) ?(seed = 42L) () =
+  if prefill_fraction < 0.0 || prefill_fraction > 1.0 then
+    invalid_arg "Serve.cfg: prefill_fraction must be in [0, 1]";
+  {
+    shards;
+    clients;
+    queue_depth;
+    drain_batch;
+    rate;
+    duration;
+    mix;
+    key_range;
+    key_dist;
+    prefill_fraction;
+    write_mode;
+    seed;
+  }
+
+type result = {
+  structure : string;
+  cfg : cfg;
+  load : Open_loop.result;
+  drained : int;
+  drained_total : int;
+  write_throughput : float;
+  queues : Mod_queue.stats array;
+  final_size : int;
+  metrics : (string * float) list;
+}
+
+let run ?(observe = false) (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
+  let module D = (val dict) in
+  let module S = Shard_router.Make (D) in
+  let t =
+    S.create ~shards:c.shards ~queue_depth:c.queue_depth
+      ~drain_batch:c.drain_batch ~max_clients:(c.clients + 2) ()
+  in
+  (* Prefill directly (queue-bypassing) before the updaters start, as the
+     closed-loop runner does before its clock starts. *)
+  let h0 = S.register t in
+  let master = Rng.create c.seed in
+  let target = int_of_float (float_of_int c.key_range *. c.prefill_fraction) in
+  let filled = ref 0 in
+  while !filled < target do
+    let k = Rng.int master c.key_range in
+    if S.load h0 k k then incr filled
+  done;
+  S.unregister h0;
+  if observe then Metrics.reset ();
+  S.start t;
+  let spec =
+    Open_loop.spec ~clients:c.clients ~rate:c.rate ~duration:c.duration
+      ~mix:c.mix ~key_range:c.key_range ~key_dist:c.key_dist ~seed:c.seed ()
+  in
+  let make_client _i =
+    let h = S.register t in
+    {
+      Open_loop.run_op =
+        (fun op k ->
+          match op with
+          | W.Contains -> Open_loop.Applied (S.mem h k)
+          | W.Insert -> (
+              match c.write_mode with
+              | Wait -> (
+                  match S.insert_wait h k k with
+                  | Some b -> Open_loop.Applied b
+                  | None -> Open_loop.Dropped)
+              | Async ->
+                  if S.insert h k k then Open_loop.Applied true
+                  else Open_loop.Dropped)
+          | W.Delete -> (
+              match c.write_mode with
+              | Wait -> (
+                  match S.delete_wait h k with
+                  | Some b -> Open_loop.Applied b
+                  | None -> Open_loop.Dropped)
+              | Async ->
+                  if S.delete h k then Open_loop.Applied true
+                  else Open_loop.Dropped));
+      finish = (fun () -> S.unregister h);
+    }
+  in
+  let load = Open_loop.run spec make_client in
+  (* Window counters before shutdown: the backlog drained during
+     [shutdown] belongs to [drained_total], not the measured interval. *)
+  let drained = S.drained t in
+  let metrics = if observe then Metrics.snapshot () else [] in
+  S.shutdown t;
+  let drained_total = S.drained t in
+  let final_size = S.size t in
+  S.check t;
+  {
+    structure = D.name;
+    cfg = c;
+    load;
+    drained;
+    drained_total;
+    write_throughput = float_of_int drained /. load.Open_loop.wall;
+    queues = S.queue_stats t;
+    final_size;
+    metrics;
+  }
+
+let point_json (r : result) =
+  let c = r.cfg in
+  let l = r.load in
+  Json.Obj
+    [
+      ("structure", Json.String r.structure);
+      ("shards", Json.Int c.shards);
+      ("clients", Json.Int c.clients);
+      ("queue_depth", Json.Int c.queue_depth);
+      ("drain_batch", Json.Int c.drain_batch);
+      ("write_mode", Json.String (write_mode_name c.write_mode));
+      ("offered_load_ops_per_s", Json.Float c.rate);
+      ("duration_s", Json.Float c.duration);
+      ("key_range", Json.Int c.key_range);
+      ( "mix",
+        Json.Obj
+          [
+            ("contains_pct", Json.Int c.mix.W.contains_pct);
+            ("insert_pct", Json.Int c.mix.W.insert_pct);
+            ("delete_pct", Json.Int c.mix.W.delete_pct);
+          ] );
+      ("wall_s", Json.Float l.Open_loop.wall);
+      ( "ops",
+        Json.Obj
+          [
+            ("issued", Json.Int l.Open_loop.issued);
+            ("completed", Json.Int l.Open_loop.completed);
+            ("dropped", Json.Int l.Open_loop.dropped);
+            ("drained", Json.Int r.drained);
+            ("drained_total", Json.Int r.drained_total);
+          ] );
+      ("throughput_ops_per_s", Json.Float l.Open_loop.achieved);
+      ("write_throughput_ops_per_s", Json.Float r.write_throughput);
+      ("max_lag_ns", Json.Int l.Open_loop.max_lag_ns);
+      ( "latency_ns",
+        Json.Obj
+          (List.map
+             (fun (op, h) ->
+               ( Json_report.op_name op,
+                 Json_report.summary_json (Latency.summarize h) ))
+             l.Open_loop.latency) );
+      ( "dropped_by_op",
+        Json.Obj
+          (List.map
+             (fun (op, n) -> (Json_report.op_name op, Json.Int n))
+             l.Open_loop.dropped_by_op) );
+      ( "queues",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun (q : Mod_queue.stats) ->
+                  Json.Obj
+                    [
+                      ("enqueued", Json.Int q.Mod_queue.enqueued);
+                      ("dropped", Json.Int q.Mod_queue.dropped);
+                      ("drained", Json.Int q.Mod_queue.drained);
+                      ("max_depth", Json.Int q.Mod_queue.max_depth);
+                      ("depth", Json.Int q.Mod_queue.depth);
+                    ])
+                r.queues)) );
+      ("final_size", Json.Int r.final_size);
+      ("metrics", Repro_obs.Export.metrics_json r.metrics);
+    ]
+
+let report ?(name = "serve: open-loop load on the sharded service") results =
+  Json.Obj
+    [
+      ("schema_version", Json.Int Json_report.schema_version);
+      ("generator", Json.String "citrus-repro serve");
+      ("generated_at_unix", Json.Float (Unix.gettimeofday ()));
+      ( "experiments",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("name", Json.String name);
+                ("points", Json.List (List.map point_json results));
+              ];
+          ] );
+    ]

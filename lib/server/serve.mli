@@ -1,0 +1,92 @@
+(** Open-loop serving harness over the sharded service.
+
+    Stands up a {!Shard_router} over a chosen dictionary, prefills it,
+    drives it with {!Repro_workload.Open_loop} Poisson arrivals (reads
+    direct, writes through the modification queues), and reports
+    scheduled-arrival-to-completion latency percentiles per operation
+    plus the drop/queue-depth accounting — the measurement behind
+    EXPERIMENTS.md's "serve" entry and [BENCH_serve.json]. Backing for
+    [citrus_tool serve] and [bench/main.exe -- serve]. See SERVING.md. *)
+
+type write_mode =
+  | Async
+      (** fire-and-forget: a write completes when accepted into the
+          queue; its latency is the enqueue cost *)
+  | Wait
+      (** each write spins on a completion cell until applied; its
+          latency includes the full queueing delay *)
+
+val write_mode_name : write_mode -> string
+(** ["async"] / ["wait"] — the report's [write_mode] field. *)
+
+type cfg = {
+  shards : int;
+  clients : int;
+  queue_depth : int;
+  drain_batch : int;
+  rate : float;  (** aggregate offered load, ops/s *)
+  duration : float;  (** seconds of timed execution *)
+  mix : Repro_workload.Workload.mix;
+  key_range : int;
+  key_dist : Repro_workload.Workload.key_dist;
+  prefill_fraction : float;
+  write_mode : write_mode;
+  seed : int64;
+}
+
+val cfg :
+  ?shards:int ->
+  ?clients:int ->
+  ?queue_depth:int ->
+  ?drain_batch:int ->
+  ?rate:float ->
+  ?duration:float ->
+  ?mix:Repro_workload.Workload.mix ->
+  ?key_range:int ->
+  ?key_dist:Repro_workload.Workload.key_dist ->
+  ?prefill_fraction:float ->
+  ?write_mode:write_mode ->
+  ?seed:int64 ->
+  unit ->
+  cfg
+(** Defaults: 4 shards, 4 clients, queue depth 1024, drain batch 64,
+    20k ops/s offered, 1s, 50% contains mix, key range 16 384, uniform
+    keys, 0.5 prefill, [Wait] writes, seed 42. Range checks are deferred
+    to [Shard_router.create]/[Open_loop.spec] except
+    @raise Invalid_argument if [prefill_fraction] is outside [0, 1]. *)
+
+type result = {
+  structure : string;  (** [D.name] of the dictionary served *)
+  cfg : cfg;
+  load : Repro_workload.Open_loop.result;
+      (** client-side view (latency, drops) *)
+  drained : int;
+      (** writes applied within the measured window — the aggregate
+          write-throughput numerator *)
+  drained_total : int;
+      (** including the backlog drained during shutdown *)
+  write_throughput : float;  (** [drained /. load.wall], ops/s *)
+  queues : Mod_queue.stats array;  (** per-shard, index = shard *)
+  final_size : int;  (** total keys across shards after shutdown *)
+  metrics : (string * float) list;
+      (** [Metrics.snapshot] of the measured window ([observe] only) *)
+}
+
+val run : ?observe:bool -> (module Repro_dict.Dict.DICT) -> cfg -> result
+(** Build the router, prefill (queue-bypassing, before the updaters
+    start), start the updaters, run the open-loop load, snapshot
+    counters, shut down (drains the backlog), verify every shard's
+    invariants ([D.check]). [observe] resets and snapshots the global
+    metrics around the measured window. Uses [cfg.clients + 1] domains
+    beyond the callers' plus one updater per shard.
+    @raise Repro_sync.Registry.Full if a client cannot register. *)
+
+val point_json : result -> Repro_obs.Json.t
+(** One schema-v1 data point: sharding/queue configuration, op counts
+    (issued/completed/dropped/drained), achieved and write throughput,
+    per-op [latency_ns] percentile summaries and drop counts, per-shard
+    queue statistics, and the metrics snapshot. *)
+
+val report : ?name:string -> result list -> Repro_obs.Json.t
+(** A full schema-v1 document with the given points as one experiment —
+    the shape of [BENCH_serve.json] (see OBSERVABILITY.md). *)

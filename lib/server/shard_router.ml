@@ -1,0 +1,166 @@
+module Rng = Repro_sync.Rng
+module Backoff = Repro_sync.Backoff
+
+(* A sharded dictionary service: keys are hashed across [shards]
+   independent trees, each with its own RCU domain registration, lock
+   classes and bounded modification queue drained by a dedicated updater
+   domain. Reads go straight to the owning shard's tree (wait-free, as in
+   the paper); writes are enqueued and applied asynchronously, so a
+   client never pays a grace period — the updater does, and while one
+   shard's updater is blocked in synchronize the other shards' updaters
+   keep draining. See SERVING.md. *)
+
+module Make (D : Repro_dict.Dict.DICT) = struct
+  type shard = { table : D.t; queue : Mod_queue.t }
+
+  type t = {
+    shards : shard array;
+    drain_batch : int;
+    stop : bool Atomic.t;
+    mutable updaters : unit Domain.t list; (* [] until start *)
+  }
+
+  type handle = { router : t; handles : D.handle array }
+
+  let create ?(shards = 4) ?(queue_depth = 1024) ?(drain_batch = 64)
+      ?(max_clients = 64) () =
+    if shards <= 0 then
+      invalid_arg "Shard_router.create: shards must be positive";
+    if drain_batch <= 0 then
+      invalid_arg "Shard_router.create: drain_batch must be positive";
+    if max_clients <= 0 then
+      invalid_arg "Shard_router.create: max_clients must be positive";
+    {
+      shards =
+        Array.init shards (fun i ->
+            {
+              (* +2: the shard's updater domain and one setup/monitoring
+                 registration beyond the client handles. *)
+              table = D.create ~max_threads:(max_clients + 2) ();
+              queue = Mod_queue.create ~id:i ~depth:queue_depth ();
+            });
+      drain_batch;
+      stop = Atomic.make false;
+      updaters = [];
+    }
+
+  let n_shards t = Array.length t.shards
+
+  (* splitmix64 finalizer: full-avalanche hash so dense key ranges spread
+     evenly instead of striping by [key mod shards]. Masked to 62 bits:
+     [Int64.to_int] keeps the low 63 bits as a signed value, so anything
+     wider could come out negative and index out of bounds. *)
+  let hash_key k =
+    let open Int64 in
+    let z = mul (of_int k) 0x9E3779B97F4A7C15L in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    to_int (logand (logxor z (shift_right_logical z 31)) 0x3FFF_FFFF_FFFF_FFFFL)
+
+  let shard_of t k = hash_key k mod Array.length t.shards
+
+  (* Updater: splice a batch out of the queue, apply it to the tree with
+     no queue lock held, resolve completions, repeat. Runs until [stop]
+     is set AND the queue is empty, so shutdown drains the backlog and
+     every accepted completion resolves. *)
+  let updater t shard =
+    let h = D.register shard.table in
+    let idle = Backoff.create () in
+    let rec loop () =
+      let batch = Mod_queue.drain shard.queue ~max:t.drain_batch in
+      if Array.length batch = 0 then begin
+        if not (Atomic.get t.stop) then begin
+          Backoff.once idle;
+          loop ()
+        end
+      end
+      else begin
+        Backoff.reset idle;
+        Array.iter
+          (fun (e : Mod_queue.entry) ->
+            let result =
+              match e.op with
+              | Mod_queue.Insert (k, v) -> D.insert h k v
+              | Mod_queue.Delete k -> D.delete h k
+            in
+            match e.completion with
+            | Some c -> Mod_queue.complete c result
+            | None -> ())
+          batch;
+        loop ()
+      end
+    in
+    Fun.protect ~finally:(fun () -> D.unregister h) loop
+
+  let start t =
+    if t.updaters = [] && not (Atomic.get t.stop) then
+      t.updaters <-
+        Array.to_list
+          (Array.map (fun s -> Domain.spawn (fun () -> updater t s)) t.shards)
+
+  let shutdown t =
+    Atomic.set t.stop true;
+    let ds = t.updaters in
+    t.updaters <- [];
+    List.iter Domain.join ds
+
+  let register t =
+    let n = Array.length t.shards in
+    let handles = Array.make n None in
+    (try
+       Array.iteri
+         (fun i s -> handles.(i) <- Some (D.register s.table))
+         t.shards
+     with e ->
+       (* Don't leak the registrations that did succeed. *)
+       Array.iter (function Some h -> D.unregister h | None -> ()) handles;
+       raise e);
+    {
+      router = t;
+      handles = Array.map (function Some h -> h | None -> assert false) handles;
+    }
+
+  let unregister h = Array.iter D.unregister h.handles
+
+  let get h k = D.contains h.handles.(shard_of h.router k) k
+  let mem h k = D.mem h.handles.(shard_of h.router k) k
+
+  let enqueue h k ?completion op =
+    let t = h.router in
+    (* Refuse once shutdown begins: an operation accepted after the
+       updaters exit would never be applied (and its completion would
+       never resolve). *)
+    if Atomic.get t.stop then false
+    else Mod_queue.try_enqueue t.shards.(shard_of t k).queue ?completion op
+
+  let insert h k v = enqueue h k (Mod_queue.Insert (k, v))
+  let delete h k = enqueue h k (Mod_queue.Delete k)
+
+  let insert_wait h k v =
+    let c = Mod_queue.completion () in
+    if enqueue h k ~completion:c (Mod_queue.Insert (k, v)) then
+      Some (Mod_queue.await c)
+    else None
+
+  let delete_wait h k =
+    let c = Mod_queue.completion () in
+    if enqueue h k ~completion:c (Mod_queue.Delete k) then
+      Some (Mod_queue.await c)
+    else None
+
+  let load h k v = D.insert h.handles.(shard_of h.router k) k v
+
+  let queue_stats t = Array.map (fun s -> Mod_queue.stats s.queue) t.shards
+
+  let drained t =
+    Array.fold_left
+      (fun acc s -> acc + (Mod_queue.stats s.queue).Mod_queue.drained)
+      0 t.shards
+
+  let size t = Array.fold_left (fun acc s -> acc + D.size s.table) 0 t.shards
+  let check t = Array.iter (fun s -> D.check s.table) t.shards
+
+  let to_list t =
+    List.sort compare
+      (Array.fold_left (fun acc s -> D.to_list s.table @ acc) [] t.shards)
+end

@@ -1,0 +1,107 @@
+(** Hash-sharded dictionary service with an asynchronous write path.
+
+    [Make (D)] partitions the key space across [shards] independent
+    instances of [D] (each with its own RCU domain registration, lock
+    classes and Citrus tree when [D] is a Citrus flavour), routed by a
+    splitmix64 hash of the key. Reads ([get]/[mem]) go directly to the
+    owning shard's tree — wait-free, as in the paper. Writes are enqueued
+    into the shard's bounded {!Mod_queue} and applied by the shard's
+    dedicated updater domain, so a client never pays a grace period; the
+    updater does, and a grace-period-blocked updater stalls only its own
+    shard. Clients either fire-and-forget ([insert]/[delete]) or wait on
+    a completion cell ([insert_wait]/[delete_wait]). A full queue rejects
+    the write (backpressure). Consistency, ordering and tuning are
+    documented in SERVING.md.
+
+    Lifecycle: [create] (no domains yet) → optional {!val-load} prefill →
+    [start] (spawns one updater per shard) → clients [register]/operate/
+    [unregister] → [shutdown] (drains every queue, joins the updaters).
+    [start] and [shutdown] are single-threaded lifecycle calls (the
+    owning thread); everything between [register] and [unregister] is
+    safe from any client domain. *)
+
+module Make (D : Repro_dict.Dict.DICT) : sig
+  type t
+  type handle
+
+  val create :
+    ?shards:int ->
+    ?queue_depth:int ->
+    ?drain_batch:int ->
+    ?max_clients:int ->
+    unit ->
+    t
+  (** Defaults: 4 shards, queue depth 1024, drain batch 64, 64 clients.
+      [max_clients] sizes each shard's registry ([D.create
+      ~max_threads:(max_clients + 2)] — clients plus the updater and one
+      setup registration). No domains are spawned; writes enqueued before
+      {!start} sit in the queues.
+      @raise Invalid_argument on non-positive parameters. *)
+
+  val n_shards : t -> int
+
+  val shard_of : t -> int -> int
+  (** The shard index owning a key (deterministic). *)
+
+  val start : t -> unit
+  (** Spawn one updater domain per shard. Idempotent; no-op after
+      {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting writes, let each updater drain its backlog (every
+      accepted completion resolves), join the updaters. Idempotent.
+      Clients may still be registered; their writes are rejected and
+      their reads keep working. *)
+
+  (** {2 Client operations} *)
+
+  val register : t -> handle
+  (** Register the calling domain with every shard. One handle per
+      domain.
+      @raise Repro_sync.Registry.Full if any shard's registry is full
+        (no registration is leaked). *)
+
+  val unregister : handle -> unit
+
+  val get : handle -> int -> int option
+  (** Direct read on the owning shard's tree (RCU read section; never
+      blocks on writers). May miss writes still queued — see SERVING.md,
+      "Consistency". *)
+
+  val mem : handle -> int -> bool
+
+  val insert : handle -> int -> int -> bool
+  (** Fire-and-forget: [true] = accepted into the owning shard's queue
+      (it will be applied in FIFO order), [false] = rejected (queue full,
+      or the router is shut down). The tree-level result is unobservable;
+      use {!insert_wait} to learn it. *)
+
+  val delete : handle -> int -> bool
+
+  val insert_wait : handle -> int -> int -> bool option
+  (** Enqueue with a completion cell and spin until the updater applies
+      the operation: [Some result] is the tree-level result ([insert]'s
+      "was absent"), [None] = rejected. Only call while updaters run
+      (between {!start} and {!shutdown}); the wait includes the
+      operation's whole queueing delay. *)
+
+  val delete_wait : handle -> int -> bool option
+
+  val load : handle -> int -> int -> bool
+  (** Direct, queue-bypassing insert into the owning shard — for initial
+      bulk load before {!start}. Not ordered with queued writes; do not
+      mix with them. *)
+
+  (** {2 Monitoring (quiescent-state helpers)} *)
+
+  val queue_stats : t -> Mod_queue.stats array
+  (** Per-shard queue counters (index = shard). Racy while running. *)
+
+  val drained : t -> int
+  (** Total operations applied across all shards — the aggregate write
+      throughput numerator. Racy while running. *)
+
+  val size : t -> int
+  val to_list : t -> (int * int) list
+  val check : t -> unit
+end

@@ -33,6 +33,10 @@ let defer_flushes = Stats.create "defer_flushes"
 let defer_callbacks = Stats.create "defer_callbacks"
 let sanitizer_checks = Stats.create "sanitizer_checks"
 let sanitizer_violations = Stats.create "sanitizer_violations"
+let mod_enqueues = Stats.create "mod_enqueues"
+let mod_drops = Stats.create "mod_drops"
+let mod_drained = Stats.create "mod_drained"
+let mod_queue_wait_ns = Stats.Timer.create "mod_queue_wait_ns"
 
 let reset () =
   Stats.reset rcu_read_sections;
@@ -48,6 +52,10 @@ let reset () =
   Stats.reset defer_callbacks;
   Stats.reset sanitizer_checks;
   Stats.reset sanitizer_violations;
+  Stats.reset mod_enqueues;
+  Stats.reset mod_drops;
+  Stats.reset mod_drained;
+  Stats.Timer.reset mod_queue_wait_ns;
   Repro_lockdep.Lockdep.reset_counters ()
 
 let snapshot () =
@@ -71,6 +79,12 @@ let snapshot () =
     ("defer_callbacks", float_of_int (Stats.read defer_callbacks));
     ("sanitizer_checks", float_of_int (Stats.read sanitizer_checks));
     ("sanitizer_violations", float_of_int (Stats.read sanitizer_violations));
+    ("mod_enqueues", float_of_int (Stats.read mod_enqueues));
+    ("mod_drops", float_of_int (Stats.read mod_drops));
+    ("mod_drained", float_of_int (Stats.read mod_drained));
+    ("mod_queue_wait_mean_ns", Stats.Timer.mean_ns mod_queue_wait_ns);
+    ( "mod_queue_wait_max_ns",
+      float_of_int (Stats.Timer.max_ns mod_queue_wait_ns) );
     (* Lockdep keeps its own process-global counters (it sits below this
        module in the dependency stack); snapshotting reads them directly
        so the JSON reports cover the validator like every other debug

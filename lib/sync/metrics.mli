@@ -79,6 +79,22 @@ val sanitizer_violations : Stats.t
 (** Reclamation-sanitizer violations detected (logical use-after-free,
     double-free); 0 on a correct implementation even when armed. *)
 
+val mod_enqueues : Stats.t
+(** Write operations accepted into a per-shard modification queue of the
+    serving layer ([Repro_server.Mod_queue]; see SERVING.md). *)
+
+val mod_drops : Stats.t
+(** Enqueue attempts rejected because the modification queue was full —
+    the serving layer's backpressure signal. *)
+
+val mod_drained : Stats.t
+(** Queued write operations applied to a shard by its updater domain. *)
+
+val mod_queue_wait_ns : Stats.Timer.t
+(** One sample per drained operation, valued at its enqueue-to-drain
+    queueing delay — the asynchrony cost a reader may observe as staleness
+    (see SERVING.md, "Consistency"). *)
+
 (** The [lockdep_checks] / [lockdep_violations] rows of {!snapshot} are
     read directly from [Repro_lockdep.Lockdep.checks]/[violations]
     (lockdep sits below this module and keeps its own counters); both

@@ -31,6 +31,8 @@ type kind =
   | Sync_coalesced
   | Sanitize_violation
   | Lockdep_violation
+  | Mod_enqueue
+  | Mod_drain
 
 let kind_to_string = function
   | Read_enter -> "read_enter"
@@ -45,6 +47,8 @@ let kind_to_string = function
   | Sync_coalesced -> "sync_coalesced"
   | Sanitize_violation -> "sanitize_violation"
   | Lockdep_violation -> "lockdep_violation"
+  | Mod_enqueue -> "mod_enqueue"
+  | Mod_drain -> "mod_drain"
 
 let kind_index = function
   | Read_enter -> 0
@@ -59,6 +63,8 @@ let kind_index = function
   | Sync_coalesced -> 9
   | Sanitize_violation -> 10
   | Lockdep_violation -> 11
+  | Mod_enqueue -> 12
+  | Mod_drain -> 13
 
 let kind_of_index = function
   | 0 -> Read_enter
@@ -72,6 +78,8 @@ let kind_of_index = function
   | 9 -> Sync_coalesced
   | 10 -> Sanitize_violation
   | 11 -> Lockdep_violation
+  | 12 -> Mod_enqueue
+  | 13 -> Mod_drain
   | _ -> Stall
 
 type event = {

@@ -45,6 +45,15 @@ type kind =
           (order inversion, dependency cycle, release-not-held, RCU
           context rule; see [Repro_lockdep.Lockdep]); arg = offending
           lockdep class id *)
+  | Mod_enqueue
+      (** operation accepted into a per-shard modification queue of the
+          serving layer ([Repro_server.Mod_queue]); arg = queue (shard)
+          id. Drops (queue full) are counted in the [mod_drops] metric
+          but not traced — a saturated queue would flood the ring. *)
+  | Mod_drain
+      (** one drain batch spliced out of a modification queue by its
+          updater domain; arg = batch size (operations). See
+          SERVING.md. *)
 
 val kind_to_string : kind -> string
 

@@ -25,6 +25,16 @@ val point_json : point -> Repro_obs.Json.t
 (** One data point: structure, threads, config, throughput, op counts,
     [latency_ns] summaries per operation, and [metrics]. *)
 
+val op_name : Workload.op -> string
+(** Canonical report field name per operation
+    (["contains"]/["insert"]/["delete"]). *)
+
+val summary_json : Latency.summary -> Repro_obs.Json.t
+(** A latency summary as the report's [latency_ns] object shape
+    ([count], [mean_ns], [p50_ns] … [p999_ns], [max_ns]) — shared by
+    every report producer so per-op percentiles parse uniformly
+    (the serving reports of [Repro_server.Serve] use it too). *)
+
 val experiment_json : experiment -> Repro_obs.Json.t
 
 val report : ?meta:(string * Repro_obs.Json.t) list -> experiment list -> Repro_obs.Json.t

@@ -1,0 +1,204 @@
+module Rng = Repro_sync.Rng
+module Barrier = Repro_sync.Barrier
+
+(* Open-loop load generation: clients draw Poisson arrivals and issue the
+   scheduled operation whether or not earlier operations have completed,
+   so service-time latency includes the queueing delay a closed-loop
+   runner (which waits for each op before drawing the next) structurally
+   hides — the "coordinated omission" problem. Every completed operation
+   is timed from its *scheduled arrival* to its completion. *)
+
+type outcome = Applied of bool | Dropped
+
+type client = {
+  run_op : Workload.op -> int -> outcome;
+  finish : unit -> unit;
+}
+
+type spec = {
+  clients : int;
+  rate : float;
+  duration : float;
+  mix : Workload.mix;
+  key_range : int;
+  key_dist : Workload.key_dist;
+  seed : int64;
+}
+
+let spec ?(clients = 4) ?(rate = 20_000.0) ?(duration = 1.0)
+    ?(mix = Workload.contains_50) ?(key_range = 16_384)
+    ?(key_dist = Workload.Uniform_keys) ?(seed = 42L) () =
+  if clients <= 0 then
+    invalid_arg "Open_loop.spec: clients must be positive";
+  if rate <= 0.0 then invalid_arg "Open_loop.spec: rate must be positive";
+  if duration <= 0.0 then
+    invalid_arg "Open_loop.spec: duration must be positive";
+  if key_range <= 0 then
+    invalid_arg "Open_loop.spec: key_range must be positive";
+  { clients; rate; duration; mix; key_range; key_dist; seed }
+
+type result = {
+  issued : int;
+  completed : int;
+  dropped : int;
+  wall : float;
+  offered : float;
+  achieved : float;
+  max_lag_ns : int;
+  latency : (Workload.op * Latency.histogram) list;
+  dropped_by_op : (Workload.op * int) list;
+}
+
+(* Per-client accumulators, written only by the owning domain. *)
+type tally = {
+  mutable t_issued : int;
+  mutable t_completed : int;
+  mutable t_max_lag : int;
+  drops : int array; (* indexed by op *)
+  hists : Latency.histogram array; (* indexed by op *)
+}
+
+let op_index = function
+  | Workload.Contains -> 0
+  | Workload.Insert -> 1
+  | Workload.Delete -> 2
+
+let ops = [ Workload.Contains; Workload.Insert; Workload.Delete ]
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(* Wait until the monotonic clock reaches [target_ns], sleeping for the
+   bulk of long gaps and spinning out the last stretch; checks [stop]
+   between sleeps so shutdown is responsive even at very low rates. *)
+let wait_until stop target_ns =
+  let rec go () =
+    if not (Atomic.get stop) then begin
+      let remain = target_ns - now_ns () in
+      if remain > 500_000 then begin
+        (* Sleep in bounded slices; the tail is spun out below. *)
+        Unix.sleepf (Float.min 0.005 (float_of_int (remain - 200_000) *. 1e-9));
+        go ()
+      end
+      else if remain > 0 then begin
+        Domain.cpu_relax ();
+        go ()
+      end
+    end
+  in
+  go ()
+
+let run (s : spec) make_client =
+  let master = Rng.create s.seed in
+  let start = Barrier.create (s.clients + 1) in
+  let stop = Atomic.make false in
+  let registry_full = Atomic.make false in
+  let tallies =
+    Array.init s.clients (fun _ ->
+        {
+          t_issued = 0;
+          t_completed = 0;
+          t_max_lag = 0;
+          drops = Array.make 3 0;
+          hists = Array.init 3 (fun _ -> Latency.histogram ());
+        })
+  in
+  (* Per-client arrival rate; the aggregate offered load is [s.rate]. *)
+  let mean_gap_ns = 1e9 /. (s.rate /. float_of_int s.clients) in
+  let worker i tally =
+    let client =
+      match make_client i with
+      | c -> Some c
+      | exception Repro_sync.Registry.Full ->
+          Atomic.set registry_full true;
+          Barrier.wait start;
+          None
+    in
+    match client with
+    | None -> ()
+    | Some client ->
+        let rng = Rng.create (Rng.next64 master) in
+        let key_cfg =
+          Workload.config ~key_range:s.key_range ~key_dist:s.key_dist ()
+        in
+        let next_key = Workload.key_generator key_cfg rng in
+        Barrier.wait start;
+        (* The schedule is fixed at the start: arrival k happens at
+           t0 + sum of k exponential gaps, regardless of how long the
+           operations take. Falling behind shows up as latency, never as
+           fewer issued operations. *)
+        let scheduled = ref (now_ns ()) in
+        let rec loop () =
+          if not (Atomic.get stop) then begin
+            let u = Rng.float rng in
+            let gap = -.Float.log (1.0 -. u) *. mean_gap_ns in
+            scheduled := !scheduled + max 1 (int_of_float gap);
+            wait_until stop !scheduled;
+            if not (Atomic.get stop) then begin
+              let issue = now_ns () in
+              let lag = issue - !scheduled in
+              if lag > tally.t_max_lag then tally.t_max_lag <- lag;
+              let op = Workload.pick rng s.mix in
+              let k = next_key () in
+              let oi = op_index op in
+              tally.t_issued <- tally.t_issued + 1;
+              (match client.run_op op k with
+              | Applied _ ->
+                  Latency.record tally.hists.(oi) (now_ns () - !scheduled);
+                  tally.t_completed <- tally.t_completed + 1
+              | Dropped -> tally.drops.(oi) <- tally.drops.(oi) + 1);
+              loop ()
+            end
+          end
+        in
+        loop ();
+        client.finish ()
+  in
+  let domains =
+    List.init s.clients (fun i ->
+        Domain.spawn (fun () -> worker i tallies.(i)))
+  in
+  Barrier.wait start;
+  if Atomic.get registry_full then begin
+    Atomic.set stop true;
+    List.iter Domain.join domains;
+    raise Repro_sync.Registry.Full
+  end;
+  let t0 = Unix.gettimeofday () in
+  Unix.sleepf s.duration;
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  let wall = Unix.gettimeofday () -. t0 in
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let issued = sum (fun t -> t.t_issued) in
+  let completed = sum (fun t -> t.t_completed) in
+  let dropped_by_op =
+    List.filter_map
+      (fun op ->
+        let n = sum (fun t -> t.drops.(op_index op)) in
+        if n = 0 then None else Some (op, n))
+      ops
+  in
+  let dropped = List.fold_left (fun acc (_, n) -> acc + n) 0 dropped_by_op in
+  let latency =
+    List.filter_map
+      (fun op ->
+        let h =
+          Latency.merge
+            (Array.to_list
+               (Array.map (fun t -> t.hists.(op_index op)) tallies))
+        in
+        if Latency.count h = 0 then None else Some (op, h))
+      ops
+  in
+  {
+    issued;
+    completed;
+    dropped;
+    wall;
+    offered = s.rate;
+    achieved = float_of_int completed /. wall;
+    max_lag_ns =
+      Array.fold_left (fun acc t -> max acc t.t_max_lag) 0 tallies;
+    latency;
+    dropped_by_op;
+  }

@@ -1,0 +1,85 @@
+(** Open-loop load generation: Poisson arrivals at a configured offered
+    load, independent of service times.
+
+    The closed-loop {!Runner} models a fixed thread pool that issues its
+    next operation only when the previous one returns — so when the
+    structure slows down, the load generator politely slows down with it
+    and the latency tail is under-reported ({e coordinated omission}).
+    Serving millions of users is open-loop: requests arrive on their own
+    schedule. Here each client domain draws exponential inter-arrival
+    gaps (a Poisson process at [rate / clients] per client) fixed at run
+    start, and every completed operation is timed from its {e scheduled
+    arrival} to its completion — an operation stuck behind a backlog
+    reports the full backlog delay. See SERVING.md.
+
+    Clients are first-class: the harness knows nothing about the service
+    under load. A factory produces one {!client} per spawned domain
+    (registering whatever per-domain state the service needs), and each
+    operation reports {!outcome} — [Dropped] models a service shedding
+    load (e.g. a full modification queue, see [Repro_server.Mod_queue])
+    and is accounted separately from latency. *)
+
+type outcome =
+  | Applied of bool
+      (** the service executed the operation; the bool is its result
+          ([contains]/[insert]/[delete] success), unused by the harness *)
+  | Dropped  (** the service refused the operation (backpressure) *)
+
+type client = {
+  run_op : Workload.op -> int -> outcome;
+      (** execute one operation on the service; called only from the
+          client's own domain *)
+  finish : unit -> unit;
+      (** release per-domain state (unregister handles); called once,
+          after the run, on the client's domain *)
+}
+
+type spec = {
+  clients : int;  (** client domains, each an independent Poisson source *)
+  rate : float;  (** aggregate offered load, operations per second *)
+  duration : float;  (** seconds of timed execution *)
+  mix : Workload.mix;
+  key_range : int;
+  key_dist : Workload.key_dist;
+  seed : int64;
+}
+
+val spec :
+  ?clients:int ->
+  ?rate:float ->
+  ?duration:float ->
+  ?mix:Workload.mix ->
+  ?key_range:int ->
+  ?key_dist:Workload.key_dist ->
+  ?seed:int64 ->
+  unit ->
+  spec
+(** Defaults: 4 clients, 20k ops/s, 1s, 50% contains mix, key range
+    16 384, uniform keys, seed 42.
+    @raise Invalid_argument on non-positive clients/rate/duration/range. *)
+
+type result = {
+  issued : int;  (** operations issued (scheduled arrivals that ran) *)
+  completed : int;  (** operations the service applied *)
+  dropped : int;  (** operations the service refused *)
+  wall : float;  (** measured wall-clock seconds *)
+  offered : float;  (** the configured offered load (ops/s) *)
+  achieved : float;  (** completed / wall — under saturation < offered *)
+  max_lag_ns : int;
+      (** worst observed lateness of an issue relative to its scheduled
+          arrival: how far behind the fixed schedule the clients fell *)
+  latency : (Workload.op * Latency.histogram) list;
+      (** scheduled-arrival-to-completion latency per op type (completed
+          operations only; omits op types that never completed) *)
+  dropped_by_op : (Workload.op * int) list;
+      (** drops per op type; omits op types never dropped *)
+}
+
+val run : spec -> (int -> client) -> result
+(** [run spec make_client] spawns [spec.clients] domains; each calls
+    [make_client i] on its own domain (so per-domain registration happens
+    in the right place), generates its Poisson schedule, and issues
+    operations until [spec.duration] elapses.
+    @raise Repro_sync.Registry.Full if a client cannot register — raised
+      on the calling thread after every spawned domain is joined, as
+      {!Runner.run} does. *)

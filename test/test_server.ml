@@ -1,0 +1,365 @@
+(* Tests for the serving layer: hash distribution across shards, FIFO
+   drain order and backpressure of the modification queue, completion
+   wake-up, the open-loop generator's accounting, and an end-to-end serve
+   run with lockdep and the reclamation sanitizer armed. *)
+
+module Mod_queue = Repro_server.Mod_queue
+module Serve = Repro_server.Serve
+module Open_loop = Repro_workload.Open_loop
+module W = Repro_workload.Workload
+module Dict = Repro_dict.Dict
+module Router = Repro_server.Shard_router.Make (Dict.Citrus_epoch)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- Shard_router: hashing --- *)
+
+let test_shard_distribution () =
+  let t = Router.create ~shards:8 ~max_clients:2 () in
+  let counts = Array.make 8 0 in
+  let n = 64_000 in
+  for k = 0 to n - 1 do
+    let s = Router.shard_of t k in
+    checkb "in range" true (s >= 0 && s < 8);
+    counts.(s) <- counts.(s) + 1
+  done;
+  (* A dense ascending key range must spread evenly: each shard within
+     ±25% of the fair share (splitmix64 is far tighter; the slack keeps
+     the test robust). *)
+  Array.iteri
+    (fun i c ->
+      checkb
+        (Printf.sprintf "shard %d near fair share (got %d)" i c)
+        true
+        (abs (c - (n / 8)) < n / 32))
+    counts;
+  Router.shutdown t
+
+let test_shard_of_deterministic () =
+  let t = Router.create ~shards:5 ~max_clients:2 () in
+  for k = 0 to 1000 do
+    checki "stable" (Router.shard_of t k) (Router.shard_of t k)
+  done;
+  Router.shutdown t
+
+(* --- Mod_queue: FIFO drain order --- *)
+
+let test_fifo_drain () =
+  let q = Mod_queue.create ~depth:128 () in
+  for k = 0 to 99 do
+    checkb "accepted" true (Mod_queue.try_enqueue q (Mod_queue.Insert (k, k)))
+  done;
+  checki "length" 100 (Mod_queue.length q);
+  (* Drain in two unequal batches across the ring seam and check order. *)
+  let seen = ref [] in
+  let batch1 = Mod_queue.drain q ~max:64 in
+  let batch2 = Mod_queue.drain q ~max:64 in
+  checki "first batch" 64 (Array.length batch1);
+  checki "second batch" 36 (Array.length batch2);
+  Array.iter
+    (fun (e : Mod_queue.entry) ->
+      match e.op with
+      | Mod_queue.Insert (k, _) -> seen := k :: !seen
+      | _ -> Alcotest.fail "unexpected op")
+    batch1;
+  Array.iter
+    (fun (e : Mod_queue.entry) ->
+      match e.op with
+      | Mod_queue.Insert (k, _) -> seen := k :: !seen
+      | _ -> Alcotest.fail "unexpected op")
+    batch2;
+  Alcotest.check
+    Alcotest.(list int)
+    "FIFO order" (List.init 100 Fun.id) (List.rev !seen);
+  checki "empty after" 0 (Mod_queue.length q);
+  checki "drain on empty" 0 (Array.length (Mod_queue.drain q ~max:8))
+
+let test_fifo_per_shard_through_router () =
+  (* Same-key updates serialize through one shard's queue: alternating
+     insert/delete of one key must leave the table in the state the last
+     operation dictates, for every interleaving prefix. *)
+  let t = Router.create ~shards:4 ~max_clients:2 () in
+  let h = Router.register t in
+  Router.start t;
+  for round = 1 to 200 do
+    (match Router.insert_wait h 7 round with
+    | Some _ -> ()
+    | None -> Alcotest.fail "insert rejected");
+    match Router.delete_wait h 7 with
+    | Some deleted -> checkb "delete saw the insert" true deleted
+    | None -> Alcotest.fail "delete rejected"
+  done;
+  checkb "absent at end" false (Router.mem h 7);
+  Router.unregister h;
+  Router.shutdown t;
+  Router.check t
+
+(* --- Mod_queue: backpressure --- *)
+
+let test_queue_full_backpressure () =
+  (* No updater running: the bound must hold exactly and rejections must
+     not clobber queued entries. *)
+  let t = Router.create ~shards:1 ~queue_depth:8 ~max_clients:2 () in
+  let h = Router.register t in
+  for k = 0 to 7 do
+    checkb "accepted" true (Router.insert h k k)
+  done;
+  checkb "ninth rejected" false (Router.insert h 8 8);
+  checkb "wait-insert rejected" true (Router.insert_wait h 9 9 = None);
+  let q = (Router.queue_stats t).(0) in
+  checki "enqueued" 8 q.Mod_queue.enqueued;
+  checki "dropped" 2 q.Mod_queue.dropped;
+  checki "high-water" 8 q.Mod_queue.max_depth;
+  (* Start the updater: the backlog must drain and later writes flow. *)
+  Router.start t;
+  (match Router.insert_wait h 100 100 with
+  | Some fresh -> checkb "applied after drain" true fresh
+  | None ->
+      (* The queue may still be full at the instant of the call; retry
+         once the backlog clears. *)
+      let rec retry n =
+        if n = 0 then Alcotest.fail "insert never accepted"
+        else
+          match Router.insert_wait h 100 100 with
+          | Some _ -> ()
+          | None ->
+              Unix.sleepf 0.01;
+              retry (n - 1)
+      in
+      retry 100);
+  Router.unregister h;
+  Router.shutdown t;
+  let q = (Router.queue_stats t).(0) in
+  checki "all accepted ops drained" q.Mod_queue.enqueued q.Mod_queue.drained;
+  checki "size" 9 (Router.size t)
+
+let test_rejected_after_shutdown () =
+  let t = Router.create ~shards:2 ~max_clients:2 () in
+  let h = Router.register t in
+  Router.start t;
+  checkb "accepted while running" true (Router.insert_wait h 1 1 <> None);
+  Router.shutdown t;
+  checkb "rejected after shutdown" false (Router.insert h 2 2);
+  checkb "wait rejected after shutdown" true (Router.insert_wait h 3 3 = None);
+  checkb "reads still work" true (Router.mem h 1);
+  Router.unregister h
+
+(* --- completions --- *)
+
+let test_completion_wakeup () =
+  let c = Mod_queue.completion () in
+  checkb "pending" true (Mod_queue.peek c = None);
+  let waiter = Domain.spawn (fun () -> Mod_queue.await c) in
+  Unix.sleepf 0.02;
+  Mod_queue.complete c true;
+  checkb "woke with result" true (Domain.join waiter);
+  checkb "peek after" true (Mod_queue.peek c = Some true)
+
+let test_completion_through_updater () =
+  let t = Router.create ~shards:2 ~max_clients:2 () in
+  Router.start t;
+  let h = Router.register t in
+  checkb "fresh insert" true (Router.insert_wait h 5 50 = Some true);
+  checkb "duplicate insert" true (Router.insert_wait h 5 51 = Some false);
+  checkb "read sees it" true (Router.get h 5 = Some 50);
+  checkb "delete" true (Router.delete_wait h 5 = Some true);
+  checkb "double delete" true (Router.delete_wait h 5 = Some false);
+  Router.unregister h;
+  Router.shutdown t
+
+(* --- shutdown drains the backlog --- *)
+
+let test_shutdown_drains_backlog () =
+  let t = Router.create ~shards:4 ~queue_depth:2048 ~max_clients:2 () in
+  let h = Router.register t in
+  (* Enqueue before any updater exists, then start and immediately stop:
+     every accepted operation must still be applied. *)
+  let accepted = ref 0 in
+  for k = 0 to 999 do
+    if Router.insert h k k then incr accepted
+  done;
+  Router.start t;
+  Router.shutdown t;
+  checki "all accepted applied" !accepted (Router.drained t);
+  checki "size matches" !accepted (Router.size t);
+  Router.check t;
+  Router.unregister h
+
+(* --- open-loop generator --- *)
+
+let test_open_loop_spec_validation () =
+  checkb "defaults ok" true (ignore (Open_loop.spec ()); true);
+  Alcotest.check_raises "clients"
+    (Invalid_argument "Open_loop.spec: clients must be positive") (fun () ->
+      ignore (Open_loop.spec ~clients:0 ()));
+  Alcotest.check_raises "rate"
+    (Invalid_argument "Open_loop.spec: rate must be positive") (fun () ->
+      ignore (Open_loop.spec ~rate:0.0 ()))
+
+let test_open_loop_accounting () =
+  (* A client that drops every delete and applies the rest: the harness
+     must split the counts per op type and never lose an operation. *)
+  let spec =
+    Open_loop.spec ~clients:2 ~rate:4000.0 ~duration:0.2
+      ~mix:(W.mix ~contains:50 ~insert:25 ~delete:25)
+      ()
+  in
+  let r =
+    Open_loop.run spec (fun _ ->
+        {
+          Open_loop.run_op =
+            (fun op _ ->
+              match op with
+              | W.Delete -> Open_loop.Dropped
+              | _ -> Open_loop.Applied true);
+          finish = ignore;
+        })
+  in
+  checkb "issued some" true (r.Open_loop.issued > 50);
+  checki "conservation" r.Open_loop.issued
+    (r.Open_loop.completed + r.Open_loop.dropped);
+  checkb "all drops are deletes" true
+    (match r.Open_loop.dropped_by_op with
+    | [ (W.Delete, n) ] -> n = r.Open_loop.dropped
+    | [] -> r.Open_loop.dropped = 0
+    | _ -> false);
+  checkb "no delete latency recorded" true
+    (not (List.mem_assoc W.Delete r.Open_loop.latency));
+  List.iter
+    (fun (_, h) ->
+      checkb "histogram populated" true (Repro_workload.Latency.count h > 0))
+    r.Open_loop.latency
+
+let test_open_loop_paces () =
+  (* An instant-service run must issue roughly rate * duration ops — the
+     generator is open-loop, not as-fast-as-possible. Generous bounds:
+     the container has one core and sleep jitter. *)
+  let spec = Open_loop.spec ~clients:2 ~rate:2000.0 ~duration:0.3 () in
+  let r =
+    Open_loop.run spec (fun _ ->
+        {
+          Open_loop.run_op = (fun _ _ -> Open_loop.Applied true);
+          finish = ignore;
+        })
+  in
+  let expected = 2000.0 *. r.Open_loop.wall in
+  checkb
+    (Printf.sprintf "issued %d near offered %.0f" r.Open_loop.issued expected)
+    true
+    (float_of_int r.Open_loop.issued > 0.5 *. expected
+    && float_of_int r.Open_loop.issued < 1.5 *. expected)
+
+(* --- end-to-end serve runs --- *)
+
+let test_serve_end_to_end () =
+  let c =
+    Serve.cfg ~shards:3 ~clients:2 ~rate:3000.0 ~duration:0.25
+      ~key_range:512 ~write_mode:Serve.Wait ()
+  in
+  let r = Serve.run ~observe:true (module Dict.Citrus_epoch) c in
+  checkb "completed ops" true (r.Serve.load.Open_loop.completed > 0);
+  checki "queues per shard" 3 (Array.length r.Serve.queues);
+  checkb "writes drained" true (r.Serve.drained_total > 0);
+  checkb "final size positive" true (r.Serve.final_size > 0);
+  (* In Wait mode every accepted write resolves, so client-side completed
+     writes = accepted = drained_total. *)
+  let client_writes =
+    List.fold_left
+      (fun acc (op, h) ->
+        if op = W.Contains then acc else acc + Repro_workload.Latency.count h)
+      0 r.Serve.load.Open_loop.latency
+  in
+  checki "every accepted write applied" client_writes r.Serve.drained_total;
+  checkb "metrics captured" true (r.Serve.metrics <> []);
+  (* The JSON point must carry the schema-v1 latency fields per op. *)
+  let doc = Serve.report [ r ] in
+  let open Repro_obs.Json in
+  let point =
+    match
+      Option.bind (member "experiments" doc) to_list_opt |> Option.get
+    with
+    | [ e ] ->
+        (match Option.bind (member "points" e) to_list_opt with
+        | Some [ p ] -> p
+        | _ -> Alcotest.fail "expected one point")
+    | _ -> Alcotest.fail "expected one experiment"
+  in
+  let lat = Option.get (member "latency_ns" point) in
+  List.iter
+    (fun op ->
+      match member op lat with
+      | Some s ->
+          List.iter
+            (fun f ->
+              checkb
+                (Printf.sprintf "%s has %s" op f)
+                true
+                (member f s <> None))
+            [ "p50_ns"; "p99_ns"; "p999_ns" ]
+      | None -> Alcotest.fail (op ^ " missing from latency_ns"))
+    [ "contains"; "insert"; "delete" ]
+
+let test_serve_armed () =
+  (* The serve path under both validators: lockdep checks the queue-lock
+     protocol (leaf lock, no tree-lock nesting), the sanitizer shadows
+     every reclamation. Any violation raises and fails the test. *)
+  Repro_sanitizer.Sanitizer.arm ();
+  Repro_lockdep.Lockdep.arm ();
+  Fun.protect
+    ~finally:(fun () ->
+      Repro_lockdep.Lockdep.disarm ();
+      Repro_sanitizer.Sanitizer.disarm ())
+    (fun () ->
+      let c =
+        Serve.cfg ~shards:2 ~clients:2 ~rate:2000.0 ~duration:0.2
+          ~key_range:256 ~write_mode:Serve.Wait ()
+      in
+      let r = Serve.run (module Dict.Citrus_epoch) c in
+      checkb "ops flowed" true (r.Serve.load.Open_loop.completed > 0));
+  checki "no lockdep violations" 0 (Repro_lockdep.Lockdep.violations ());
+  checki "no sanitizer violations" 0 (Repro_sanitizer.Sanitizer.violations ())
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "shard-router",
+        [
+          Alcotest.test_case "hash distribution" `Quick
+            test_shard_distribution;
+          Alcotest.test_case "shard_of deterministic" `Quick
+            test_shard_of_deterministic;
+          Alcotest.test_case "FIFO per shard via router" `Quick
+            test_fifo_per_shard_through_router;
+          Alcotest.test_case "rejects after shutdown" `Quick
+            test_rejected_after_shutdown;
+          Alcotest.test_case "shutdown drains backlog" `Quick
+            test_shutdown_drains_backlog;
+        ] );
+      ( "mod-queue",
+        [
+          Alcotest.test_case "FIFO drain order" `Quick test_fifo_drain;
+          Alcotest.test_case "queue-full backpressure" `Quick
+            test_queue_full_backpressure;
+          Alcotest.test_case "completion wake-up" `Quick
+            test_completion_wakeup;
+          Alcotest.test_case "completions through updater" `Quick
+            test_completion_through_updater;
+        ] );
+      ( "open-loop",
+        [
+          Alcotest.test_case "spec validation" `Quick
+            test_open_loop_spec_validation;
+          Alcotest.test_case "outcome accounting" `Quick
+            test_open_loop_accounting;
+          Alcotest.test_case "paces to offered load" `Quick
+            test_open_loop_paces;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "end to end with JSON" `Quick
+            test_serve_end_to_end;
+          Alcotest.test_case "lockdep + sanitizer armed" `Quick
+            test_serve_armed;
+        ] );
+    ]
