@@ -17,6 +17,9 @@ module Lin_harness = Repro_linchecker.Lin_harness
 module Fault = Repro_fault.Fault
 module Torture = Repro_rcu.Torture
 module Serve = Repro_server.Serve
+module Chaos = Repro_server.Chaos
+module Health = Repro_server.Health
+module Shard_router = Repro_server.Shard_router
 
 (* A full thread registry is an operator error (too many --threads for the
    structure's slot capacity), not a crash: report it in one line and exit
@@ -244,7 +247,8 @@ let stats name threads duration keys contains_pct trace_events json_file =
    structure, offer a fixed load, report per-op latency percentiles and
    the drop/queue accounting (SERVING.md). *)
 let serve name shards clients queue_depth drain_batch rate duration keys
-    contains_pct write_mode quick json_file =
+    contains_pct write_mode max_retries retry_base_us deadline_ms quick
+    json_file =
   let (module D) = resolve name in
   let mix = contains_mix contains_pct in
   let duration = if quick then Float.min duration 0.3 else duration in
@@ -252,7 +256,10 @@ let serve name shards clients queue_depth drain_batch rate duration keys
   let c =
     try
       Serve.cfg ~shards ~clients ~queue_depth ~drain_batch ~rate ~duration
-        ~mix ~key_range:keys ~write_mode ()
+        ~mix ~key_range:keys ~write_mode ~max_retries
+        ~retry_base_ns:(retry_base_us * 1_000)
+        ~deadline_ns:(deadline_ms * 1_000_000)
+        ()
     with Invalid_argument msg ->
       Printf.eprintf "bad serve configuration: %s\n" msg;
       exit 2
@@ -274,11 +281,19 @@ let serve name shards clients queue_depth drain_batch rate duration keys
   let l = r.Serve.load in
   Printf.printf
     "offered %.0f ops/s, achieved %.0f ops/s (%d issued, %d completed, %d \
-     dropped, max schedule lag %.2fms)\n"
+     dropped, %d retries, %d deadline-exhausted, max schedule lag %.2fms)\n"
     l.Repro_workload.Open_loop.offered l.Repro_workload.Open_loop.achieved
     l.Repro_workload.Open_loop.issued l.Repro_workload.Open_loop.completed
-    l.Repro_workload.Open_loop.dropped
+    l.Repro_workload.Open_loop.dropped l.Repro_workload.Open_loop.retries
+    l.Repro_workload.Open_loop.exhausted
     (float_of_int l.Repro_workload.Open_loop.max_lag_ns /. 1e6);
+  if r.Serve.rejects_by_reason <> [] then
+    Printf.printf "write rejects: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (rej, n) ->
+              Printf.sprintf "%s %d" (Shard_router.reject_name rej) n)
+            r.Serve.rejects_by_reason));
   Printf.printf
     "write path: %d applied in window (%.0f ops/s), %d total after backlog \
      drain, final size %d\n"
@@ -287,9 +302,18 @@ let serve name shards clients queue_depth drain_batch rate duration keys
   Array.iteri
     (fun i (q : Repro_server.Mod_queue.stats) ->
       Printf.printf
-        "  shard %d: enqueued %d, drained %d, dropped %d, high-water %d/%d\n"
-        i q.enqueued q.drained q.dropped q.max_depth q.depth)
+        "  shard %d: enqueued %d, drained %d, dropped %d, purged %d, \
+         high-water %d/%d, health %s\n"
+        i q.enqueued q.drained q.dropped q.purged q.max_depth q.depth
+        (Health.state_name r.Serve.health.(i)))
     r.Serve.queues;
+  (match r.Serve.shutdown with
+  | Shard_router.Drained -> ()
+  | Shard_router.Forced reports ->
+      Printf.printf
+        "shutdown FORCED after %.0fms drain deadline (%d shard(s) reported)\n"
+        (float_of_int c.Serve.shutdown_deadline_ns /. 1e6)
+        (List.length reports));
   Format.printf "per-operation latency (scheduled arrival -> completion):@.";
   List.iter
     (fun (op, h) ->
@@ -308,6 +332,96 @@ let serve name shards clients queue_depth drain_batch rate duration keys
       | exception Sys_error msg ->
           Printf.eprintf "cannot write JSON report: %s\n" msg;
           exit 1)
+
+(* Chaos harness (ROBUSTNESS.md): open-loop load while a driver crashes
+   every shard's updater and optionally wedges drains; asserts zero
+   accepted-write loss, bounded recovery, no failed shards, clean drain.
+   Any violated claim (or armed-validator violation) exits 1. *)
+let chaos name shards clients queue_depth drain_batch rate duration keys
+    contains_pct crashes stall_rate stall_delay_ms p99_bound_ms seed sanitize
+    lockdep quick json_file =
+  let (module D) = resolve name in
+  let duration = if quick then Float.min duration 0.5 else duration in
+  let rate = if quick then Float.min rate 6_000.0 else rate in
+  let crashes = if quick then min crashes 1 else crashes in
+  let c =
+    try
+      Chaos.cfg ~shards ~clients ~queue_depth ~drain_batch ~rate ~duration
+        ~key_range:keys ~contains_pct ~crashes_per_shard:crashes ~stall_rate
+        ~stall_delay_ns:(int_of_float (stall_delay_ms *. 1e6))
+        ~recovery_p99_bound_ns:(int_of_float (p99_bound_ms *. 1e6))
+        ~seed:(Int64.of_int seed) ()
+    with Invalid_argument msg ->
+      Printf.eprintf "bad chaos configuration: %s\n" msg;
+      exit 2
+  in
+  Printf.printf
+    "chaos on %s: %d shards, %d clients, %.0f ops/s for %.1fs, %d forced \
+     crash(es) per shard, stall rate %g, sanitize=%b lockdep=%b\n\
+     %!"
+    D.name shards clients c.Chaos.rate c.Chaos.duration c.Chaos.crashes_per_shard
+    stall_rate sanitize lockdep;
+  if sanitize then Repro_sanitizer.Sanitizer.arm ();
+  if lockdep then Repro_lockdep.Lockdep.arm ();
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        if lockdep then Repro_lockdep.Lockdep.disarm ();
+        if sanitize then Repro_sanitizer.Sanitizer.disarm ())
+      (fun () ->
+        registry_guard (clients + 2) (fun () -> Chaos.run (module D) c))
+  in
+  let validator_failures =
+    (if sanitize && Repro_sanitizer.Sanitizer.violations () > 0 then
+       [
+         Printf.sprintf "sanitizer: %d violation(s)"
+           (Repro_sanitizer.Sanitizer.violations ());
+       ]
+     else [])
+    @
+    if lockdep && Repro_lockdep.Lockdep.violations () > 0 then
+      [
+        Printf.sprintf "lockdep: %d violation(s)"
+          (Repro_lockdep.Lockdep.violations ());
+      ]
+    else []
+  in
+  let l = r.Chaos.load in
+  Printf.printf
+    "load: %d issued, %d completed, %d dropped, %d retries, %d \
+     deadline-exhausted; %d writes accepted on %d keys\n"
+    l.Repro_workload.Open_loop.issued l.Repro_workload.Open_loop.completed
+    l.Repro_workload.Open_loop.dropped l.Repro_workload.Open_loop.retries
+    l.Repro_workload.Open_loop.exhausted r.Chaos.accepted r.Chaos.ledger_keys;
+  Array.iteri
+    (fun i n ->
+      Printf.printf "  shard %d: %d crash(es), %d restart(s), health %s\n" i n
+        r.Chaos.restarts.(i)
+        (Health.state_name r.Chaos.health.(i)))
+    r.Chaos.crashes;
+  Printf.printf "recovery: %d sample(s), p99 %.2fms (bound %.0fms); shutdown %s\n"
+    r.Chaos.recovery_samples
+    (float_of_int r.Chaos.recovery_p99_ns /. 1e6)
+    (float_of_int c.Chaos.recovery_p99_bound_ns /. 1e6)
+    (match r.Chaos.shutdown with
+    | Shard_router.Drained -> "drained"
+    | Shard_router.Forced _ -> "FORCED");
+  (match json_file with
+  | None -> ()
+  | Some file -> (
+      match Repro_workload.Json_report.write file (Chaos.json c r) with
+      | () -> Printf.printf "wrote JSON report: %s\n" file
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write JSON report: %s\n" msg;
+          exit 1));
+  match r.Chaos.failures @ validator_failures with
+  | [] ->
+      print_endline
+        "chaos: OK (zero accepted-write loss across forced crashes, \
+         recovery within bound, clean drain)"
+  | failures ->
+      List.iter (fun f -> Printf.eprintf "chaos: FAILED — %s\n" f) failures;
+      exit 1
 
 (* Fault-driven rcutorture over the library harness (ROBUSTNESS.md). Runs
    every RCU flavour unless one is named; non-zero torture errors exit 1,
@@ -396,8 +510,41 @@ let torture flavour seed fault_specs stall_ms stall_mode readers writers
 (* Mutation suite (ROBUSTNESS.md): each seeded grace-period bug must trip
    the reclamation sanitizer; the matching clean configurations must not.
    Any escape or control trip exits 1. *)
-let mutants seed attempts skip_controls lockdep =
+let mutants seed attempts skip_controls lockdep chaos_suite =
   let module Mutation = Repro_citrus.Mutation in
+  if chaos_suite then begin
+    (* The chaos mutation is deterministic (crash armed to land with a
+       full un-applied batch): no seeds or attempt budgets. *)
+    Printf.printf "chaos mutation suite:\n%!";
+    let m = Chaos.mutation ~mutate:true (module Dict.Citrus_epoch) in
+    Printf.printf
+      "  forget-backlog-on-restart: expected %d, final %d, lost %d -> %s\n%!"
+      m.Chaos.expected m.Chaos.final_size m.Chaos.lost
+      (if m.Chaos.caught then "caught" else "ESCAPED");
+    if not m.Chaos.caught then begin
+      Printf.eprintf
+        "mutants: FAILED — the backlog-forgetting supervisor lost no \
+         accepted write\n";
+      exit 1
+    end;
+    if not skip_controls then begin
+      let ctl = Chaos.mutation ~mutate:false (module Dict.Citrus_epoch) in
+      Printf.printf
+        "  control (adopting supervisor): expected %d, final %d, lost %d -> \
+         %s\n\
+         %!"
+        ctl.Chaos.expected ctl.Chaos.final_size ctl.Chaos.lost
+        (if ctl.Chaos.caught then "TRIPPED" else "silent");
+      if ctl.Chaos.caught then begin
+        Printf.eprintf
+          "mutants: FAILED — the correct supervisor lost accepted writes \
+           on the same crash schedule\n";
+        exit 1
+      end
+    end;
+    print_endline "mutants: OK (backlog loss detected, control clean)";
+    exit 0
+  end;
   let results, controls =
     if lockdep then begin
       (* The lockdep mutants are control-flow bugs: one single-domain
@@ -630,6 +777,30 @@ let serve_cmd =
              shard's updater applies it (latency includes queueing delay); \
              $(b,async): fire-and-forget, complete on enqueue.")
   in
+  let max_retries =
+    Arg.(
+      value & opt int 0
+      & info [ "max-retries" ]
+          ~doc:
+            "Client-side retry budget on retryable rejects (Full/Overload); \
+             0 disables retries.")
+  in
+  let retry_base_us =
+    Arg.(
+      value & opt int 100
+      & info [ "retry-base-us" ]
+          ~doc:
+            "First-retry backoff in microseconds (doubles per attempt, \
+             jittered).")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Per-operation completion deadline in milliseconds, measured \
+             from the scheduled arrival; 0 disables.")
+  in
   let quick =
     Arg.(
       value & flag
@@ -651,7 +822,127 @@ let serve_cmd =
           by updater domains (see SERVING.md).")
     Term.(
       const serve $ structure $ shards $ clients $ queue_depth $ drain_batch
-      $ rate $ duration $ keys $ contains $ write_mode $ quick $ json)
+      $ rate $ duration $ keys $ contains $ write_mode $ max_retries
+      $ retry_base_us $ deadline_ms $ quick $ json)
+
+let chaos_cmd =
+  let structure =
+    Arg.(
+      value & pos 0 string "citrus"
+      & info [] ~docv:"STRUCTURE"
+          ~doc:"Structure to serve (default citrus; see `list`).")
+  in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Hash-partitioned shards.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~doc:"Client domains (Poisson sources).")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 1024
+      & info [ "queue-depth" ] ~doc:"Per-shard modification-queue capacity.")
+  in
+  let drain_batch =
+    Arg.(
+      value & opt int 64
+      & info [ "drain-batch" ]
+          ~doc:"Operations an updater splices out per drain.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 20_000.0
+      & info [ "rate" ] ~doc:"Aggregate offered load, operations per second.")
+  in
+  let duration =
+    Arg.(value & opt float 2.0 & info [ "duration" ] ~doc:"Seconds of load.")
+  in
+  let keys =
+    Arg.(
+      value & opt int 8_192
+      & info [ "keys" ] ~doc:"Per-client key range (pre-slicing).")
+  in
+  let contains =
+    Arg.(
+      value & opt int 20
+      & info [ "contains" ]
+          ~doc:
+            "Percentage of contains operations (the rest splits 2:1 \
+             insert:delete).")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 3
+      & info [ "crashes-per-shard" ]
+          ~doc:"Forced updater crashes per shard, spread across the run.")
+  in
+  let stall_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "stall-rate" ]
+          ~doc:
+            "Firing rate of the $(b,server.drain.stall) fault point (0 \
+             disables drain wedging).")
+  in
+  let stall_delay_ms =
+    Arg.(
+      value & opt float 2.0
+      & info [ "stall-delay-ms" ]
+          ~doc:"Drain-wedge duration per firing, milliseconds.")
+  in
+  let p99_bound_ms =
+    Arg.(
+      value & opt float 250.0
+      & info [ "recovery-p99-ms" ]
+          ~doc:"Asserted bound on the p99 crash-to-adoption latency.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.")
+  in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Arm the reclamation sanitizer for the run; any violation \
+             fails it.")
+  in
+  let lockdep =
+    Arg.(
+      value & flag
+      & info [ "lockdep" ]
+          ~doc:
+            "Arm the lockdep validator for the run; any violation fails it.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Cap duration at 0.5s, rate at 6k ops/s, and crashes per shard \
+             at 1 (CI smoke runs).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the chaos run summary as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Crash the serving layer on purpose under open-loop load — forced \
+          updater crashes, optional drain stalls — and prove zero \
+          accepted-write loss, bounded recovery, and a clean drain (see \
+          ROBUSTNESS.md).")
+    Term.(
+      const chaos $ structure $ shards $ clients $ queue_depth $ drain_batch
+      $ rate $ duration $ keys $ contains $ crashes $ stall_rate
+      $ stall_delay_ms $ p99_bound_ms $ seed $ sanitize $ lockdep $ quick
+      $ json)
 
 let torture_cmd =
   let flavour =
@@ -797,14 +1088,27 @@ let mutants_cmd =
              structured lockdep violation, and clean lockdep-armed \
              rounds over all flavours must stay silent.")
   in
+  let chaos_suite =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Run the chaos mutation instead: a supervisor that forgets the \
+             crashed updater's pending batch must lose accepted writes and \
+             be caught by the ledger audit, deterministically; the \
+             adopting supervisor must stay silent on the identical crash \
+             schedule.")
+  in
   Cmd.v
     (Cmd.info "mutants"
        ~doc:
          "Prove the reclamation sanitizer catches seeded grace-period bugs \
           (skipped synchronize, single urcu flip, qsbr quiescence inside a \
           section) and stays quiet on the clean controls; with \
-          $(b,--lockdep), prove the same for the lockdep validator.")
-    Term.(const mutants $ seed $ attempts $ skip_controls $ lockdep)
+          $(b,--lockdep), prove the same for the lockdep validator; with \
+          $(b,--chaos), prove the serving layer's crash-recovery audit \
+          catches a backlog-losing supervisor.")
+    Term.(const mutants $ seed $ attempts $ skip_controls $ lockdep $ chaos_suite)
 
 let main =
   Cmd.group
@@ -813,6 +1117,7 @@ let main =
       list_command;
       stress_cmd;
       serve_cmd;
+      chaos_cmd;
       stats_cmd;
       lincheck_cmd;
       balance_cmd;

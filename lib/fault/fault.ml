@@ -250,6 +250,8 @@ let catalogue =
     "citrus.delete.window";
     "citrus.read.step";
     "torture.reader.hold";
+    "server.updater.crash";
+    "server.drain.stall";
   ]
 
 let () = List.iter (fun n -> ignore (register n)) catalogue

@@ -1,0 +1,107 @@
+(** Chaos harness: crash the serving layer on purpose and prove no
+    accepted write is lost.
+
+    {!run} drives a {!Shard_router} with open-loop Poisson load while a
+    driver domain repeatedly crashes every shard's updater
+    ({!Shard_router.crash_updater}, [crashes_per_shard] rounds spread
+    across the run) and optionally wedges drains (the
+    ["server.drain.stall"] fault point with a [Delay_ns] action at
+    [stall_rate]). Each client writes only its private key slice
+    ([key mod clients = client index]) and keeps a ledger of its
+    {e accepted} writes; one key is written by one client in program
+    order into one FIFO shard queue, so the last accepted write per key
+    determines its expected final state. After a [Drained] shutdown the
+    harness audits the union of ledgers against the tree contents and
+    reports {!result.failures} — empty means: zero accepted-write loss,
+    no shard failed, every planned crash was delivered, recovery p99
+    within bound, clean drain. Arm the reclamation sanitizer and lockdep
+    around a run for the full claim (the CLI and tests do).
+
+    {!mutation} is the seeded-bug half: a supervisor that forgets the
+    crashed updater's pending batch ([mutate_forget_backlog]) must be
+    caught deterministically while the correct one stays silent on the
+    identical schedule — the same discipline as the sanitizer and
+    lockdep mutation suites (ROBUSTNESS.md). *)
+
+type cfg = {
+  shards : int;
+  clients : int;
+  queue_depth : int;
+  drain_batch : int;
+  rate : float;  (** aggregate offered load, ops/s *)
+  duration : float;  (** seconds of load *)
+  key_range : int;  (** per-client harness key range (pre-slicing) *)
+  contains_pct : int;  (** read share; the rest splits 2:1 insert:delete *)
+  crashes_per_shard : int;  (** forced crash rounds *)
+  stall_rate : float;  (** ["server.drain.stall"] firing rate; 0 = off *)
+  stall_delay_ns : int;  (** drain-wedge duration per firing *)
+  recovery_p99_bound_ns : int;  (** asserted bound on restart latency *)
+  seed : int64;
+}
+
+val cfg :
+  ?shards:int ->
+  ?clients:int ->
+  ?queue_depth:int ->
+  ?drain_batch:int ->
+  ?rate:float ->
+  ?duration:float ->
+  ?key_range:int ->
+  ?contains_pct:int ->
+  ?crashes_per_shard:int ->
+  ?stall_rate:float ->
+  ?stall_delay_ns:int ->
+  ?recovery_p99_bound_ns:int ->
+  ?seed:int64 ->
+  unit ->
+  cfg
+(** Defaults: 4 shards, 4 clients, queue depth 1024, drain batch 64,
+    20k ops/s, 2 s, key range 8 192, 20% reads, 3 crashes per shard, no
+    stalls (2 ms wedge when armed), 250 ms recovery p99 bound, seed 42.
+    @raise Invalid_argument on out-of-range percentages/rates. *)
+
+type result = {
+  structure : string;
+  load : Repro_workload.Open_loop.result;
+  accepted : int;  (** write operations the router accepted *)
+  ledger_keys : int;  (** distinct keys with at least one accepted write *)
+  crashes : int array;  (** per-shard updater crashes *)
+  restarts : int array;  (** per-shard supervisor restarts *)
+  recovery_samples : int;
+  recovery_p99_ns : int;  (** 0 when no restart happened *)
+  health : Health.state array;
+  shutdown : Shard_router.shutdown_result;
+  failures : string list;  (** empty = every chaos claim held *)
+}
+
+val ok : result -> bool
+(** [failures = []]. *)
+
+val run : (module Repro_dict.Dict.DICT) -> cfg -> result
+(** One chaos run. Spawns [clients] + 1 (driver) domains plus the
+    supervised updaters; joins everything before returning.
+    @raise Repro_sync.Registry.Full if a client cannot register. *)
+
+val json : cfg -> result -> Repro_obs.Json.t
+(** Machine-readable run summary (configuration, accounting, crash and
+    recovery numbers, [ok]/[failures]) for [citrus_tool chaos --json]. *)
+
+(** {2 The seeded backlog-loss mutation} *)
+
+type mutation_result = {
+  expected : int;  (** writes accepted before the crash *)
+  final_size : int;  (** keys actually in the tree after shutdown *)
+  lost : int;  (** [expected - final_size] *)
+  caught : bool;  (** the audit detected the loss *)
+}
+
+val mutation : ?mutate:bool -> (module Repro_dict.Dict.DICT) -> mutation_result
+(** Deterministic single-shard scenario: 100 inserts enqueued before
+    [start], a one-shot crash armed to fire at entry 0 of the first
+    64-entry batch, drain on shutdown. With [mutate:true] (the seeded
+    bug: the supervisor drops the pending batch on restart) the batch is
+    lost and [caught] is true — deterministically, because the crash
+    always lands with the full batch unapplied. With [mutate:false] the
+    control must stay silent ([caught = false], nothing lost).
+    @raise Invalid_argument if the scenario itself misbehaves (enqueue
+      rejected, shutdown forced). *)

@@ -1,0 +1,52 @@
+(** Per-shard health state machine for serving-layer overload control.
+
+    Three states, one atomic int, consulted on every write admission
+    (see {!Shard_router} and SERVING.md):
+
+    - [Healthy] — everything admitted.
+    - [Degraded] — the shard is falling behind (queue depth crossed the
+      high watermark, or the staleness watchdog fired). Fire-and-forget
+      writes are shed first — they carry no waiter to slow down, and
+      shedding them is what lets the queue drain — while
+      completion-waited writes are still admitted (their waiters are the
+      natural backpressure). Recovery is hysteretic: the shard heals only
+      once depth falls to the low watermark, so it does not flap at the
+      boundary.
+    - [Failed] — terminal; entered by {!mark_failed} when the shard's
+      supervisor exhausts its restart budget ({!Supervisor}). Reads keep
+      working (the tree is intact); writes are rejected with
+      [`Failed]. Counts [shards_failed] once.
+
+    Every transition records a [Shard_state] trace event with
+    [arg = shard * 4 + state] (0 healthy / 1 degraded / 2 failed). *)
+
+type state = Healthy | Degraded | Failed
+
+type t
+
+val create :
+  ?high_frac:float -> ?low_frac:float -> shard:int -> capacity:int -> unit -> t
+(** Watermarks as fractions of the owning queue's [capacity]; defaults
+    0.75 / 0.25. @raise Invalid_argument unless
+    [0 <= low_frac < high_frac <= 1] and [capacity > 0]. *)
+
+val shard : t -> int
+val state : t -> state
+
+val state_name : state -> string
+(** ["healthy" | "degraded" | "failed"] — the JSON-report spelling. *)
+
+val high_watermark : t -> int
+val low_watermark : t -> int
+
+val observe_depth : t -> int -> unit
+(** Feed the current queue depth (producers call this on the enqueue
+    path; one atomic load plus a compare when nothing changes). *)
+
+val note_stall : t -> unit
+(** Degrade because the staleness watchdog fired — the updater is not
+    draining regardless of depth. *)
+
+val mark_failed : t -> bool
+(** Terminal. [true] for the caller that performed the transition (it
+    should purge the queue); [false] if already failed. *)

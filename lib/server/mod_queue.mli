@@ -13,10 +13,11 @@
     Observability: accepted enqueues count [mod_enqueues] and trace
     [Mod_enqueue], rejections count [mod_drops], drains count
     [mod_drained] / trace [Mod_drain] and sample each operation's
-    enqueue-to-drain delay into [mod_queue_wait_ns]
-    ([Repro_sync.Metrics]). Fault points ["server.enqueue"] and
-    ["server.drain"] fire before the lock is taken
-    ([Repro_fault.Fault]). *)
+    enqueue-to-drain delay into [mod_queue_wait_ns], purged entries count
+    [writes_lost] ([Repro_sync.Metrics]). Fault points ["server.enqueue"]
+    and ["server.drain"] fire before the lock is taken, and
+    ["server.drain.stall"] fires on the drain side for wedging the
+    updater with a [delay_ns] action ([Repro_fault.Fault]). *)
 
 type op = Insert of int * int | Delete of int
 
@@ -27,20 +28,33 @@ type op = Insert of int * int | Delete of int
 
 type completion
 
+type status =
+  | Pending  (** accepted, not yet applied *)
+  | Done of bool  (** applied; the operation's result *)
+  | Aborted
+      (** the accepted write was discarded before application — its shard
+          failed past the restart budget or shutdown was forced past the
+          drain deadline (see {!purge}) *)
+
 val completion : unit -> completion
 (** A fresh pending cell. *)
 
 val complete : completion -> bool -> unit
-(** Resolve the cell with the operation's result (updater side). *)
+(** Resolve the cell with the operation's result (updater side). No-op if
+    the cell was already aborted. *)
 
-val peek : completion -> bool option
-(** [None] while pending, [Some result] once applied. *)
+val abort : completion -> unit
+(** Resolve the cell as abandoned (purge side). No-op if the cell was
+    already completed — a resolved result is never un-resolved. *)
 
-val await : completion -> bool
+val peek : completion -> status
+
+val await : completion -> bool option
 (** Spin (with {!Repro_sync.Backoff}, so the wait escalates to naps and
     never starves the updater on one core) until the cell resolves;
-    returns the operation's result. Only terminates if an updater is
-    draining the queue the operation was accepted into. *)
+    [Some result] once applied, [None] if the write was aborted. Only
+    terminates if an updater is draining — or a purge abandons — the
+    queue the operation was accepted into. *)
 
 (** {2 The queue} *)
 
@@ -56,6 +70,7 @@ type stats = {
   enqueued : int;  (** operations accepted *)
   dropped : int;  (** enqueue attempts rejected (queue full) *)
   drained : int;  (** operations spliced out by {!drain} *)
+  purged : int;  (** accepted operations discarded by {!purge} *)
   max_depth : int;  (** high-water mark of the queue length *)
   depth : int;  (** the configured capacity *)
 }
@@ -74,16 +89,54 @@ val length : t -> int
 val try_enqueue : t -> ?completion:completion -> op -> bool
 (** Append an operation; [false] (and the operation is NOT queued, any
     [completion] never resolves) if the queue is full. Safe from any
-    domain. *)
+    domain. Runs the staleness watchdog check when armed (see
+    {!set_stall_threshold_ns}). *)
 
 val drain : t -> max:int -> entry array
 (** Splice out up to [max] operations in FIFO order. The lock is released
     before returning: the caller applies the entries lock-free with
     respect to this queue, so queue locks never nest with tree-node
     locks. Single consumer: FIFO application order is only meaningful
-    with one draining domain. Empty array = queue empty.
+    with one draining domain. Empty array = queue empty. Every call —
+    including on an empty queue — feeds the staleness watchdog and
+    records the calling domain as the queue's drainer.
     @raise Invalid_argument if [max <= 0]. *)
 
+val purge : t -> int
+(** Discard every queued entry, aborting attached completions so their
+    waiters unblock with [None]; returns the number of entries lost
+    (counted into the [writes_lost] metric). The loud last resort of the
+    failure paths: a shard marked [Failed] past its restart budget, or a
+    shutdown forced past its drain deadline. Single-consumer like
+    {!drain} — call only when no updater is draining the queue. *)
+
 val stats : t -> stats
-(** Racy counter snapshot; exact once producers and the consumer have
-    stopped. *)
+(** Counter snapshot taken under the queue lock, so the fields are
+    mutually consistent even while producers and the consumer run. *)
+
+(** {2 Staleness watchdog}
+
+    The grace-period stall-watchdog pattern ([Repro_rcu.Stall]) ported to
+    the write path: when armed, producers check on each enqueue whether
+    the queue is non-empty and no {!drain} has run for more than the
+    threshold — a wedged, crashed, or grace-period-bound updater — and
+    emit one structured warning per threshold window, naming the shard
+    and the updater domain, counting [mod_queue_stalls] and tracing
+    [Mod_stall]. *)
+
+val set_stall_threshold_ns : int -> unit
+(** Arm the watchdog process-wide ([0] disarms, the default). The check
+    costs producers one atomic load when disarmed.
+    @raise Invalid_argument if negative. *)
+
+val stall_threshold_ns : unit -> int
+
+val check_stall : t -> unit
+(** Run one watchdog check explicitly (the same check enqueues run) —
+    for pollers that want stall detection on an otherwise idle queue. *)
+
+val last_drain_ns : t -> int
+(** Timestamp of the most recent {!drain} call (creation time if none). *)
+
+val drainer_domain : t -> int
+(** Domain id of the last draining domain; [-1] before the first drain. *)

@@ -23,12 +23,18 @@ type cfg = {
   prefill_fraction : float;
   write_mode : write_mode;
   seed : int64;
+  max_retries : int;
+  retry_base_ns : int;
+  deadline_ns : int;
+  shutdown_deadline_ns : int;
 }
 
 let cfg ?(shards = 4) ?(clients = 4) ?(queue_depth = 1024) ?(drain_batch = 64)
     ?(rate = 20_000.0) ?(duration = 1.0) ?(mix = W.contains_50)
     ?(key_range = 16_384) ?(key_dist = W.Uniform_keys)
-    ?(prefill_fraction = 0.5) ?(write_mode = Wait) ?(seed = 42L) () =
+    ?(prefill_fraction = 0.5) ?(write_mode = Wait) ?(seed = 42L)
+    ?(max_retries = 0) ?(retry_base_ns = 100_000) ?(deadline_ns = 0)
+    ?(shutdown_deadline_ns = 5_000_000_000) () =
   if prefill_fraction < 0.0 || prefill_fraction > 1.0 then
     invalid_arg "Serve.cfg: prefill_fraction must be in [0, 1]";
   {
@@ -44,6 +50,10 @@ let cfg ?(shards = 4) ?(clients = 4) ?(queue_depth = 1024) ?(drain_batch = 64)
     prefill_fraction;
     write_mode;
     seed;
+    max_retries;
+    retry_base_ns;
+    deadline_ns;
+    shutdown_deadline_ns;
   }
 
 type result = {
@@ -54,9 +64,26 @@ type result = {
   drained_total : int;
   write_throughput : float;
   queues : Mod_queue.stats array;
+  rejects_by_reason : (Shard_router.reject * int) list;
+  health : Health.state array;
+  shutdown : Shard_router.shutdown_result;
   final_size : int;
   metrics : (string * float) list;
 }
+
+let all_rejects =
+  [
+    Shard_router.Full;
+    Shard_router.Overload;
+    Shard_router.Failed;
+    Shard_router.Shutdown;
+  ]
+
+let reject_index = function
+  | Shard_router.Full -> 0
+  | Shard_router.Overload -> 1
+  | Shard_router.Failed -> 2
+  | Shard_router.Shutdown -> 3
 
 let run ?(observe = false) (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
   let module D = (val dict) in
@@ -80,10 +107,27 @@ let run ?(observe = false) (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
   S.start t;
   let spec =
     Open_loop.spec ~clients:c.clients ~rate:c.rate ~duration:c.duration
-      ~mix:c.mix ~key_range:c.key_range ~key_dist:c.key_dist ~seed:c.seed ()
+      ~mix:c.mix ~key_range:c.key_range ~key_dist:c.key_dist ~seed:c.seed
+      ~max_retries:c.max_retries ~retry_base_ns:c.retry_base_ns
+      ~deadline_ns:c.deadline_ns ()
   in
-  let make_client _i =
+  (* Per-client reject tallies, indexed by [reject_index]; each sub-array
+     is written only by its owning client domain and read after
+     [Open_loop.run] joins them. *)
+  let reject_tab = Array.init c.clients (fun _ -> Array.make 4 0) in
+  let make_client i =
     let h = S.register t in
+    let rejects = reject_tab.(i) in
+    (* Full/Overload are backpressure the queue can drain — retryable;
+       Failed/Shutdown never heal — terminal. *)
+    let write_outcome = function
+      | Ok applied -> Open_loop.Applied applied
+      | Error r -> (
+          rejects.(reject_index r) <- rejects.(reject_index r) + 1;
+          match r with
+          | Shard_router.Full | Shard_router.Overload -> Open_loop.Busy
+          | Shard_router.Failed | Shard_router.Shutdown -> Open_loop.Dropped)
+    in
     {
       Open_loop.run_op =
         (fun op k ->
@@ -91,22 +135,15 @@ let run ?(observe = false) (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
           | W.Contains -> Open_loop.Applied (S.mem h k)
           | W.Insert -> (
               match c.write_mode with
-              | Wait -> (
-                  match S.insert_wait h k k with
-                  | Some b -> Open_loop.Applied b
-                  | None -> Open_loop.Dropped)
+              | Wait -> write_outcome (S.insert_wait h k k)
               | Async ->
-                  if S.insert h k k then Open_loop.Applied true
-                  else Open_loop.Dropped)
+                  write_outcome
+                    (Result.map (fun () -> true) (S.insert h k k)))
           | W.Delete -> (
               match c.write_mode with
-              | Wait -> (
-                  match S.delete_wait h k with
-                  | Some b -> Open_loop.Applied b
-                  | None -> Open_loop.Dropped)
+              | Wait -> write_outcome (S.delete_wait h k)
               | Async ->
-                  if S.delete h k then Open_loop.Applied true
-                  else Open_loop.Dropped));
+                  write_outcome (Result.map (fun () -> true) (S.delete h k))));
       finish = (fun () -> S.unregister h);
     }
   in
@@ -115,10 +152,21 @@ let run ?(observe = false) (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
      [shutdown] belongs to [drained_total], not the measured interval. *)
   let drained = S.drained t in
   let metrics = if observe then Metrics.snapshot () else [] in
-  S.shutdown t;
+  let shutdown = S.shutdown ~deadline_ns:c.shutdown_deadline_ns t in
   let drained_total = S.drained t in
   let final_size = S.size t in
   S.check t;
+  let rejects_by_reason =
+    List.filter_map
+      (fun r ->
+        let n =
+          Array.fold_left
+            (fun acc per_client -> acc + per_client.(reject_index r))
+            0 reject_tab
+        in
+        if n = 0 then None else Some (r, n))
+      all_rejects
+  in
   {
     structure = D.name;
     cfg = c;
@@ -127,6 +175,9 @@ let run ?(observe = false) (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
     drained_total;
     write_throughput = float_of_int drained /. load.Open_loop.wall;
     queues = S.queue_stats t;
+    rejects_by_reason;
+    health = S.health t;
+    shutdown;
     final_size;
     metrics;
   }
@@ -145,6 +196,9 @@ let point_json (r : result) =
       ("offered_load_ops_per_s", Json.Float c.rate);
       ("duration_s", Json.Float c.duration);
       ("key_range", Json.Int c.key_range);
+      ("max_retries", Json.Int c.max_retries);
+      ("retry_base_ns", Json.Int c.retry_base_ns);
+      ("deadline_ns", Json.Int c.deadline_ns);
       ( "mix",
         Json.Obj
           [
@@ -159,9 +213,16 @@ let point_json (r : result) =
             ("issued", Json.Int l.Open_loop.issued);
             ("completed", Json.Int l.Open_loop.completed);
             ("dropped", Json.Int l.Open_loop.dropped);
+            ("retries", Json.Int l.Open_loop.retries);
+            ("deadline_exhausted", Json.Int l.Open_loop.exhausted);
             ("drained", Json.Int r.drained);
             ("drained_total", Json.Int r.drained_total);
           ] );
+      ( "rejects",
+        Json.Obj
+          (List.map
+             (fun (rej, n) -> (Shard_router.reject_name rej, Json.Int n))
+             r.rejects_by_reason) );
       ("throughput_ops_per_s", Json.Float l.Open_loop.achieved);
       ("write_throughput_ops_per_s", Json.Float r.write_throughput);
       ("max_lag_ns", Json.Int l.Open_loop.max_lag_ns);
@@ -187,10 +248,44 @@ let point_json (r : result) =
                       ("enqueued", Json.Int q.Mod_queue.enqueued);
                       ("dropped", Json.Int q.Mod_queue.dropped);
                       ("drained", Json.Int q.Mod_queue.drained);
+                      ("purged", Json.Int q.Mod_queue.purged);
                       ("max_depth", Json.Int q.Mod_queue.max_depth);
                       ("depth", Json.Int q.Mod_queue.depth);
                     ])
                 r.queues)) );
+      ( "health",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun s -> Json.String (Health.state_name s))
+                r.health)) );
+      ( "shutdown",
+        Json.Obj
+          (( "mode",
+             Json.String
+               (match r.shutdown with
+               | Shard_router.Drained -> "drained"
+               | Shard_router.Forced _ -> "forced") )
+          ::
+          (match r.shutdown with
+          | Shard_router.Drained -> []
+          | Shard_router.Forced reports ->
+              [
+                ( "forced_shards",
+                  Json.List
+                    (List.map
+                       (fun (d : Shard_router.drain_report) ->
+                         Json.Obj
+                           [
+                             ("shard", Json.Int d.Shard_router.shard);
+                             ( "queue_depth",
+                               Json.Int d.Shard_router.queue_depth );
+                             ("lost", Json.Int d.Shard_router.lost);
+                             ("crashes", Json.Int d.Shard_router.crashes);
+                             ("wedged", Json.Bool d.Shard_router.wedged);
+                           ])
+                       reports) );
+              ])) );
       ("final_size", Json.Int r.final_size);
       ("metrics", Repro_obs.Export.metrics_json r.metrics);
     ]

@@ -4,9 +4,15 @@
     drives it with {!Repro_workload.Open_loop} Poisson arrivals (reads
     direct, writes through the modification queues), and reports
     scheduled-arrival-to-completion latency percentiles per operation
-    plus the drop/queue-depth accounting — the measurement behind
+    plus the drop/retry/queue-depth accounting — the measurement behind
     EXPERIMENTS.md's "serve" entry and [BENCH_serve.json]. Backing for
-    [citrus_tool serve] and [bench/main.exe -- serve]. See SERVING.md. *)
+    [citrus_tool serve] and [bench/main.exe -- serve]. See SERVING.md.
+
+    Client-side resilience: typed rejects from the router are mapped to
+    the open-loop retry machinery — [Full]/[Overload] are retryable
+    ([Busy], retried with jittered exponential backoff under the per-op
+    deadline budget), [Failed]/[Shutdown] terminal ([Dropped]) — and
+    every reject is also counted by reason in the report. *)
 
 type write_mode =
   | Async
@@ -32,6 +38,10 @@ type cfg = {
   prefill_fraction : float;
   write_mode : write_mode;
   seed : int64;
+  max_retries : int;  (** per-op retry budget on retryable rejects *)
+  retry_base_ns : int;  (** first-retry backoff (doubles, jittered) *)
+  deadline_ns : int;  (** per-op completion budget; 0 = none *)
+  shutdown_deadline_ns : int;  (** drain budget before force-stop *)
 }
 
 val cfg :
@@ -47,19 +57,26 @@ val cfg :
   ?prefill_fraction:float ->
   ?write_mode:write_mode ->
   ?seed:int64 ->
+  ?max_retries:int ->
+  ?retry_base_ns:int ->
+  ?deadline_ns:int ->
+  ?shutdown_deadline_ns:int ->
   unit ->
   cfg
 (** Defaults: 4 shards, 4 clients, queue depth 1024, drain batch 64,
     20k ops/s offered, 1s, 50% contains mix, key range 16 384, uniform
-    keys, 0.5 prefill, [Wait] writes, seed 42. Range checks are deferred
-    to [Shard_router.create]/[Open_loop.spec] except
+    keys, 0.5 prefill, [Wait] writes, seed 42, no retries (base 100 µs
+    when enabled), no per-op deadline, 5 s shutdown drain deadline.
+    Range checks are deferred to [Shard_router.create]/[Open_loop.spec]
+    except
     @raise Invalid_argument if [prefill_fraction] is outside [0, 1]. *)
 
 type result = {
   structure : string;  (** [D.name] of the dictionary served *)
   cfg : cfg;
   load : Repro_workload.Open_loop.result;
-      (** client-side view (latency, drops) *)
+      (** client-side view (latency, drops, retries, exhausted
+          deadlines) *)
   drained : int;
       (** writes applied within the measured window — the aggregate
           write-throughput numerator *)
@@ -67,6 +84,11 @@ type result = {
       (** including the backlog drained during shutdown *)
   write_throughput : float;  (** [drained /. load.wall], ops/s *)
   queues : Mod_queue.stats array;  (** per-shard, index = shard *)
+  rejects_by_reason : (Shard_router.reject * int) list;
+      (** typed write rejects summed across clients; omits reasons that
+          never occurred *)
+  health : Health.state array;  (** per-shard, after shutdown *)
+  shutdown : Shard_router.shutdown_result;
   final_size : int;  (** total keys across shards after shutdown *)
   metrics : (string * float) list;
       (** [Metrics.snapshot] of the measured window ([observe] only) *)
@@ -74,18 +96,21 @@ type result = {
 
 val run : ?observe:bool -> (module Repro_dict.Dict.DICT) -> cfg -> result
 (** Build the router, prefill (queue-bypassing, before the updaters
-    start), start the updaters, run the open-loop load, snapshot
-    counters, shut down (drains the backlog), verify every shard's
-    invariants ([D.check]). [observe] resets and snapshots the global
-    metrics around the measured window. Uses [cfg.clients + 1] domains
-    beyond the callers' plus one updater per shard.
+    start), start the supervised updaters, run the open-loop load,
+    snapshot counters, shut down under [cfg.shutdown_deadline_ns],
+    verify every shard's invariants ([D.check]). [observe] resets and
+    snapshots the global metrics around the measured window. Uses
+    [cfg.clients + 1] domains beyond the callers' plus one updater per
+    shard (more transiently across crash restarts).
     @raise Repro_sync.Registry.Full if a client cannot register. *)
 
 val point_json : result -> Repro_obs.Json.t
-(** One schema-v1 data point: sharding/queue configuration, op counts
-    (issued/completed/dropped/drained), achieved and write throughput,
-    per-op [latency_ns] percentile summaries and drop counts, per-shard
-    queue statistics, and the metrics snapshot. *)
+(** One schema-v1 data point: sharding/queue/retry configuration, op
+    counts (issued/completed/dropped/retries/deadline_exhausted/
+    drained), rejects by reason, achieved and write throughput, per-op
+    [latency_ns] percentile summaries and drop counts, per-shard queue
+    statistics and health states, the shutdown mode (with per-shard
+    forced-drain reports when forced), and the metrics snapshot. *)
 
 val report : ?name:string -> result list -> Repro_obs.Json.t
 (** A full schema-v1 document with the given points as one experiment —

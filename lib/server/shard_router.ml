@@ -1,5 +1,7 @@
-module Rng = Repro_sync.Rng
 module Backoff = Repro_sync.Backoff
+module Metrics = Repro_sync.Metrics
+module Stats = Repro_sync.Stats
+module Fault = Repro_fault.Fault
 
 (* A sharded dictionary service: keys are hashed across [shards]
    independent trees, each with its own RCU domain registration, lock
@@ -8,22 +10,76 @@ module Backoff = Repro_sync.Backoff
    the paper); writes are enqueued and applied asynchronously, so a
    client never pays a grace period — the updater does, and while one
    shard's updater is blocked in synchronize the other shards' updaters
-   keep draining. See SERVING.md. *)
+   keep draining. See SERVING.md.
+
+   Each updater runs under a [Supervisor]: a crash (injected or real)
+   unregisters the dead domain's RCU slot, and the restarted incarnation
+   adopts both the surviving queue and the crashed one's
+   spliced-but-unapplied batch ([pending] below), so an accepted write
+   is never lost across a crash. Admission is gated by a per-shard
+   [Health] state machine. See ROBUSTNESS.md, "Serving-layer failure
+   model". *)
+
+(* Typed admission rejects, outside the functor so every instantiation
+   shares one type (and so [Failed] does not collide with
+   [Health.Failed] inside [Make]). *)
+type reject =
+  | Full (* queue at capacity — retryable backpressure *)
+  | Overload (* shed by a Degraded shard — retryable *)
+  | Failed (* shard past its restart budget — permanent *)
+  | Shutdown (* router stopping — permanent *)
+
+let reject_name = function
+  | Full -> "full"
+  | Overload -> "overload"
+  | Failed -> "failed"
+  | Shutdown -> "shutdown"
+
+(* One report per shard that could not shut down cleanly. *)
+type drain_report = {
+  shard : int;
+  queue_depth : int; (* entries still queued when the deadline expired *)
+  last_drain_ns : int; (* timestamp of the shard's last drain call *)
+  crashes : int; (* updater crashes over the shard's lifetime *)
+  lost : int; (* accepted writes purged (completions aborted) *)
+  wedged : bool; (* updater never exited — domain abandoned unjoined *)
+}
+
+type shutdown_result = Drained | Forced of drain_report list
+
+let fp_crash = Fault.register "server.updater.crash"
 
 module Make (D : Repro_dict.Dict.DICT) = struct
-  type shard = { table : D.t; queue : Mod_queue.t }
+  type shard = {
+    table : D.t;
+    queue : Mod_queue.t;
+    health : Health.t;
+    crash_flag : bool Atomic.t;
+    (* The batch most recently spliced out of [queue], and how far into
+       it application has progressed. Owned by the shard's single live
+       updater incarnation; handoff across a crash is ordered by the
+       supervisor's [Domain.spawn] chain, so no lock is needed. The
+       shutdown path reads it only after joining the chain. *)
+    mutable pending : Mod_queue.entry array;
+    mutable pending_at : int;
+  }
 
   type t = {
     shards : shard array;
     drain_batch : int;
+    policy : Supervisor.policy;
+    mutate_forget_backlog : bool;
     stop : bool Atomic.t;
-    mutable updaters : unit Domain.t list; (* [] until start *)
+    abandon : bool Atomic.t; (* forced shutdown: exit without draining *)
+    mutable supervisors : Supervisor.t array; (* [||] until start *)
+    mutable shutdown_result : shutdown_result option;
   }
 
   type handle = { router : t; handles : D.handle array }
 
   let create ?(shards = 4) ?(queue_depth = 1024) ?(drain_batch = 64)
-      ?(max_clients = 64) () =
+      ?(max_clients = 64) ?(supervisor = Supervisor.default_policy)
+      ?high_frac ?low_frac ?(mutate_forget_backlog = false) () =
     if shards <= 0 then
       invalid_arg "Shard_router.create: shards must be positive";
     if drain_batch <= 0 then
@@ -38,10 +94,20 @@ module Make (D : Repro_dict.Dict.DICT) = struct
                  registration beyond the client handles. *)
               table = D.create ~max_threads:(max_clients + 2) ();
               queue = Mod_queue.create ~id:i ~depth:queue_depth ();
+              health =
+                Health.create ?high_frac ?low_frac ~shard:i
+                  ~capacity:queue_depth ();
+              crash_flag = Atomic.make false;
+              pending = [||];
+              pending_at = 0;
             });
       drain_batch;
+      policy = supervisor;
+      mutate_forget_backlog;
       stop = Atomic.make false;
-      updaters = [];
+      abandon = Atomic.make false;
+      supervisors = [||];
+      shutdown_result = None;
     }
 
   let n_shards t = Array.length t.shards
@@ -59,50 +125,195 @@ module Make (D : Repro_dict.Dict.DICT) = struct
 
   let shard_of t k = hash_key k mod Array.length t.shards
 
-  (* Updater: splice a batch out of the queue, apply it to the tree with
-     no queue lock held, resolve completions, repeat. Runs until [stop]
-     is set AND the queue is empty, so shutdown drains the backlog and
-     every accepted completion resolves. *)
-  let updater t shard =
+  (* Crash injection, consumed only at entry-application boundaries: a
+     [crash_updater] request armed while the shard idles fires on the
+     first entry of the next batch — always mid-adoption-window, with
+     the full remainder in [pending] — which is what makes the chaos
+     mutation deterministic. The named fault point covers the
+     probabilistic path (REPRO_FAULTS=server.updater.crash=RATE:raise). *)
+  let maybe_crash shard =
+    if
+      Atomic.get shard.crash_flag
+      && Atomic.compare_and_set shard.crash_flag true false
+    then raise (Fault.Injected (Fault.name fp_crash));
+    if Fault.enabled () then Fault.inject fp_crash
+
+  (* Updater body, one incarnation: adopt whatever batch the previous
+     incarnation left unapplied, then splice-apply-resolve until [stop]
+     (drain first) or [abandon] (exit at the next batch boundary). An
+     exception — injected or real — escapes to the supervisor after
+     [Fun.protect] frees the RCU slot; [pending]/[pending_at] then hold
+     exactly the unapplied remainder for the successor. *)
+  let updater t shard () =
     let h = D.register shard.table in
     let idle = Backoff.create () in
-    let rec loop () =
-      let batch = Mod_queue.drain shard.queue ~max:t.drain_batch in
-      if Array.length batch = 0 then begin
-        if not (Atomic.get t.stop) then begin
-          Backoff.once idle;
-          loop ()
-        end
-      end
-      else begin
-        Backoff.reset idle;
-        Array.iter
-          (fun (e : Mod_queue.entry) ->
-            let result =
-              match e.op with
-              | Mod_queue.Insert (k, v) -> D.insert h k v
-              | Mod_queue.Delete k -> D.delete h k
-            in
-            match e.completion with
-            | Some c -> Mod_queue.complete c result
-            | None -> ())
-          batch;
-        loop ()
-      end
+    let apply_entry (e : Mod_queue.entry) =
+      maybe_crash shard;
+      let result =
+        match e.op with
+        | Mod_queue.Insert (k, v) -> D.insert h k v
+        | Mod_queue.Delete k -> D.delete h k
+      in
+      match e.completion with
+      | Some c -> Mod_queue.complete c result
+      | None -> ()
     in
-    Fun.protect ~finally:(fun () -> D.unregister h) loop
+    let apply_pending () =
+      while shard.pending_at < Array.length shard.pending do
+        let i = shard.pending_at in
+        apply_entry shard.pending.(i);
+        (* Advance only after the entry applied: a crash between the
+           apply and this store re-applies that entry, which is
+           idempotent at the dictionary level (insert/delete of the same
+           key converge) — the loss direction is the one that matters. *)
+        shard.pending_at <- i + 1
+      done;
+      shard.pending <- [||];
+      shard.pending_at <- 0
+    in
+    let run () =
+      apply_pending ();
+      let rec loop () =
+        if not (Atomic.get t.abandon) then begin
+          let batch = Mod_queue.drain shard.queue ~max:t.drain_batch in
+          if Array.length batch = 0 then begin
+            if not (Atomic.get t.stop) then begin
+              Backoff.once idle;
+              loop ()
+            end
+          end
+          else begin
+            Backoff.reset idle;
+            shard.pending <- batch;
+            shard.pending_at <- 0;
+            apply_pending ();
+            Health.observe_depth shard.health (Mod_queue.length shard.queue);
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    Fun.protect ~finally:(fun () -> D.unregister h) run
+
+  (* Abort the completions of an unapplied pending remainder; only safe
+     from the updater chain itself ([on_failed]) or after joining it
+     (forced shutdown). Returns the number of accepted writes lost. *)
+  let abort_pending shard =
+    let n = Array.length shard.pending in
+    let lost = ref 0 in
+    for i = shard.pending_at to n - 1 do
+      (match shard.pending.(i).Mod_queue.completion with
+      | Some c -> Mod_queue.abort c
+      | None -> ());
+      incr lost
+    done;
+    shard.pending <- [||];
+    shard.pending_at <- 0;
+    if !lost > 0 && Metrics.enabled () then
+      Stats.add Metrics.writes_lost (Metrics.slot ()) !lost;
+    !lost
 
   let start t =
-    if t.updaters = [] && not (Atomic.get t.stop) then
-      t.updaters <-
-        Array.to_list
-          (Array.map (fun s -> Domain.spawn (fun () -> updater t s)) t.shards)
+    if Array.length t.supervisors = 0 && not (Atomic.get t.stop) then
+      t.supervisors <-
+        Array.mapi
+          (fun i s ->
+            Supervisor.start ~policy:t.policy
+              ?forget_backlog:
+                (if t.mutate_forget_backlog then
+                   Some
+                     (fun () ->
+                       s.pending <- [||];
+                       s.pending_at <- 0)
+                 else None)
+              ~shard:i
+              ~abort:(fun () -> Atomic.get t.abandon)
+              ~on_failed:(fun _ ->
+                if Health.mark_failed s.health then begin
+                  ignore (Mod_queue.purge s.queue);
+                  ignore (abort_pending s)
+                end)
+              (updater t s))
+          t.shards
 
-  let shutdown t =
-    Atomic.set t.stop true;
-    let ds = t.updaters in
-    t.updaters <- [];
-    List.iter Domain.join ds
+  let crash_updater t i = Atomic.set t.shards.(i).crash_flag true
+
+  let forced_grace_ns = 100_000_000
+
+  let shutdown ?(deadline_ns = 5_000_000_000) t =
+    match t.shutdown_result with
+    | Some r -> r
+    | None ->
+        Atomic.set t.stop true;
+        let sups = t.supervisors in
+        let r =
+          if Array.length sups = 0 then Drained
+          else begin
+            let finished_all () = Array.for_all Supervisor.finished sups in
+            let wait_until limit =
+              let rec go () =
+                finished_all ()
+                || Metrics.now_ns () < limit
+                   && begin
+                        Unix.sleepf 0.0005;
+                        go ()
+                      end
+              in
+              go ()
+            in
+            if wait_until (Metrics.now_ns () + deadline_ns) then begin
+              Array.iter Supervisor.join sups;
+              Drained
+            end
+            else begin
+              (* Deadline blown: force-stop. Updaters exit at their next
+                 batch boundary instead of draining; give them a short
+                 grace so "slow" is distinguished from "wedged", then
+                 purge what remains and report per shard. *)
+              Atomic.set t.abandon true;
+              ignore (wait_until (Metrics.now_ns () + forced_grace_ns));
+              let reports = ref [] in
+              Array.iteri
+                (fun i sup ->
+                  let s = t.shards.(i) in
+                  let fin = Supervisor.finished sup in
+                  if fin then Supervisor.join sup;
+                  let depth = Mod_queue.length s.queue in
+                  let lost_q = Mod_queue.purge s.queue in
+                  let lost_p = if fin then abort_pending s else 0 in
+                  let lost = lost_q + lost_p in
+                  if (not fin) || lost > 0 then begin
+                    let rep =
+                      {
+                        shard = i;
+                        queue_depth = depth;
+                        last_drain_ns = Mod_queue.last_drain_ns s.queue;
+                        crashes = Supervisor.crashes sup;
+                        lost;
+                        wedged = not fin;
+                      }
+                    in
+                    Printf.eprintf
+                      "repro_server: forced shutdown: shard %d%s: depth %d, \
+                       %d accepted writes lost, last drain %.1f ms ago, %d \
+                       crashes\n\
+                       %!"
+                      i
+                      (if fin then "" else " (updater wedged, abandoned)")
+                      depth lost
+                      (float_of_int (Metrics.now_ns () - rep.last_drain_ns)
+                      /. 1e6)
+                      rep.crashes;
+                    reports := rep :: !reports
+                  end)
+                sups;
+              match List.rev !reports with [] -> Drained | rs -> Forced rs
+            end
+          end
+        in
+        t.shutdown_result <- Some r;
+        r
 
   let register t =
     let n = Array.length t.shards in
@@ -125,32 +336,78 @@ module Make (D : Repro_dict.Dict.DICT) = struct
   let get h k = D.contains h.handles.(shard_of h.router k) k
   let mem h k = D.mem h.handles.(shard_of h.router k) k
 
-  let enqueue h k ?completion op =
+  (* Admission: shutdown and failure are permanent rejects; a Degraded
+     shard sheds fire-and-forget writes (nobody is waiting — dropping
+     them is what lets the queue drain) while admitting waited ones
+     (their waiter is the natural backpressure); the queue bound rejects
+     the rest. The health observations happen on this path because the
+     producers are the domains still alive when an updater wedges. *)
+  let enqueue h k ~waited ?completion op =
     let t = h.router in
-    (* Refuse once shutdown begins: an operation accepted after the
-       updaters exit would never be applied (and its completion would
-       never resolve). *)
-    if Atomic.get t.stop then false
-    else Mod_queue.try_enqueue t.shards.(shard_of t k).queue ?completion op
+    if Atomic.get t.stop then Error Shutdown
+    else begin
+      let s = t.shards.(shard_of t k) in
+      let depth = Mod_queue.length s.queue in
+      Health.observe_depth s.health depth;
+      let thr = Mod_queue.stall_threshold_ns () in
+      if
+        thr > 0 && depth > 0
+        && Metrics.now_ns () - Mod_queue.last_drain_ns s.queue > thr
+      then Health.note_stall s.health;
+      match Health.state s.health with
+      | Health.Failed -> Error Failed
+      | Health.Degraded when not waited ->
+          if Metrics.enabled () then
+            Stats.incr Metrics.writes_shed (Metrics.slot ());
+          Error Overload
+      | Health.Degraded | Health.Healthy ->
+          if Mod_queue.try_enqueue s.queue ?completion op then Ok ()
+          else Error Full
+    end
 
-  let insert h k v = enqueue h k (Mod_queue.Insert (k, v))
-  let delete h k = enqueue h k (Mod_queue.Delete k)
+  let insert h k v = enqueue h k ~waited:false (Mod_queue.Insert (k, v))
+  let delete h k = enqueue h k ~waited:false (Mod_queue.Delete k)
+
+  (* A waited write whose completion aborts was accepted and then
+     discarded by a failure path; report it as the reject that caused
+     the discard. *)
+  let aborted_reject h k =
+    let s = h.router.shards.(shard_of h.router k) in
+    if Health.state s.health = Health.Failed then Error Failed
+    else Error Shutdown
 
   let insert_wait h k v =
     let c = Mod_queue.completion () in
-    if enqueue h k ~completion:c (Mod_queue.Insert (k, v)) then
-      Some (Mod_queue.await c)
-    else None
+    match enqueue h k ~waited:true ~completion:c (Mod_queue.Insert (k, v)) with
+    | Error _ as e -> e
+    | Ok () -> (
+        match Mod_queue.await c with
+        | Some r -> Ok r
+        | None -> aborted_reject h k)
 
   let delete_wait h k =
     let c = Mod_queue.completion () in
-    if enqueue h k ~completion:c (Mod_queue.Delete k) then
-      Some (Mod_queue.await c)
-    else None
+    match enqueue h k ~waited:true ~completion:c (Mod_queue.Delete k) with
+    | Error _ as e -> e
+    | Ok () -> (
+        match Mod_queue.await c with
+        | Some r -> Ok r
+        | None -> aborted_reject h k)
 
   let load h k v = D.insert h.handles.(shard_of h.router k) k v
 
   let queue_stats t = Array.map (fun s -> Mod_queue.stats s.queue) t.shards
+
+  let health t = Array.map (fun s -> Health.state s.health) t.shards
+
+  let crashes t = Array.map Supervisor.crashes t.supervisors
+
+  let restarts t = Array.map Supervisor.restarts t.supervisors
+
+  let restart_latencies_ns t =
+    Array.fold_left
+      (fun acc sup -> Supervisor.restart_latencies_ns sup @ acc)
+      [] t.supervisors
 
   let drained t =
     Array.fold_left

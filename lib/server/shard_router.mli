@@ -1,4 +1,5 @@
-(** Hash-sharded dictionary service with an asynchronous write path.
+(** Hash-sharded dictionary service with an asynchronous, supervised
+    write path.
 
     [Make (D)] partitions the key space across [shards] independent
     instances of [D] (each with its own RCU domain registration, lock
@@ -9,16 +10,57 @@
     dedicated updater domain, so a client never pays a grace period; the
     updater does, and a grace-period-blocked updater stalls only its own
     shard. Clients either fire-and-forget ([insert]/[delete]) or wait on
-    a completion cell ([insert_wait]/[delete_wait]). A full queue rejects
-    the write (backpressure). Consistency, ordering and tuning are
-    documented in SERVING.md.
+    a completion cell ([insert_wait]/[delete_wait]).
+
+    Robustness (see ROBUSTNESS.md, "Serving-layer failure model"): each
+    updater runs under a {!Supervisor} — a crash frees the dead domain's
+    RCU slot and a restarted incarnation adopts the surviving queue plus
+    the crashed one's spliced-but-unapplied batch, so accepted writes
+    survive crashes; past the restart budget the shard is marked
+    [Failed] (reads keep working, writes reject). Admission is gated by
+    a per-shard {!Health} state machine; rejects are typed
+    ({!type-reject}) so clients can tell retryable backpressure from
+    permanent failure. [shutdown] drains under a deadline and
+    force-stops with a structured report instead of blocking forever.
 
     Lifecycle: [create] (no domains yet) → optional {!val-load} prefill →
-    [start] (spawns one updater per shard) → clients [register]/operate/
-    [unregister] → [shutdown] (drains every queue, joins the updaters).
-    [start] and [shutdown] are single-threaded lifecycle calls (the
-    owning thread); everything between [register] and [unregister] is
-    safe from any client domain. *)
+    [start] (one supervised updater per shard) → clients [register]/
+    operate/[unregister] → [shutdown]. [start] and [shutdown] are
+    single-threaded lifecycle calls (the owning thread); everything
+    between [register] and [unregister] is safe from any client
+    domain. *)
+
+(** Why a write was not admitted (or, for waited writes, was admitted
+    and then discarded by a failure path). [Full] and [Overload] are
+    retryable — the backlog can drain; [Failed] and [Shutdown] are
+    permanent for the shard/router respectively. *)
+type reject =
+  | Full  (** owning shard's queue at capacity (backpressure) *)
+  | Overload
+      (** shed: the owning shard is [Degraded] and the write carried no
+          completion to wait on *)
+  | Failed  (** owning shard exhausted its restart budget *)
+  | Shutdown  (** the router is stopping *)
+
+val reject_name : reject -> string
+(** ["full" | "overload" | "failed" | "shutdown"] — the JSON-report
+    spelling. *)
+
+type drain_report = {
+  shard : int;
+  queue_depth : int;  (** entries still queued at the deadline *)
+  last_drain_ns : int;  (** when the shard's updater last drained *)
+  crashes : int;  (** updater crashes over the shard's lifetime *)
+  lost : int;  (** accepted writes purged (completions aborted) *)
+  wedged : bool;  (** updater never exited; its domain was abandoned *)
+}
+(** Per-shard record of a forced shutdown, also printed to stderr. *)
+
+type shutdown_result =
+  | Drained  (** every shard applied its whole backlog *)
+  | Forced of drain_report list
+      (** the deadline expired; one report per shard that lost writes or
+          had to be abandoned *)
 
 module Make (D : Repro_dict.Dict.DICT) : sig
   type t
@@ -29,13 +71,20 @@ module Make (D : Repro_dict.Dict.DICT) : sig
     ?queue_depth:int ->
     ?drain_batch:int ->
     ?max_clients:int ->
+    ?supervisor:Supervisor.policy ->
+    ?high_frac:float ->
+    ?low_frac:float ->
+    ?mutate_forget_backlog:bool ->
     unit ->
     t
-  (** Defaults: 4 shards, queue depth 1024, drain batch 64, 64 clients.
-      [max_clients] sizes each shard's registry ([D.create
+  (** Defaults: 4 shards, queue depth 1024, drain batch 64, 64 clients,
+      {!Supervisor.default_policy}, health watermarks 0.75/0.25 of the
+      queue depth. [max_clients] sizes each shard's registry ([D.create
       ~max_threads:(max_clients + 2)] — clients plus the updater and one
-      setup registration). No domains are spawned; writes enqueued before
-      {!start} sit in the queues.
+      setup registration). [mutate_forget_backlog] seeds the chaos
+      mutation (the supervisor drops the pending batch on restart) — for
+      the mutation harness only, see {!Chaos}. No domains are spawned;
+      writes enqueued before {!start} sit in the queues.
       @raise Invalid_argument on non-positive parameters. *)
 
   val n_shards : t -> int
@@ -44,14 +93,19 @@ module Make (D : Repro_dict.Dict.DICT) : sig
   (** The shard index owning a key (deterministic). *)
 
   val start : t -> unit
-  (** Spawn one updater domain per shard. Idempotent; no-op after
+  (** Spawn one supervised updater per shard. Idempotent; no-op after
       {!shutdown}. *)
 
-  val shutdown : t -> unit
-  (** Stop accepting writes, let each updater drain its backlog (every
-      accepted completion resolves), join the updaters. Idempotent.
-      Clients may still be registered; their writes are rejected and
-      their reads keep working. *)
+  val shutdown : ?deadline_ns:int -> t -> shutdown_result
+  (** Stop accepting writes, then let each updater drain its backlog —
+      every accepted completion resolves — returning [Drained]. If the
+      drain exceeds [deadline_ns] (default 5 s): force-stop — updaters
+      exit at their next batch boundary, remaining queue entries are
+      purged with their completions aborted, a structured report is
+      emitted per affected shard, and wedged updater domains are
+      abandoned rather than joined — returning [Forced]. Idempotent
+      (later calls return the first result). Clients may still be
+      registered; their writes are rejected and reads keep working. *)
 
   (** {2 Client operations} *)
 
@@ -66,36 +120,62 @@ module Make (D : Repro_dict.Dict.DICT) : sig
   val get : handle -> int -> int option
   (** Direct read on the owning shard's tree (RCU read section; never
       blocks on writers). May miss writes still queued — see SERVING.md,
-      "Consistency". *)
+      "Consistency". Keeps working on [Degraded] and [Failed] shards. *)
 
   val mem : handle -> int -> bool
 
-  val insert : handle -> int -> int -> bool
-  (** Fire-and-forget: [true] = accepted into the owning shard's queue
-      (it will be applied in FIFO order), [false] = rejected (queue full,
-      or the router is shut down). The tree-level result is unobservable;
-      use {!insert_wait} to learn it. *)
+  val insert : handle -> int -> int -> (unit, reject) result
+  (** Fire-and-forget: [Ok ()] = accepted into the owning shard's queue
+      (it will be applied in FIFO order, surviving updater crashes),
+      [Error r] = rejected with the typed reason. The tree-level result
+      is unobservable; use {!insert_wait} to learn it. *)
 
-  val delete : handle -> int -> bool
+  val delete : handle -> int -> (unit, reject) result
 
-  val insert_wait : handle -> int -> int -> bool option
+  val insert_wait : handle -> int -> int -> (bool, reject) result
   (** Enqueue with a completion cell and spin until the updater applies
-      the operation: [Some result] is the tree-level result ([insert]'s
-      "was absent"), [None] = rejected. Only call while updaters run
-      (between {!start} and {!shutdown}); the wait includes the
-      operation's whole queueing delay. *)
+      the operation: [Ok result] is the tree-level result ([insert]'s
+      "was absent"). [Error] before acceptance is a typed reject (waited
+      writes are still admitted on a [Degraded] shard — the waiter is
+      the backpressure); [Error Failed]/[Error Shutdown] after
+      acceptance means the accepted write was discarded by a failure
+      path (shard failed, or shutdown forced past its drain deadline).
+      Only call while updaters run (between {!start} and {!shutdown});
+      the wait includes the operation's whole queueing delay. *)
 
-  val delete_wait : handle -> int -> bool option
+  val delete_wait : handle -> int -> (bool, reject) result
 
   val load : handle -> int -> int -> bool
   (** Direct, queue-bypassing insert into the owning shard — for initial
       bulk load before {!start}. Not ordered with queued writes; do not
       mix with them. *)
 
-  (** {2 Monitoring (quiescent-state helpers)} *)
+  (** {2 Fault injection} *)
+
+  val crash_updater : t -> int -> unit
+  (** Arm a one-shot crash of shard [i]'s updater: it raises
+      [Fault.Injected "server.updater.crash"] at the next
+      entry-application boundary (so the crash always lands with the
+      rest of the batch unapplied — the adoption window). Deterministic,
+      unlike arming the named fault point with a rate. *)
+
+  (** {2 Monitoring} *)
 
   val queue_stats : t -> Mod_queue.stats array
-  (** Per-shard queue counters (index = shard). Racy while running. *)
+  (** Per-shard queue counters (index = shard), each snapshotted under
+      its queue lock. *)
+
+  val health : t -> Health.state array
+  (** Per-shard health states (index = shard). *)
+
+  val crashes : t -> int array
+  (** Per-shard updater crash counts ([[||]] before {!start}). *)
+
+  val restarts : t -> int array
+
+  val restart_latencies_ns : t -> int list
+  (** Crash-to-replacement-running samples across all shards — stable
+      after {!shutdown}. *)
 
   val drained : t -> int
   (** Total operations applied across all shards — the aggregate write

@@ -1,0 +1,162 @@
+module Metrics = Repro_sync.Metrics
+module Stats = Repro_sync.Stats
+module Trace = Repro_sync.Trace
+
+(* Supervision for a shard's updater domain: run the updater body, and
+   when it dies with an exception, restart it — rate-limited by
+   exponential backoff under a windowed restart budget; past the budget
+   the shard is declared failed and the chain ends.
+
+   The mechanism is a *chain respawn*: the dying incarnation itself
+   spawns its successor (after recording the crash and sleeping the
+   backoff), then exits. This gives the whole chain a single logical
+   thread of control — the crash bookkeeping ([window_crashes],
+   [last_crash_ns], [restart_samples]) is plain mutable state with
+   happens-before edges supplied by [Domain.spawn], and there is no
+   monitor domain burning a core per shard just to watch for exits.
+   Whatever backlog-adoption the restarted updater performs lives in
+   [run] itself (see [Shard_router]): the supervisor is policy, not
+   mechanism.
+
+   Lifecycle flags are atomics because *other* domains poll them:
+   [done_] tells the shutdown path the chain has exited (so joining
+   cannot block on a live incarnation), [failed_] tells the router to
+   stop admitting writes. [abort] is polled during backoff sleeps and
+   before any respawn, so a forced shutdown never waits out a backoff
+   and never gets a fresh updater spawned under it. *)
+
+type policy = {
+  max_restarts : int;
+  backoff_base_ns : int;
+  backoff_max_ns : int;
+  reset_after_ns : int;
+}
+
+let default_policy =
+  {
+    max_restarts = 8;
+    backoff_base_ns = 1_000_000;
+    backoff_max_ns = 100_000_000;
+    reset_after_ns = 1_000_000_000;
+  }
+
+type t = {
+  shard : int;
+  policy : policy;
+  run : unit -> unit;
+  abort : unit -> bool;
+  on_failed : exn -> unit;
+  forget_backlog : (unit -> unit) option; (* seeded chaos mutation *)
+  done_ : bool Atomic.t;
+  failed_ : bool Atomic.t;
+  crashes : int Atomic.t;
+  restarts : int Atomic.t;
+  domains : unit Domain.t list Atomic.t;
+  (* Chain-private state (single logical thread, see above). *)
+  mutable window_crashes : int;
+  mutable last_crash_ns : int;
+  mutable restart_samples : int list; (* crash-to-running, ns *)
+}
+
+let now_ns = Metrics.now_ns
+
+let rec push_domain t d =
+  let old = Atomic.get t.domains in
+  if not (Atomic.compare_and_set t.domains old (d :: old)) then push_domain t d
+
+(* Backoff sleep in ~1 ms slices, polling [abort] so a forced shutdown
+   is never gated on a supervisor finishing its nap. *)
+let sleep_backoff t ns =
+  let deadline = now_ns () + ns in
+  let rec go () =
+    if not (t.abort ()) then begin
+      let left = deadline - now_ns () in
+      if left > 0 then begin
+        Unix.sleepf (Float.min 0.001 (float_of_int left /. 1e9));
+        go ()
+      end
+    end
+  in
+  go ()
+
+let rec incarnation t ~adopted_at () =
+  (match adopted_at with
+  | Some crash_ns ->
+      let lat = now_ns () - crash_ns in
+      t.restart_samples <- lat :: t.restart_samples;
+      if Metrics.enabled () then
+        Stats.Timer.record Metrics.updater_restart_ns (Metrics.slot ()) lat
+  | None -> ());
+  match t.run () with
+  | () -> Atomic.set t.done_ true (* clean exit: stop requested, drained *)
+  | exception e ->
+      Atomic.incr t.crashes;
+      if Metrics.enabled () then
+        Stats.incr Metrics.updater_crashes (Metrics.slot ());
+      Trace.record Trace.Updater_crash t.shard;
+      let now = now_ns () in
+      if t.last_crash_ns > 0 && now - t.last_crash_ns > t.policy.reset_after_ns
+      then t.window_crashes <- 0;
+      t.last_crash_ns <- now;
+      t.window_crashes <- t.window_crashes + 1;
+      if t.window_crashes > t.policy.max_restarts then begin
+        Atomic.set t.failed_ true;
+        (try t.on_failed e with _ -> ());
+        Atomic.set t.done_ true
+      end
+      else if t.abort () then Atomic.set t.done_ true
+      else begin
+        let shift = min 20 (t.window_crashes - 1) in
+        sleep_backoff t
+          (min t.policy.backoff_max_ns (t.policy.backoff_base_ns lsl shift));
+        if t.abort () then Atomic.set t.done_ true
+        else begin
+          (match t.forget_backlog with Some f -> f () | None -> ());
+          Atomic.incr t.restarts;
+          if Metrics.enabled () then
+            Stats.incr Metrics.updater_restarts (Metrics.slot ());
+          Trace.record Trace.Updater_restart t.shard;
+          push_domain t (Domain.spawn (incarnation t ~adopted_at:(Some now)))
+        end
+      end
+
+let start ?(policy = default_policy) ?forget_backlog ~shard ~abort ~on_failed
+    run =
+  if policy.max_restarts < 0 then
+    invalid_arg "Supervisor.start: max_restarts must be >= 0";
+  if policy.backoff_base_ns <= 0 || policy.backoff_max_ns < policy.backoff_base_ns
+  then invalid_arg "Supervisor.start: want 0 < backoff_base_ns <= backoff_max_ns";
+  let t =
+    {
+      shard;
+      policy;
+      run;
+      abort;
+      on_failed;
+      forget_backlog;
+      done_ = Atomic.make false;
+      failed_ = Atomic.make false;
+      crashes = Atomic.make 0;
+      restarts = Atomic.make 0;
+      domains = Atomic.make [];
+      window_crashes = 0;
+      last_crash_ns = 0;
+      restart_samples = [];
+    }
+  in
+  push_domain t (Domain.spawn (incarnation t ~adopted_at:None));
+  t
+
+let shard t = t.shard
+let finished t = Atomic.get t.done_
+let failed t = Atomic.get t.failed_
+let crashes t = Atomic.get t.crashes
+let restarts t = Atomic.get t.restarts
+
+let join t =
+  (* Only meaningful once [finished]: past that point the chain spawns no
+     further incarnations, so the domain list is complete and every
+     member has exited or is about to. *)
+  List.iter Domain.join (Atomic.get t.domains)
+
+let restart_latencies_ns t = t.restart_samples

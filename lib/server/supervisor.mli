@@ -1,0 +1,74 @@
+(** Crash supervision for shard updater domains.
+
+    [start] spawns a domain running [run] and keeps it running across
+    crashes: an exception escaping [run] is caught, counted
+    ([updater_crashes] metric, [Updater_crash] trace), and — after a
+    jitter-free exponential backoff, rate-limited by a windowed restart
+    budget — a fresh domain is spawned to run [run] again
+    ([updater_restarts] metric, [Updater_restart] trace, crash-to-running
+    latency sampled into [updater_restart_ns]). Backlog adoption is
+    [run]'s own job (the restarted updater re-reads the surviving
+    {!Mod_queue} and any pending batch, see {!Shard_router}); the
+    supervisor only decides {e whether} and {e when} to restart.
+
+    Past [max_restarts] crashes within a [reset_after_ns] window the
+    chain gives up: [failed] becomes true, [on_failed] runs once (mark
+    the shard failed, purge its queue), and no further incarnation is
+    spawned. A clean return from [run] (shutdown) ends the chain without
+    any of that.
+
+    Implementation note: restarts are chain-respawns — the dying
+    incarnation spawns its successor — so the crash bookkeeping is
+    single-threaded by construction and no monitor domain is needed. *)
+
+type policy = {
+  max_restarts : int;
+      (** crashes tolerated within a window before declaring failure *)
+  backoff_base_ns : int;  (** first restart delay *)
+  backoff_max_ns : int;  (** delay cap (doubling saturates here) *)
+  reset_after_ns : int;
+      (** a crash-free gap this long resets the crash count — steady
+          rare crashes restart forever, a crash loop exhausts the
+          budget *)
+}
+
+val default_policy : policy
+(** 8 restarts, 1 ms base, 100 ms cap, 1 s reset window. *)
+
+type t
+
+val start :
+  ?policy:policy ->
+  ?forget_backlog:(unit -> unit) ->
+  shard:int ->
+  abort:(unit -> bool) ->
+  on_failed:(exn -> unit) ->
+  (unit -> unit) ->
+  t
+(** Spawn the first incarnation of [run]. [abort] is polled during
+    backoff sleeps and before every respawn — once it returns true the
+    chain exits instead of restarting (forced shutdown). [on_failed]
+    runs exactly once, from the dying incarnation, when the budget is
+    exhausted. [forget_backlog] is a seeded chaos mutation hook (run
+    just before each respawn); production callers leave it unset — see
+    {!Chaos.mutation}. [shard] labels traces and metrics.
+    @raise Invalid_argument on a nonsensical policy. *)
+
+val shard : t -> int
+
+val finished : t -> bool
+(** The chain has exited — cleanly, by failure, or by abort. Poll this
+    (with a deadline) before {!join}; a live incarnation can be wedged
+    arbitrarily long and joining it would inherit the wedge. *)
+
+val failed : t -> bool
+val crashes : t -> int
+val restarts : t -> int
+
+val join : t -> unit
+(** Join every incarnation ever spawned. Call only once {!finished} is
+    true. *)
+
+val restart_latencies_ns : t -> int list
+(** Crash-to-replacement-running samples, newest first — the recovery
+    latencies the chaos harness bounds at p99. Stable once {!finished}. *)

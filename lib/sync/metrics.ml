@@ -37,6 +37,13 @@ let mod_enqueues = Stats.create "mod_enqueues"
 let mod_drops = Stats.create "mod_drops"
 let mod_drained = Stats.create "mod_drained"
 let mod_queue_wait_ns = Stats.Timer.create "mod_queue_wait_ns"
+let mod_queue_stalls = Stats.create "mod_queue_stalls"
+let updater_crashes = Stats.create "updater_crashes"
+let updater_restarts = Stats.create "updater_restarts"
+let updater_restart_ns = Stats.Timer.create "updater_restart_ns"
+let shards_failed = Stats.create "shards_failed"
+let writes_shed = Stats.create "writes_shed"
+let writes_lost = Stats.create "writes_lost"
 
 let reset () =
   Stats.reset rcu_read_sections;
@@ -56,6 +63,13 @@ let reset () =
   Stats.reset mod_drops;
   Stats.reset mod_drained;
   Stats.Timer.reset mod_queue_wait_ns;
+  Stats.reset mod_queue_stalls;
+  Stats.reset updater_crashes;
+  Stats.reset updater_restarts;
+  Stats.Timer.reset updater_restart_ns;
+  Stats.reset shards_failed;
+  Stats.reset writes_shed;
+  Stats.reset writes_lost;
   Repro_lockdep.Lockdep.reset_counters ()
 
 let snapshot () =
@@ -85,6 +99,15 @@ let snapshot () =
     ("mod_queue_wait_mean_ns", Stats.Timer.mean_ns mod_queue_wait_ns);
     ( "mod_queue_wait_max_ns",
       float_of_int (Stats.Timer.max_ns mod_queue_wait_ns) );
+    ("mod_queue_stalls", float_of_int (Stats.read mod_queue_stalls));
+    ("updater_crashes", float_of_int (Stats.read updater_crashes));
+    ("updater_restarts", float_of_int (Stats.read updater_restarts));
+    ("updater_restart_mean_ns", Stats.Timer.mean_ns updater_restart_ns);
+    ( "updater_restart_max_ns",
+      float_of_int (Stats.Timer.max_ns updater_restart_ns) );
+    ("shards_failed", float_of_int (Stats.read shards_failed));
+    ("writes_shed", float_of_int (Stats.read writes_shed));
+    ("writes_lost", float_of_int (Stats.read writes_lost));
     (* Lockdep keeps its own process-global counters (it sits below this
        module in the dependency stack); snapshotting reads them directly
        so the JSON reports cover the validator like every other debug

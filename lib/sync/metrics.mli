@@ -95,6 +95,38 @@ val mod_queue_wait_ns : Stats.Timer.t
     queueing delay — the asynchrony cost a reader may observe as staleness
     (see SERVING.md, "Consistency"). *)
 
+val mod_queue_stalls : Stats.t
+(** Modification-queue staleness-watchdog reports: the oldest queued
+    write sat past the configured threshold with no drain in between —
+    the updater is wedged, crashed past its restart budget, or
+    grace-period-bound. 0 unless the watchdog is armed
+    ([Repro_server.Mod_queue.set_stall_threshold_ns]). *)
+
+val updater_crashes : Stats.t
+(** Updater-domain deaths caught by a shard supervisor
+    ([Repro_server.Supervisor]). *)
+
+val updater_restarts : Stats.t
+(** Replacement updater domains spawned after a crash (=< crashes; the
+    difference is crashes that exhausted the restart budget). *)
+
+val updater_restart_ns : Stats.Timer.t
+(** One sample per restart, valued at crash-to-replacement-running time —
+    the recovery latency the chaos harness bounds at p99. *)
+
+val shards_failed : Stats.t
+(** Shards marked [Failed] after exhausting their restart budget; their
+    reads keep working, their writes are rejected. *)
+
+val writes_shed : Stats.t
+(** Fire-and-forget writes rejected by overload control while the owning
+    shard was [Degraded] (completion-waited writes are still admitted). *)
+
+val writes_lost : Stats.t
+(** Accepted writes discarded because their shard failed past its restart
+    budget or shutdown was forced past the drain deadline — the only two
+    paths that may drop an accepted write, both loudly accounted. *)
+
 (** The [lockdep_checks] / [lockdep_violations] rows of {!snapshot} are
     read directly from [Repro_lockdep.Lockdep.checks]/[violations]
     (lockdep sits below this module and keeps its own counters); both

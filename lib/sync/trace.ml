@@ -33,6 +33,10 @@ type kind =
   | Lockdep_violation
   | Mod_enqueue
   | Mod_drain
+  | Mod_stall
+  | Updater_crash
+  | Updater_restart
+  | Shard_state
 
 let kind_to_string = function
   | Read_enter -> "read_enter"
@@ -49,6 +53,10 @@ let kind_to_string = function
   | Lockdep_violation -> "lockdep_violation"
   | Mod_enqueue -> "mod_enqueue"
   | Mod_drain -> "mod_drain"
+  | Mod_stall -> "mod_stall"
+  | Updater_crash -> "updater_crash"
+  | Updater_restart -> "updater_restart"
+  | Shard_state -> "shard_state"
 
 let kind_index = function
   | Read_enter -> 0
@@ -65,6 +73,10 @@ let kind_index = function
   | Lockdep_violation -> 11
   | Mod_enqueue -> 12
   | Mod_drain -> 13
+  | Mod_stall -> 14
+  | Updater_crash -> 15
+  | Updater_restart -> 16
+  | Shard_state -> 17
 
 let kind_of_index = function
   | 0 -> Read_enter
@@ -80,6 +92,10 @@ let kind_of_index = function
   | 11 -> Lockdep_violation
   | 12 -> Mod_enqueue
   | 13 -> Mod_drain
+  | 14 -> Mod_stall
+  | 15 -> Updater_crash
+  | 16 -> Updater_restart
+  | 17 -> Shard_state
   | _ -> Stall
 
 type event = {

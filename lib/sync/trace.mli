@@ -54,6 +54,22 @@ type kind =
       (** one drain batch spliced out of a modification queue by its
           updater domain; arg = batch size (operations). See
           SERVING.md. *)
+  | Mod_stall
+      (** a modification queue's staleness watchdog fired: the oldest
+          queued write has waited past the configured threshold with no
+          drain in between (the updater is wedged or grace-period-bound);
+          arg = queue (shard) id. One event per threshold window, like
+          [Stall]. *)
+  | Updater_crash
+      (** a shard's updater domain died with an exception and was caught
+          by its supervisor ([Repro_server.Supervisor]); arg = shard id *)
+  | Updater_restart
+      (** the supervisor spawned a replacement updater domain that
+          adopted the crashed one's backlog; arg = shard id *)
+  | Shard_state
+      (** a shard's health state changed ([Repro_server.Health]);
+          arg = [shard_id * 4 + state] with state 0 = healthy,
+          1 = degraded, 2 = failed *)
 
 val kind_to_string : kind -> string
 

@@ -6,9 +6,17 @@ module Barrier = Repro_sync.Barrier
    so service-time latency includes the queueing delay a closed-loop
    runner (which waits for each op before drawing the next) structurally
    hides — the "coordinated omission" problem. Every completed operation
-   is timed from its *scheduled arrival* to its completion. *)
+   is timed from its *scheduled arrival* to its completion.
 
-type outcome = Applied of bool | Dropped
+   Retryable rejects ([Busy] — backpressure the service expects to
+   clear) are retried with jittered exponential backoff, bounded by an
+   attempt budget and a per-operation deadline measured from the
+   *scheduled arrival* — so retrying never hides queueing delay either:
+   a completed-after-retry operation reports its full
+   schedule-to-completion latency, and an operation whose deadline
+   passes is accounted [exhausted], separately from terminal drops. *)
+
+type outcome = Applied of bool | Busy | Dropped
 
 type client = {
   run_op : Workload.op -> int -> outcome;
@@ -23,11 +31,15 @@ type spec = {
   key_range : int;
   key_dist : Workload.key_dist;
   seed : int64;
+  max_retries : int;
+  retry_base_ns : int;
+  deadline_ns : int;
 }
 
 let spec ?(clients = 4) ?(rate = 20_000.0) ?(duration = 1.0)
     ?(mix = Workload.contains_50) ?(key_range = 16_384)
-    ?(key_dist = Workload.Uniform_keys) ?(seed = 42L) () =
+    ?(key_dist = Workload.Uniform_keys) ?(seed = 42L) ?(max_retries = 0)
+    ?(retry_base_ns = 100_000) ?(deadline_ns = 0) () =
   if clients <= 0 then
     invalid_arg "Open_loop.spec: clients must be positive";
   if rate <= 0.0 then invalid_arg "Open_loop.spec: rate must be positive";
@@ -35,12 +47,31 @@ let spec ?(clients = 4) ?(rate = 20_000.0) ?(duration = 1.0)
     invalid_arg "Open_loop.spec: duration must be positive";
   if key_range <= 0 then
     invalid_arg "Open_loop.spec: key_range must be positive";
-  { clients; rate; duration; mix; key_range; key_dist; seed }
+  if max_retries < 0 then
+    invalid_arg "Open_loop.spec: max_retries must be >= 0";
+  if retry_base_ns <= 0 then
+    invalid_arg "Open_loop.spec: retry_base_ns must be positive";
+  if deadline_ns < 0 then
+    invalid_arg "Open_loop.spec: deadline_ns must be >= 0";
+  {
+    clients;
+    rate;
+    duration;
+    mix;
+    key_range;
+    key_dist;
+    seed;
+    max_retries;
+    retry_base_ns;
+    deadline_ns;
+  }
 
 type result = {
   issued : int;
   completed : int;
   dropped : int;
+  retries : int;
+  exhausted : int;
   wall : float;
   offered : float;
   achieved : float;
@@ -53,6 +84,8 @@ type result = {
 type tally = {
   mutable t_issued : int;
   mutable t_completed : int;
+  mutable t_retries : int;
+  mutable t_exhausted : int;
   mutable t_max_lag : int;
   drops : int array; (* indexed by op *)
   hists : Latency.histogram array; (* indexed by op *)
@@ -97,6 +130,8 @@ let run (s : spec) make_client =
         {
           t_issued = 0;
           t_completed = 0;
+          t_retries = 0;
+          t_exhausted = 0;
           t_max_lag = 0;
           drops = Array.make 3 0;
           hists = Array.init 3 (fun _ -> Latency.histogram ());
@@ -127,6 +162,42 @@ let run (s : spec) make_client =
            operations take. Falling behind shows up as latency, never as
            fewer issued operations. *)
         let scheduled = ref (now_ns ()) in
+        (* One scheduled arrival, through its retry budget. Every issued
+           operation reaches exactly one terminal account: completed,
+           dropped, or exhausted. *)
+        let rec attempt op k oi attempts =
+          match client.run_op op k with
+          | Applied _ ->
+              Latency.record tally.hists.(oi) (now_ns () - !scheduled);
+              tally.t_completed <- tally.t_completed + 1
+          | Dropped -> tally.drops.(oi) <- tally.drops.(oi) + 1
+          | Busy ->
+              if attempts >= s.max_retries then
+                tally.drops.(oi) <- tally.drops.(oi) + 1
+              else begin
+                (* Jittered exponential backoff: double per attempt,
+                   scaled into [0.5, 1.0) of the nominal delay by the
+                   client's own (deterministic) stream, so retry storms
+                   from concurrent clients decorrelate. *)
+                let nominal = s.retry_base_ns lsl min attempts 20 in
+                let jittered =
+                  int_of_float
+                    (float_of_int nominal *. (0.5 +. (0.5 *. Rng.float rng)))
+                in
+                let retry_at = now_ns () + jittered in
+                if s.deadline_ns > 0 && retry_at - !scheduled > s.deadline_ns
+                then tally.t_exhausted <- tally.t_exhausted + 1
+                else begin
+                  tally.t_retries <- tally.t_retries + 1;
+                  wait_until stop retry_at;
+                  if Atomic.get stop then
+                    (* Run over before the retry could happen: the
+                       operation ends without a service verdict. *)
+                    tally.t_exhausted <- tally.t_exhausted + 1
+                  else attempt op k oi (attempts + 1)
+                end
+              end
+        in
         let rec loop () =
           if not (Atomic.get stop) then begin
             let u = Rng.float rng in
@@ -139,13 +210,8 @@ let run (s : spec) make_client =
               if lag > tally.t_max_lag then tally.t_max_lag <- lag;
               let op = Workload.pick rng s.mix in
               let k = next_key () in
-              let oi = op_index op in
               tally.t_issued <- tally.t_issued + 1;
-              (match client.run_op op k with
-              | Applied _ ->
-                  Latency.record tally.hists.(oi) (now_ns () - !scheduled);
-                  tally.t_completed <- tally.t_completed + 1
-              | Dropped -> tally.drops.(oi) <- tally.drops.(oi) + 1);
+              attempt op k (op_index op) 0;
               loop ()
             end
           end
@@ -194,6 +260,8 @@ let run (s : spec) make_client =
     issued;
     completed;
     dropped;
+    retries = sum (fun t -> t.t_retries);
+    exhausted = sum (fun t -> t.t_exhausted);
     wall;
     offered = s.rate;
     achieved = float_of_int completed /. wall;

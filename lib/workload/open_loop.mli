@@ -15,15 +15,23 @@
     Clients are first-class: the harness knows nothing about the service
     under load. A factory produces one {!client} per spawned domain
     (registering whatever per-domain state the service needs), and each
-    operation reports {!outcome} — [Dropped] models a service shedding
-    load (e.g. a full modification queue, see [Repro_server.Mod_queue])
-    and is accounted separately from latency. *)
+    operation reports {!outcome}. [Busy] — retryable backpressure such
+    as a full or overloaded modification queue — is retried with
+    jittered exponential backoff under a per-operation deadline budget
+    measured from the scheduled arrival, so retrying cannot hide
+    queueing delay; [Dropped] is terminal. Retries and exhausted
+    deadlines are accounted separately from drops. *)
 
 type outcome =
   | Applied of bool
       (** the service executed the operation; the bool is its result
           ([contains]/[insert]/[delete] success), unused by the harness *)
-  | Dropped  (** the service refused the operation (backpressure) *)
+  | Busy
+      (** retryable reject (queue full, shard degraded) — retried with
+          backoff while the attempt and deadline budgets allow *)
+  | Dropped
+      (** terminal reject (shard failed, service shutting down) — never
+          retried *)
 
 type client = {
   run_op : Workload.op -> int -> outcome;
@@ -42,6 +50,14 @@ type spec = {
   key_range : int;
   key_dist : Workload.key_dist;
   seed : int64;
+  max_retries : int;  (** retry budget per operation; 0 = never retry *)
+  retry_base_ns : int;
+      (** nominal first-retry backoff; doubles per attempt, jittered
+          into [0.5, 1.0) of nominal by the client's own stream *)
+  deadline_ns : int;
+      (** per-operation completion budget measured from the scheduled
+          arrival; a retry that would land past it is not issued and the
+          operation counts [exhausted]. 0 = no deadline. *)
 }
 
 val spec :
@@ -52,16 +68,31 @@ val spec :
   ?key_range:int ->
   ?key_dist:Workload.key_dist ->
   ?seed:int64 ->
+  ?max_retries:int ->
+  ?retry_base_ns:int ->
+  ?deadline_ns:int ->
   unit ->
   spec
 (** Defaults: 4 clients, 20k ops/s, 1s, 50% contains mix, key range
-    16 384, uniform keys, seed 42.
-    @raise Invalid_argument on non-positive clients/rate/duration/range. *)
+    16 384, uniform keys, seed 42, no retries (base 100 µs when
+    enabled), no deadline.
+    @raise Invalid_argument on non-positive clients/rate/duration/range,
+      negative retry or deadline budgets, or non-positive
+      [retry_base_ns]. *)
 
 type result = {
   issued : int;  (** operations issued (scheduled arrivals that ran) *)
   completed : int;  (** operations the service applied *)
-  dropped : int;  (** operations the service refused *)
+  dropped : int;
+      (** operations that ended in a terminal reject — the service
+          refused ([Dropped]) or the retry budget ran out on [Busy] *)
+  retries : int;
+      (** re-issues performed (not operations: one operation retried
+          three times counts 3) *)
+  exhausted : int;
+      (** operations abandoned because the next retry would land past
+          the per-op deadline (or the run ended mid-backoff) — the
+          deadline-miss count, distinct from [dropped] *)
   wall : float;  (** measured wall-clock seconds *)
   offered : float;  (** the configured offered load (ops/s) *)
   achieved : float;  (** completed / wall — under saturation < offered *)
@@ -70,10 +101,13 @@ type result = {
           arrival: how far behind the fixed schedule the clients fell *)
   latency : (Workload.op * Latency.histogram) list;
       (** scheduled-arrival-to-completion latency per op type (completed
-          operations only; omits op types that never completed) *)
+          operations only — including retried ones, whose backoff time
+          is part of their latency; omits op types that never
+          completed) *)
   dropped_by_op : (Workload.op * int) list;
-      (** drops per op type; omits op types never dropped *)
+      (** terminal drops per op type; omits op types never dropped *)
 }
+(** Conservation: [issued = completed + dropped + exhausted]. *)
 
 val run : spec -> (int -> client) -> result
 (** [run spec make_client] spawns [spec.clients] domains; each calls

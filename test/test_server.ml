@@ -1,14 +1,24 @@
 (* Tests for the serving layer: hash distribution across shards, FIFO
    drain order and backpressure of the modification queue, completion
-   wake-up, the open-loop generator's accounting, and an end-to-end serve
-   run with lockdep and the reclamation sanitizer armed. *)
+   wake-up, typed admission rejects and overload shedding, supervisor
+   crash-restart (with both validators armed), restart-budget exhaustion,
+   the staleness watchdog, the shutdown drain deadline, the open-loop
+   generator's retry/deadline accounting, the chaos backlog-loss
+   mutation, and an end-to-end serve run with lockdep and the
+   reclamation sanitizer armed. *)
 
 module Mod_queue = Repro_server.Mod_queue
+module Shard_router = Repro_server.Shard_router
+module Supervisor = Repro_server.Supervisor
+module Health = Repro_server.Health
+module Chaos = Repro_server.Chaos
 module Serve = Repro_server.Serve
 module Open_loop = Repro_workload.Open_loop
 module W = Repro_workload.Workload
 module Dict = Repro_dict.Dict
-module Router = Repro_server.Shard_router.Make (Dict.Citrus_epoch)
+module Metrics = Repro_sync.Metrics
+module Stats = Repro_sync.Stats
+module Router = Shard_router.Make (Dict.Citrus_epoch)
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
@@ -34,14 +44,14 @@ let test_shard_distribution () =
         true
         (abs (c - (n / 8)) < n / 32))
     counts;
-  Router.shutdown t
+  ignore (Router.shutdown t)
 
 let test_shard_of_deterministic () =
   let t = Router.create ~shards:5 ~max_clients:2 () in
   for k = 0 to 1000 do
     checki "stable" (Router.shard_of t k) (Router.shard_of t k)
   done;
-  Router.shutdown t
+  ignore (Router.shutdown t)
 
 (* --- Mod_queue: FIFO drain order --- *)
 
@@ -84,64 +94,81 @@ let test_fifo_per_shard_through_router () =
   Router.start t;
   for round = 1 to 200 do
     (match Router.insert_wait h 7 round with
-    | Some _ -> ()
-    | None -> Alcotest.fail "insert rejected");
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "insert rejected");
     match Router.delete_wait h 7 with
-    | Some deleted -> checkb "delete saw the insert" true deleted
-    | None -> Alcotest.fail "delete rejected"
+    | Ok deleted -> checkb "delete saw the insert" true deleted
+    | Error _ -> Alcotest.fail "delete rejected"
   done;
   checkb "absent at end" false (Router.mem h 7);
   Router.unregister h;
-  Router.shutdown t;
+  ignore (Router.shutdown t);
   Router.check t
 
-(* --- Mod_queue: backpressure --- *)
+(* --- typed rejects: overload shedding and queue-full backpressure --- *)
 
-let test_queue_full_backpressure () =
-  (* No updater running: the bound must hold exactly and rejections must
-     not clobber queued entries. *)
-  let t = Router.create ~shards:1 ~queue_depth:8 ~max_clients:2 () in
+let test_typed_rejects () =
+  (* No updater running, one shard, depth 8, default watermarks (high =
+     6). Fire-and-forget writes shed with [Overload] once the high
+     watermark is reached; completion-waited writes are still admitted
+     until the queue itself is full, which rejects with [Full]. *)
+  let t = Router.create ~shards:1 ~queue_depth:8 ~max_clients:8 () in
   let h = Router.register t in
-  for k = 0 to 7 do
-    checkb "accepted" true (Router.insert h k k)
+  let oks = ref 0 and overloads = ref 0 in
+  for k = 0 to 9 do
+    match Router.insert h k k with
+    | Ok () -> incr oks
+    | Error Shard_router.Overload -> incr overloads
+    | Error r ->
+        Alcotest.fail ("unexpected reject " ^ Shard_router.reject_name r)
   done;
-  checkb "ninth rejected" false (Router.insert h 8 8);
-  checkb "wait-insert rejected" true (Router.insert_wait h 9 9 = None);
+  checki "accepted up to high watermark" 6 !oks;
+  checki "shed after high watermark" 4 !overloads;
   let q = (Router.queue_stats t).(0) in
-  checki "enqueued" 8 q.Mod_queue.enqueued;
-  checki "dropped" 2 q.Mod_queue.dropped;
-  checki "high-water" 8 q.Mod_queue.max_depth;
-  (* Start the updater: the backlog must drain and later writes flow. *)
+  checki "enqueued" 6 q.Mod_queue.enqueued;
+  checki "shed writes never reach the queue" 0 q.Mod_queue.dropped;
+  (* Two waited writes on top fill the queue to its bound... *)
+  let waiters =
+    List.init 2 (fun i ->
+        Domain.spawn (fun () -> Router.insert_wait h (100 + i) (100 + i)))
+  in
+  let rec until_enqueued n tries =
+    if (Router.queue_stats t).(0).Mod_queue.enqueued < n then
+      if tries = 0 then Alcotest.fail "waited writes never enqueued"
+      else begin
+        Unix.sleepf 0.005;
+        until_enqueued n (tries - 1)
+      end
+  in
+  until_enqueued 8 400;
+  (* ...so a further waited write hits the bound itself: [Full]. *)
+  checkb "full for waited" true
+    (Router.insert_wait h 200 200 = Error Shard_router.Full);
+  (* Start the updater: the backlog (6 async + 2 waited) must drain. *)
   Router.start t;
-  (match Router.insert_wait h 100 100 with
-  | Some fresh -> checkb "applied after drain" true fresh
-  | None ->
-      (* The queue may still be full at the instant of the call; retry
-         once the backlog clears. *)
-      let rec retry n =
-        if n = 0 then Alcotest.fail "insert never accepted"
-        else
-          match Router.insert_wait h 100 100 with
-          | Some _ -> ()
-          | None ->
-              Unix.sleepf 0.01;
-              retry (n - 1)
-      in
-      retry 100);
+  List.iter
+    (fun d ->
+      match Domain.join d with
+      | Ok fresh -> checkb "waited write applied" true fresh
+      | Error r ->
+          Alcotest.fail ("waited write lost: " ^ Shard_router.reject_name r))
+    waiters;
   Router.unregister h;
-  Router.shutdown t;
+  checkb "drained shutdown" true (Router.shutdown t = Shard_router.Drained);
   let q = (Router.queue_stats t).(0) in
   checki "all accepted ops drained" q.Mod_queue.enqueued q.Mod_queue.drained;
-  checki "size" 9 (Router.size t)
+  checki "size" 8 (Router.size t)
 
 let test_rejected_after_shutdown () =
   let t = Router.create ~shards:2 ~max_clients:2 () in
   let h = Router.register t in
   Router.start t;
-  checkb "accepted while running" true (Router.insert_wait h 1 1 <> None);
-  Router.shutdown t;
-  checkb "rejected after shutdown" false (Router.insert h 2 2);
-  checkb "wait rejected after shutdown" true (Router.insert_wait h 3 3 = None);
+  checkb "accepted while running" true (Router.insert_wait h 1 1 = Ok true);
+  ignore (Router.shutdown t);
+  checkb "rejected after shutdown" true
+    (Router.insert h 2 2 = Error Shard_router.Shutdown);
+  checkb "wait rejected after shutdown" true
+    (Router.insert_wait h 3 3 = Error Shard_router.Shutdown);
   checkb "reads still work" true (Router.mem h 1);
   Router.unregister h
 
@@ -149,24 +176,305 @@ let test_rejected_after_shutdown () =
 
 let test_completion_wakeup () =
   let c = Mod_queue.completion () in
-  checkb "pending" true (Mod_queue.peek c = None);
+  checkb "pending" true (Mod_queue.peek c = Mod_queue.Pending);
   let waiter = Domain.spawn (fun () -> Mod_queue.await c) in
   Unix.sleepf 0.02;
   Mod_queue.complete c true;
-  checkb "woke with result" true (Domain.join waiter);
-  checkb "peek after" true (Mod_queue.peek c = Some true)
+  checkb "woke with result" true (Domain.join waiter = Some true);
+  checkb "peek after" true (Mod_queue.peek c = Mod_queue.Done true)
+
+let test_completion_abort () =
+  let c = Mod_queue.completion () in
+  let waiter = Domain.spawn (fun () -> Mod_queue.await c) in
+  Unix.sleepf 0.02;
+  Mod_queue.abort c;
+  checkb "waiter unblocked with None" true (Domain.join waiter = None);
+  checkb "peek aborted" true (Mod_queue.peek c = Mod_queue.Aborted);
+  (* A resolved result is never un-resolved, in either direction. *)
+  Mod_queue.complete c true;
+  checkb "complete after abort is a no-op" true
+    (Mod_queue.peek c = Mod_queue.Aborted);
+  let c2 = Mod_queue.completion () in
+  Mod_queue.complete c2 false;
+  Mod_queue.abort c2;
+  checkb "abort after complete is a no-op" true
+    (Mod_queue.peek c2 = Mod_queue.Done false)
 
 let test_completion_through_updater () =
   let t = Router.create ~shards:2 ~max_clients:2 () in
   Router.start t;
   let h = Router.register t in
-  checkb "fresh insert" true (Router.insert_wait h 5 50 = Some true);
-  checkb "duplicate insert" true (Router.insert_wait h 5 51 = Some false);
+  checkb "fresh insert" true (Router.insert_wait h 5 50 = Ok true);
+  checkb "duplicate insert" true (Router.insert_wait h 5 51 = Ok false);
   checkb "read sees it" true (Router.get h 5 = Some 50);
-  checkb "delete" true (Router.delete_wait h 5 = Some true);
-  checkb "double delete" true (Router.delete_wait h 5 = Some false);
+  checkb "delete" true (Router.delete_wait h 5 = Ok true);
+  checkb "double delete" true (Router.delete_wait h 5 = Ok false);
   Router.unregister h;
-  Router.shutdown t
+  ignore (Router.shutdown t)
+
+(* --- Mod_queue: purge and stats consistency --- *)
+
+let test_purge_aborts_completions () =
+  let q = Mod_queue.create ~depth:32 () in
+  let cs = List.init 5 (fun _ -> Mod_queue.completion ()) in
+  List.iteri
+    (fun i c ->
+      checkb "accepted" true
+        (Mod_queue.try_enqueue q ~completion:c (Mod_queue.Insert (i, i))))
+    cs;
+  let lost_before = Stats.read Metrics.writes_lost in
+  checki "purged count" 5 (Mod_queue.purge q);
+  checki "queue empty" 0 (Mod_queue.length q);
+  List.iter
+    (fun c -> checkb "completion aborted" true (Mod_queue.await c = None))
+    cs;
+  checki "writes_lost counted" (lost_before + 5)
+    (Stats.read Metrics.writes_lost);
+  let s = Mod_queue.stats q in
+  checki "stats enqueued" 5 s.Mod_queue.enqueued;
+  checki "stats purged" 5 s.Mod_queue.purged;
+  checki "stats drained" 0 s.Mod_queue.drained
+
+(* --- Mod_queue: staleness watchdog --- *)
+
+let test_stall_watchdog () =
+  let q = Mod_queue.create ~id:3 ~depth:16 () in
+  Fun.protect
+    ~finally:(fun () -> Mod_queue.set_stall_threshold_ns 0)
+    (fun () ->
+      Mod_queue.set_stall_threshold_ns 10_000_000 (* 10 ms *);
+      let stalls_before = Stats.read Metrics.mod_queue_stalls in
+      checkb "accepted" true (Mod_queue.try_enqueue q (Mod_queue.Insert (1, 1)));
+      Unix.sleepf 0.03;
+      (* The queue is non-empty and nothing has drained for 30 ms >
+         threshold: the next producer-side check fires one report. *)
+      checkb "accepted" true (Mod_queue.try_enqueue q (Mod_queue.Insert (2, 2)));
+      checki "stall reported" (stalls_before + 1)
+        (Stats.read Metrics.mod_queue_stalls);
+      (* Inside the same window: throttled, no second report. *)
+      Mod_queue.check_stall q;
+      checki "one report per window" (stalls_before + 1)
+        (Stats.read Metrics.mod_queue_stalls);
+      (* A drain resets staleness: no report after draining. *)
+      ignore (Mod_queue.drain q ~max:16);
+      Unix.sleepf 0.03;
+      Mod_queue.check_stall q;
+      checki "empty queue never stalls" (stalls_before + 1)
+        (Stats.read Metrics.mod_queue_stalls))
+
+(* --- Health: watermarks, hysteresis, terminal failure --- *)
+
+let test_health_state_machine () =
+  let hl = Health.create ~shard:0 ~capacity:100 () in
+  checkb "starts healthy" true (Health.state hl = Health.Healthy);
+  Health.observe_depth hl 74;
+  checkb "below high watermark" true (Health.state hl = Health.Healthy);
+  Health.observe_depth hl 75;
+  checkb "degrades at high watermark" true (Health.state hl = Health.Degraded);
+  Health.observe_depth hl 50;
+  checkb "hysteresis holds between watermarks" true
+    (Health.state hl = Health.Degraded);
+  Health.observe_depth hl 25;
+  checkb "recovers at low watermark" true (Health.state hl = Health.Healthy);
+  Health.note_stall hl;
+  checkb "stall degrades" true (Health.state hl = Health.Degraded);
+  checkb "first failure marks" true (Health.mark_failed hl);
+  checkb "second failure is a no-op" false (Health.mark_failed hl);
+  Health.observe_depth hl 0;
+  checkb "failed is terminal" true (Health.state hl = Health.Failed)
+
+(* --- Supervisor: crash restart with both validators armed --- *)
+
+let test_supervisor_restart_armed () =
+  Repro_sanitizer.Sanitizer.arm ();
+  Repro_lockdep.Lockdep.arm ();
+  Fun.protect
+    ~finally:(fun () ->
+      Repro_lockdep.Lockdep.disarm ();
+      Repro_sanitizer.Sanitizer.disarm ())
+    (fun () ->
+      let t = Router.create ~shards:2 ~max_clients:4 () in
+      Router.start t;
+      let h = Router.register t in
+      (* Keys landing on each shard, found via the router's own hash. *)
+      let key_on shard from =
+        let k = ref from in
+        while Router.shard_of t !k <> shard do
+          incr k
+        done;
+        !k
+      in
+      for round = 0 to 2 do
+        for shard = 0 to 1 do
+          Router.crash_updater t shard;
+          (* The waited write rides through the crash: the one-shot flag
+             fires before this very entry applies, the supervisor
+             restarts the updater, and the successor adopts the pending
+             batch — so the completion must still resolve [Ok]. *)
+          let k = key_on shard (1000 * (round + 1)) in
+          match Router.insert_wait h k k with
+          | Ok fresh -> checkb "write survived the crash" true fresh
+          | Error r ->
+              Alcotest.fail
+                ("write lost to crash: " ^ Shard_router.reject_name r)
+        done
+      done;
+      let crashes = Router.crashes t in
+      let restarts = Router.restarts t in
+      for shard = 0 to 1 do
+        checkb
+          (Printf.sprintf "shard %d crashed 3 times" shard)
+          true
+          (crashes.(shard) = 3);
+        checkb
+          (Printf.sprintf "shard %d restarted each time" shard)
+          true
+          (restarts.(shard) = 3)
+      done;
+      Array.iter
+        (fun st -> checkb "still healthy" true (st <> Health.Failed))
+        (Router.health t);
+      checkb "recovery latencies sampled" true
+        (List.length (Router.restart_latencies_ns t) = 6);
+      Router.unregister h;
+      checkb "drained shutdown" true (Router.shutdown t = Shard_router.Drained);
+      Router.check t);
+  checki "no lockdep violations" 0 (Repro_lockdep.Lockdep.violations ());
+  checki "no sanitizer violations" 0 (Repro_sanitizer.Sanitizer.violations ())
+
+(* --- Supervisor: restart-budget exhaustion fails the shard --- *)
+
+let test_budget_exhaustion_fails_shard () =
+  let policy =
+    {
+      Supervisor.max_restarts = 2;
+      backoff_base_ns = 100_000;
+      backoff_max_ns = 1_000_000;
+      reset_after_ns = 60_000_000_000 (* no window reset during the test *);
+    }
+  in
+  let t =
+    Router.create ~shards:1 ~queue_depth:64 ~max_clients:4 ~supervisor:policy
+      ()
+  in
+  let h = Router.register t in
+  checkb "prefilled" true (Router.load h 1 1);
+  Router.start t;
+  let wait_crashes n =
+    let rec go tries =
+      if (Router.crashes t).(0) < n then
+        if tries = 0 then Alcotest.fail "crash never happened"
+        else begin
+          Unix.sleepf 0.005;
+          go (tries - 1)
+        end
+    in
+    go 1000
+  in
+  (* Crashes 1 and 2 are within budget; crash 3 exceeds it. Each needs a
+     write to consume the one-shot flag. *)
+  for round = 1 to 3 do
+    Router.crash_updater t 0;
+    let rec trigger tries =
+      if (Router.crashes t).(0) < round then
+        if tries = 0 then Alcotest.fail "trigger write never accepted"
+        else begin
+          (match Router.insert h (100 + round) round with
+          | Ok () | Error _ -> ());
+          Unix.sleepf 0.002;
+          trigger (tries - 1)
+        end
+    in
+    trigger 2000;
+    wait_crashes round
+  done;
+  let rec wait_failed tries =
+    if (Router.health t).(0) <> Health.Failed then
+      if tries = 0 then Alcotest.fail "shard never failed"
+      else begin
+        Unix.sleepf 0.005;
+        wait_failed (tries - 1)
+      end
+  in
+  wait_failed 1000;
+  checki "exactly 3 crashes" 3 (Router.crashes t).(0);
+  checki "restarted only within budget" 2 (Router.restarts t).(0);
+  (* The failed shard still serves reads; writes reject as [Failed]. *)
+  checkb "read on failed shard" true (Router.mem h 1);
+  checkb "write rejected as failed" true
+    (Router.insert h 7 7 = Error Shard_router.Failed);
+  checkb "waited write rejected as failed" true
+    (Router.insert_wait h 8 8 = Error Shard_router.Failed);
+  Router.unregister h;
+  checkb "failed shard shuts down cleanly" true
+    (Router.shutdown t = Shard_router.Drained)
+
+(* --- shutdown drain deadline: force-stop instead of blocking --- *)
+
+let test_shutdown_drain_deadline () =
+  (* Wedge recovery, not the updater: a crash puts the supervisor into a
+     2 s backoff nap while accepted writes sit in the queue. A 100 ms
+     drain deadline must force-stop — purging the backlog, aborting its
+     completions, reporting the shard — instead of waiting out the
+     backoff. *)
+  let policy =
+    {
+      Supervisor.max_restarts = 5;
+      backoff_base_ns = 2_000_000_000;
+      backoff_max_ns = 2_000_000_000;
+      reset_after_ns = 60_000_000_000;
+    }
+  in
+  let t =
+    Router.create ~shards:1 ~queue_depth:64 ~max_clients:4 ~supervisor:policy
+      ()
+  in
+  let h = Router.register t in
+  checkb "prefilled" true (Router.load h 1 1);
+  Router.start t;
+  Router.crash_updater t 0;
+  let rec trigger tries =
+    if (Router.crashes t).(0) < 1 then
+      if tries = 0 then Alcotest.fail "crash never happened"
+      else begin
+        (match Router.insert h 10 10 with Ok () | Error _ -> ());
+        Unix.sleepf 0.002;
+        trigger (tries - 1)
+      end
+  in
+  trigger 2000;
+  (* The updater is down for ~2 s. Accepted writes now pile up. *)
+  let accepted = ref 0 in
+  for k = 20 to 28 do
+    match Router.insert h k k with Ok () -> incr accepted | Error _ -> ()
+  done;
+  checkb "writes accepted while recovering" true (!accepted > 0);
+  let waiter = Domain.spawn (fun () -> Router.insert_wait h 30 30) in
+  Unix.sleepf 0.02 (* let the waited write enqueue *);
+  (match Router.shutdown ~deadline_ns:100_000_000 t with
+  | Shard_router.Drained -> Alcotest.fail "expected a forced shutdown"
+  | Shard_router.Forced [ rep ] ->
+      checki "report names the shard" 0 rep.Shard_router.shard;
+      checkb "accepted writes reported lost" true (rep.Shard_router.lost > 0);
+      checki "crashes in the report" 1 rep.Shard_router.crashes;
+      checkb "chain exited via abort, not wedged" true
+        (not rep.Shard_router.wedged)
+  | Shard_router.Forced reps ->
+      Alcotest.fail
+        (Printf.sprintf "expected one report, got %d" (List.length reps)));
+  (* The purge aborted the waited write's completion: its waiter
+     unblocks with a typed reject rather than spinning forever. *)
+  (match Domain.join waiter with
+  | Error Shard_router.Shutdown -> ()
+  | Error r ->
+      Alcotest.fail ("unexpected reject " ^ Shard_router.reject_name r)
+  | Ok _ -> Alcotest.fail "aborted write reported applied");
+  checkb "reads after forced shutdown" true (Router.mem h 1);
+  checkb "idempotent" true
+    (match Router.shutdown t with
+    | Shard_router.Forced _ -> true
+    | Shard_router.Drained -> false);
+  Router.unregister h
 
 (* --- shutdown drains the backlog --- *)
 
@@ -177,10 +485,10 @@ let test_shutdown_drains_backlog () =
      every accepted operation must still be applied. *)
   let accepted = ref 0 in
   for k = 0 to 999 do
-    if Router.insert h k k then incr accepted
+    if Router.insert h k k = Ok () then incr accepted
   done;
   Router.start t;
-  Router.shutdown t;
+  checkb "drained" true (Router.shutdown t = Shard_router.Drained);
   checki "all accepted applied" !accepted (Router.drained t);
   checki "size matches" !accepted (Router.size t);
   Router.check t;
@@ -195,7 +503,10 @@ let test_open_loop_spec_validation () =
       ignore (Open_loop.spec ~clients:0 ()));
   Alcotest.check_raises "rate"
     (Invalid_argument "Open_loop.spec: rate must be positive") (fun () ->
-      ignore (Open_loop.spec ~rate:0.0 ()))
+      ignore (Open_loop.spec ~rate:0.0 ()));
+  Alcotest.check_raises "retries"
+    (Invalid_argument "Open_loop.spec: max_retries must be >= 0") (fun () ->
+      ignore (Open_loop.spec ~max_retries:(-1) ()))
 
 let test_open_loop_accounting () =
   (* A client that drops every delete and applies the rest: the harness
@@ -218,7 +529,8 @@ let test_open_loop_accounting () =
   in
   checkb "issued some" true (r.Open_loop.issued > 50);
   checki "conservation" r.Open_loop.issued
-    (r.Open_loop.completed + r.Open_loop.dropped);
+    (r.Open_loop.completed + r.Open_loop.dropped + r.Open_loop.exhausted);
+  checki "no retries without Busy" 0 r.Open_loop.retries;
   checkb "all drops are deletes" true
     (match r.Open_loop.dropped_by_op with
     | [ (W.Delete, n) ] -> n = r.Open_loop.dropped
@@ -230,6 +542,78 @@ let test_open_loop_accounting () =
     (fun (_, h) ->
       checkb "histogram populated" true (Repro_workload.Latency.count h > 0))
     r.Open_loop.latency
+
+let test_open_loop_retries () =
+  (* Every op is Busy once, then applies: with a retry budget each
+     completed op costs exactly one retry, and nothing is dropped. *)
+  let spec =
+    Open_loop.spec ~clients:2 ~rate:4000.0 ~duration:0.2 ~max_retries:3
+      ~retry_base_ns:50_000 ()
+  in
+  let r =
+    Open_loop.run spec (fun _ ->
+        let busy_next = ref true in
+        {
+          Open_loop.run_op =
+            (fun _ _ ->
+              if !busy_next then begin
+                busy_next := false;
+                Open_loop.Busy
+              end
+              else begin
+                busy_next := true;
+                Open_loop.Applied true
+              end);
+          finish = ignore;
+        })
+  in
+  checkb "issued some" true (r.Open_loop.issued > 50);
+  checki "conservation" r.Open_loop.issued
+    (r.Open_loop.completed + r.Open_loop.dropped + r.Open_loop.exhausted);
+  checki "nothing dropped" 0 r.Open_loop.dropped;
+  (* One retry per completed op; ops cut off mid-backoff by the end of
+     the run also counted their retry before going exhausted. *)
+  checki "retries separately accounted" r.Open_loop.retries
+    (r.Open_loop.completed + r.Open_loop.exhausted)
+
+let test_open_loop_retry_budget_drops () =
+  (* Always-Busy service, no deadline: the attempt budget runs out and
+     the op is a terminal drop, with exactly max_retries retries. *)
+  let spec =
+    Open_loop.spec ~clients:1 ~rate:2000.0 ~duration:0.15 ~max_retries:2
+      ~retry_base_ns:10_000 ()
+  in
+  let r =
+    Open_loop.run spec (fun _ ->
+        { Open_loop.run_op = (fun _ _ -> Open_loop.Busy); finish = ignore })
+  in
+  checkb "issued some" true (r.Open_loop.issued > 20);
+  checki "conservation" r.Open_loop.issued
+    (r.Open_loop.completed + r.Open_loop.dropped + r.Open_loop.exhausted);
+  checki "nothing completed" 0 r.Open_loop.completed;
+  checkb "budget exhaustion drops" true (r.Open_loop.dropped > 0);
+  (* Every terminal drop burned its full budget of 2 retries; ops cut
+     off at the end of the run may have burned fewer. *)
+  checkb "two retries per dropped op" true
+    (r.Open_loop.retries >= 2 * r.Open_loop.dropped)
+
+let test_open_loop_deadline_exhausts () =
+  (* Always-Busy service under a deadline shorter than the first backoff:
+     no retry is ever issued; every op exhausts its deadline — accounted
+     separately from drops. *)
+  let spec =
+    Open_loop.spec ~clients:1 ~rate:2000.0 ~duration:0.15 ~max_retries:5
+      ~retry_base_ns:1_000_000 ~deadline_ns:1 ()
+  in
+  let r =
+    Open_loop.run spec (fun _ ->
+        { Open_loop.run_op = (fun _ _ -> Open_loop.Busy); finish = ignore })
+  in
+  checkb "issued some" true (r.Open_loop.issued > 20);
+  checki "every op exhausted its deadline" r.Open_loop.issued
+    r.Open_loop.exhausted;
+  checki "no terminal drops" 0 r.Open_loop.dropped;
+  checki "no retries under a 1ns deadline" 0 r.Open_loop.retries
 
 let test_open_loop_paces () =
   (* An instant-service run must issue roughly rate * duration ops — the
@@ -250,6 +634,41 @@ let test_open_loop_paces () =
     (float_of_int r.Open_loop.issued > 0.5 *. expected
     && float_of_int r.Open_loop.issued < 1.5 *. expected)
 
+(* --- chaos: the seeded backlog-loss mutation --- *)
+
+let test_chaos_mutation_caught () =
+  let m = Chaos.mutation ~mutate:true (module Dict.Citrus_epoch) in
+  checkb "mutant caught" true m.Chaos.caught;
+  checkb "the forgotten batch is visible as loss" true (m.Chaos.lost > 0)
+
+let test_chaos_control_silent () =
+  let m = Chaos.mutation ~mutate:false (module Dict.Citrus_epoch) in
+  checkb "control silent" false m.Chaos.caught;
+  checki "nothing lost" 0 m.Chaos.lost;
+  checki "every write applied" m.Chaos.expected m.Chaos.final_size
+
+(* --- chaos: quick end-to-end run with both validators armed --- *)
+
+let test_chaos_quick_armed () =
+  Repro_sanitizer.Sanitizer.arm ();
+  Repro_lockdep.Lockdep.arm ();
+  Fun.protect
+    ~finally:(fun () ->
+      Repro_lockdep.Lockdep.disarm ();
+      Repro_sanitizer.Sanitizer.disarm ())
+    (fun () ->
+      let c =
+        Chaos.cfg ~shards:2 ~clients:2 ~rate:4000.0 ~duration:0.4
+          ~key_range:1024 ~crashes_per_shard:1 ()
+      in
+      let r = Chaos.run (module Dict.Citrus_epoch) c in
+      List.iter (fun f -> Alcotest.fail ("chaos: " ^ f)) r.Chaos.failures;
+      checkb "writes accepted" true (r.Chaos.accepted > 0);
+      checkb "crashes delivered" true
+        (Array.for_all (fun n -> n >= 1) r.Chaos.crashes));
+  checki "no lockdep violations" 0 (Repro_lockdep.Lockdep.violations ());
+  checki "no sanitizer violations" 0 (Repro_sanitizer.Sanitizer.violations ())
+
 (* --- end-to-end serve runs --- *)
 
 let test_serve_end_to_end () =
@@ -262,6 +681,7 @@ let test_serve_end_to_end () =
   checki "queues per shard" 3 (Array.length r.Serve.queues);
   checkb "writes drained" true (r.Serve.drained_total > 0);
   checkb "final size positive" true (r.Serve.final_size > 0);
+  checkb "clean shutdown" true (r.Serve.shutdown = Shard_router.Drained);
   (* In Wait mode every accepted write resolves, so client-side completed
      writes = accepted = drained_total. *)
   let client_writes =
@@ -272,7 +692,8 @@ let test_serve_end_to_end () =
   in
   checki "every accepted write applied" client_writes r.Serve.drained_total;
   checkb "metrics captured" true (r.Serve.metrics <> []);
-  (* The JSON point must carry the schema-v1 latency fields per op. *)
+  (* The JSON point must carry the schema-v1 latency fields per op, and
+     the new retry/shutdown accounting. *)
   let doc = Serve.report [ r ] in
   let open Repro_obs.Json in
   let point =
@@ -298,7 +719,19 @@ let test_serve_end_to_end () =
                 (member f s <> None))
             [ "p50_ns"; "p99_ns"; "p999_ns" ]
       | None -> Alcotest.fail (op ^ " missing from latency_ns"))
-    [ "contains"; "insert"; "delete" ]
+    [ "contains"; "insert"; "delete" ];
+  let ops = Option.get (member "ops" point) in
+  List.iter
+    (fun f -> checkb (f ^ " present") true (member f ops <> None))
+    [ "retries"; "deadline_exhausted" ];
+  checkb "shutdown mode reported" true
+    (match Option.bind (member "shutdown" point) (member "mode") with
+    | Some (String "drained") -> true
+    | _ -> false);
+  checkb "health reported per shard" true
+    (match Option.bind (member "health" point) to_list_opt with
+    | Some l -> List.length l = 3
+    | None -> false)
 
 let test_serve_armed () =
   (* The serve path under both validators: lockdep checks the queue-lock
@@ -331,20 +764,35 @@ let () =
             test_shard_of_deterministic;
           Alcotest.test_case "FIFO per shard via router" `Quick
             test_fifo_per_shard_through_router;
+          Alcotest.test_case "typed rejects: overload and full" `Quick
+            test_typed_rejects;
           Alcotest.test_case "rejects after shutdown" `Quick
             test_rejected_after_shutdown;
           Alcotest.test_case "shutdown drains backlog" `Quick
             test_shutdown_drains_backlog;
+          Alcotest.test_case "shutdown drain deadline forces" `Quick
+            test_shutdown_drain_deadline;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "health state machine" `Quick
+            test_health_state_machine;
+          Alcotest.test_case "crash restart, validators armed" `Quick
+            test_supervisor_restart_armed;
+          Alcotest.test_case "budget exhaustion fails shard" `Quick
+            test_budget_exhaustion_fails_shard;
         ] );
       ( "mod-queue",
         [
           Alcotest.test_case "FIFO drain order" `Quick test_fifo_drain;
-          Alcotest.test_case "queue-full backpressure" `Quick
-            test_queue_full_backpressure;
           Alcotest.test_case "completion wake-up" `Quick
             test_completion_wakeup;
+          Alcotest.test_case "completion abort" `Quick test_completion_abort;
           Alcotest.test_case "completions through updater" `Quick
             test_completion_through_updater;
+          Alcotest.test_case "purge aborts completions" `Quick
+            test_purge_aborts_completions;
+          Alcotest.test_case "staleness watchdog" `Quick test_stall_watchdog;
         ] );
       ( "open-loop",
         [
@@ -352,8 +800,21 @@ let () =
             test_open_loop_spec_validation;
           Alcotest.test_case "outcome accounting" `Quick
             test_open_loop_accounting;
+          Alcotest.test_case "retry accounting" `Quick test_open_loop_retries;
+          Alcotest.test_case "retry budget drops" `Quick
+            test_open_loop_retry_budget_drops;
+          Alcotest.test_case "deadline exhaustion" `Quick
+            test_open_loop_deadline_exhausts;
           Alcotest.test_case "paces to offered load" `Quick
             test_open_loop_paces;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "backlog-loss mutation caught" `Quick
+            test_chaos_mutation_caught;
+          Alcotest.test_case "control silent" `Quick test_chaos_control_silent;
+          Alcotest.test_case "quick run, validators armed" `Quick
+            test_chaos_quick_armed;
         ] );
       ( "serve",
         [
