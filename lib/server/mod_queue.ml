@@ -69,6 +69,7 @@ type t = {
   mutable drained : int;
   mutable purged : int;
   mutable max_depth : int;
+  mutable closed : bool; (* guarded by [lock]; one-way, see [close] *)
   (* Staleness watchdog state, outside the lock: the producer-side check
      must stay cheap and must keep working when the consumer is wedged
      (the very condition it reports), so it cannot depend on the lock
@@ -111,6 +112,7 @@ let create ?(id = 0) ~depth () =
     drained = 0;
     purged = 0;
     max_depth = 0;
+    closed = false;
     last_drain_ns = Atomic.make (Metrics.now_ns ());
     last_warn_ns = Atomic.make 0;
     drainer = Atomic.make (-1);
@@ -166,18 +168,28 @@ let check_stall t =
     end
   end
 
-let try_enqueue t ?completion op =
+type admit = Admitted | Admit_full | Admit_closed
+
+let enqueue t ?completion op =
   (* Fault point fires before the lock so a [Raise] action unwinds with
      the queue untouched. *)
   if Fault.enabled () then Fault.inject fp_enqueue;
   if Atomic.get stall_threshold > 0 then check_stall t;
   let enqueued_at = if Metrics.enabled () then Metrics.now_ns () else 0 in
   Spinlock.acquire t.lock;
-  if t.len = t.depth then begin
+  if t.closed then begin
+    (* Checked inside the critical section: [close] takes the same lock,
+       so once it returns every producer has either landed its entry
+       (visible to a later drain or purge) or lands here — nothing can
+       slip into a queue whose consumers are gone. *)
+    Spinlock.release t.lock;
+    Admit_closed
+  end
+  else if t.len = t.depth then begin
     t.dropped <- t.dropped + 1;
     Spinlock.release t.lock;
     if Metrics.enabled () then Stats.incr Metrics.mod_drops (Metrics.slot ());
-    false
+    Admit_full
   end
   else begin
     t.buf.((t.head + t.len) mod t.depth) <- { op; completion; enqueued_at };
@@ -188,8 +200,21 @@ let try_enqueue t ?completion op =
     if Metrics.enabled () then
       Stats.incr Metrics.mod_enqueues (Metrics.slot ());
     Trace.record Trace.Mod_enqueue t.id;
-    true
+    Admitted
   end
+
+let try_enqueue t ?completion op = enqueue t ?completion op = Admitted
+
+let close t =
+  Spinlock.acquire t.lock;
+  t.closed <- true;
+  Spinlock.release t.lock
+
+let is_closed t =
+  Spinlock.acquire t.lock;
+  let c = t.closed in
+  Spinlock.release t.lock;
+  c
 
 let drain t ~max =
   if max <= 0 then invalid_arg "Mod_queue.drain: max must be positive";

@@ -86,11 +86,37 @@ val depth : t -> int
 val length : t -> int
 (** Current queue length — racy snapshot, for monitoring only. *)
 
+(** Admission verdicts, distinguishing the two rejection causes so the
+    router can type them ([Full] backpressure vs [Failed]/[Shutdown]). *)
+type admit =
+  | Admitted  (** appended; will be drained in FIFO order *)
+  | Admit_full
+      (** at capacity — retryable backpressure; counts [mod_drops] *)
+  | Admit_closed
+      (** {!close} was called — permanent; nothing was queued and an
+          attached [completion] never resolves *)
+
+val enqueue : t -> ?completion:completion -> op -> admit
+(** Append an operation. Safe from any domain. Runs the staleness
+    watchdog check when armed (see {!set_stall_threshold_ns}). On
+    [Admit_full]/[Admit_closed] the operation is NOT queued and any
+    [completion] never resolves. *)
+
 val try_enqueue : t -> ?completion:completion -> op -> bool
-(** Append an operation; [false] (and the operation is NOT queued, any
-    [completion] never resolves) if the queue is full. Safe from any
-    domain. Runs the staleness watchdog check when armed (see
-    {!set_stall_threshold_ns}). *)
+(** [enqueue t ?completion op = Admitted] — for callers indifferent to
+    the rejection cause. *)
+
+val close : t -> unit
+(** Permanently stop admitting entries ({!enqueue} returns
+    [Admit_closed]). Taken under the queue lock: once [close] returns,
+    every concurrent enqueue has either already landed its entry —
+    visible to a subsequent {!drain} or {!purge} — or is rejected, so a
+    purge (or drain-to-empty) after [close] provably strands nothing.
+    Draining is unaffected; idempotent. This is the admission barrier of
+    the failure paths: a shard marked [Failed] and router shutdown both
+    [close] before sweeping the queue. *)
+
+val is_closed : t -> bool
 
 val drain : t -> max:int -> entry array
 (** Splice out up to [max] operations in FIFO order. The lock is released

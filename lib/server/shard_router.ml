@@ -56,12 +56,15 @@ module Make (D : Repro_dict.Dict.DICT) = struct
     health : Health.t;
     crash_flag : bool Atomic.t;
     (* The batch most recently spliced out of [queue], and how far into
-       it application has progressed. Owned by the shard's single live
-       updater incarnation; handoff across a crash is ordered by the
-       supervisor's [Domain.spawn] chain, so no lock is needed. The
-       shutdown path reads it only after joining the chain. *)
-    mutable pending : Mod_queue.entry array;
-    mutable pending_at : int;
+       it application has progressed. Written only by the shard's single
+       live updater incarnation (handoff across a crash is ordered by
+       the supervisor's [Domain.spawn] chain); atomics rather than plain
+       mutables because the forced-shutdown path must read them while a
+       wedged, abandoned updater may still be running — it aborts the
+       remainder's completions race-free, relying on [Mod_queue.abort]'s
+       CAS to lose against any concurrent completion. *)
+    pending : Mod_queue.entry array Atomic.t;
+    pending_at : int Atomic.t;
   }
 
   type t = {
@@ -98,8 +101,8 @@ module Make (D : Repro_dict.Dict.DICT) = struct
                 Health.create ?high_frac ?low_frac ~shard:i
                   ~capacity:queue_depth ();
               crash_flag = Atomic.make false;
-              pending = [||];
-              pending_at = 0;
+              pending = Atomic.make [||];
+              pending_at = Atomic.make 0;
             });
       drain_batch;
       policy = supervisor;
@@ -138,6 +141,18 @@ module Make (D : Repro_dict.Dict.DICT) = struct
     then raise (Fault.Injected (Fault.name fp_crash));
     if Fault.enabled () then Fault.inject fp_crash
 
+  (* Apply one entry through a registered handle and resolve its
+     completion — shared by the updater and the shutdown sweep. *)
+  let apply_with h (e : Mod_queue.entry) =
+    let result =
+      match e.op with
+      | Mod_queue.Insert (k, v) -> D.insert h k v
+      | Mod_queue.Delete k -> D.delete h k
+    in
+    match e.completion with
+    | Some c -> Mod_queue.complete c result
+    | None -> ()
+
   (* Updater body, one incarnation: adopt whatever batch the previous
      incarnation left unapplied, then splice-apply-resolve until [stop]
      (drain first) or [abandon] (exit at the next batch boundary). An
@@ -147,29 +162,33 @@ module Make (D : Repro_dict.Dict.DICT) = struct
   let updater t shard () =
     let h = D.register shard.table in
     let idle = Backoff.create () in
-    let apply_entry (e : Mod_queue.entry) =
+    let apply_entry e =
       maybe_crash shard;
-      let result =
-        match e.op with
-        | Mod_queue.Insert (k, v) -> D.insert h k v
-        | Mod_queue.Delete k -> D.delete h k
-      in
-      match e.completion with
-      | Some c -> Mod_queue.complete c result
-      | None -> ()
+      apply_with h e
     in
     let apply_pending () =
-      while shard.pending_at < Array.length shard.pending do
-        let i = shard.pending_at in
-        apply_entry shard.pending.(i);
+      let arr = Atomic.get shard.pending in
+      while Atomic.get shard.pending_at < Array.length arr do
+        let i = Atomic.get shard.pending_at in
+        apply_entry arr.(i);
         (* Advance only after the entry applied: a crash between the
            apply and this store re-applies that entry, which is
            idempotent at the dictionary level (insert/delete of the same
-           key converge) — the loss direction is the one that matters. *)
-        shard.pending_at <- i + 1
+           key converge) — the loss direction is the one that matters.
+           One caveat, documented on [insert_wait]: a crash landing
+           inside the dictionary operation after it linearized makes the
+           replay return the no-op answer, so the waiter can see
+           [Ok false] for a write that took effect. The completion store
+           sits before the cursor advance, so a crash after it re-delivers
+           the original result ([complete] never overwrites). *)
+        Atomic.set shard.pending_at (i + 1)
       done;
-      shard.pending <- [||];
-      shard.pending_at <- 0
+      (* Reset [pending] before the cursor: a concurrent forced-shutdown
+         reader then sees either the empty array (nothing to abort) or
+         the old one with an honest cursor — never applied entries
+         counted as lost. *)
+      Atomic.set shard.pending [||];
+      Atomic.set shard.pending_at 0
     in
     let run () =
       apply_pending ();
@@ -184,8 +203,8 @@ module Make (D : Repro_dict.Dict.DICT) = struct
           end
           else begin
             Backoff.reset idle;
-            shard.pending <- batch;
-            shard.pending_at <- 0;
+            Atomic.set shard.pending_at 0;
+            Atomic.set shard.pending batch;
             apply_pending ();
             Health.observe_depth shard.health (Mod_queue.length shard.queue);
             loop ()
@@ -196,23 +215,56 @@ module Make (D : Repro_dict.Dict.DICT) = struct
     in
     Fun.protect ~finally:(fun () -> D.unregister h) run
 
-  (* Abort the completions of an unapplied pending remainder; only safe
-     from the updater chain itself ([on_failed]) or after joining it
-     (forced shutdown). Returns the number of accepted writes lost. *)
-  let abort_pending shard =
-    let n = Array.length shard.pending in
+  (* Abort the completions of an unapplied pending remainder; returns the
+     number of accepted writes counted lost. Callable from the updater
+     chain itself ([on_failed]), after joining it (forced shutdown), or —
+     with [~clear:false] — against a wedged, abandoned updater: the
+     atomics make the snapshot race-free and [Mod_queue.abort]'s CAS
+     loses to any completion the wedged domain still delivers, so a
+     waiter gets exactly one of {result, aborted}. Only the owning chain
+     may clear the fields; clearing under a live updater would fight its
+     cursor. *)
+  let abort_pending ?(clear = true) shard =
+    let arr = Atomic.get shard.pending in
+    let at = Atomic.get shard.pending_at in
     let lost = ref 0 in
-    for i = shard.pending_at to n - 1 do
-      (match shard.pending.(i).Mod_queue.completion with
+    for i = at to Array.length arr - 1 do
+      (match arr.(i).Mod_queue.completion with
       | Some c -> Mod_queue.abort c
       | None -> ());
       incr lost
     done;
-    shard.pending <- [||];
-    shard.pending_at <- 0;
+    if clear then begin
+      Atomic.set shard.pending [||];
+      Atomic.set shard.pending_at 0
+    end;
     if !lost > 0 && Metrics.enabled () then
       Stats.add Metrics.writes_lost (Metrics.slot ()) !lost;
     !lost
+
+  (* Drain-and-apply whatever remains in a shard's queue once its
+     updater chain has exited (graceful shutdown) or never existed
+     (shutdown before [start]). The queue is closed by then, so the
+     backlog is finite and this domain is the shard's only writer:
+     [Drained] keeps its meaning — every accepted write applied, every
+     completion resolved — even for a producer that won admission
+     against the closing shutdown and landed its entry after the
+     updater's final empty drain. *)
+  let sweep_stragglers t s =
+    if Mod_queue.length s.queue > 0 then begin
+      let h = D.register s.table in
+      Fun.protect
+        ~finally:(fun () -> D.unregister h)
+        (fun () ->
+          let rec go () =
+            let batch = Mod_queue.drain s.queue ~max:t.drain_batch in
+            if Array.length batch > 0 then begin
+              Array.iter (apply_with h) batch;
+              go ()
+            end
+          in
+          go ())
+    end
 
   let start t =
     if Array.length t.supervisors = 0 && not (Atomic.get t.stop) then
@@ -224,13 +276,21 @@ module Make (D : Repro_dict.Dict.DICT) = struct
                 (if t.mutate_forget_backlog then
                    Some
                      (fun () ->
-                       s.pending <- [||];
-                       s.pending_at <- 0)
+                       Atomic.set s.pending [||];
+                       Atomic.set s.pending_at 0)
                  else None)
               ~shard:i
               ~abort:(fun () -> Atomic.get t.abandon)
               ~on_failed:(fun _ ->
                 if Health.mark_failed s.health then begin
+                  (* Close before purging: [close] wins the queue lock,
+                     so a producer that passed the Health check before
+                     the [Failed] CAS either landed its entry — swept by
+                     this purge — or gets [Admit_closed] and reports
+                     [Failed]. No entry can be stranded in a queue no
+                     updater will ever drain again, so no waiter spins
+                     forever. *)
+                  Mod_queue.close s.queue;
                   ignore (Mod_queue.purge s.queue);
                   ignore (abort_pending s)
                 end)
@@ -246,9 +306,20 @@ module Make (D : Repro_dict.Dict.DICT) = struct
     | Some r -> r
     | None ->
         Atomic.set t.stop true;
+        (* Close admission under each queue lock: a producer that raced
+           past the [stop] check has either landed its entry before the
+           close — applied by the sweep below — or gets [Admit_closed]
+           and reports [Shutdown]. Updater drains are unaffected. *)
+        Array.iter (fun s -> Mod_queue.close s.queue) t.shards;
         let sups = t.supervisors in
         let r =
-          if Array.length sups = 0 then Drained
+          if Array.length sups = 0 then begin
+            (* Never started: apply the pre-start backlog here rather
+               than stranding its waiters in queues no updater will ever
+               drain. *)
+            Array.iter (fun s -> sweep_stragglers t s) t.shards;
+            Drained
+          end
           else begin
             let finished_all () = Array.for_all Supervisor.finished sups in
             let wait_until limit =
@@ -264,13 +335,22 @@ module Make (D : Repro_dict.Dict.DICT) = struct
             in
             if wait_until (Metrics.now_ns () + deadline_ns) then begin
               Array.iter Supervisor.join sups;
+              Array.iter (fun s -> sweep_stragglers t s) t.shards;
               Drained
             end
             else begin
               (* Deadline blown: force-stop. Updaters exit at their next
                  batch boundary instead of draining; give them a short
                  grace so "slow" is distinguished from "wedged", then
-                 purge what remains and report per shard. *)
+                 purge what remains and report per shard. A wedged
+                 updater's spliced-but-unapplied batch is aborted too —
+                 [Mod_queue.abort] only wins a completion's CAS from
+                 Pending, so each waiter either got its real result from
+                 the wedged domain or unblocks with a typed reject here,
+                 and the batch counts into [lost]. The abandoned domain
+                 may still apply some of those entries later, so after
+                 [Forced] the tree contents are best-effort
+                 (ROBUSTNESS.md, "Serving-layer failure model"). *)
               Atomic.set t.abandon true;
               ignore (wait_until (Metrics.now_ns () + forced_grace_ns));
               let reports = ref [] in
@@ -281,7 +361,7 @@ module Make (D : Repro_dict.Dict.DICT) = struct
                   if fin then Supervisor.join sup;
                   let depth = Mod_queue.length s.queue in
                   let lost_q = Mod_queue.purge s.queue in
-                  let lost_p = if fin then abort_pending s else 0 in
+                  let lost_p = abort_pending ~clear:fin s in
                   let lost = lost_q + lost_p in
                   if (not fin) || lost > 0 then begin
                     let rep =
@@ -360,9 +440,17 @@ module Make (D : Repro_dict.Dict.DICT) = struct
           if Metrics.enabled () then
             Stats.incr Metrics.writes_shed (Metrics.slot ());
           Error Overload
-      | Health.Degraded | Health.Healthy ->
-          if Mod_queue.try_enqueue s.queue ?completion op then Ok ()
-          else Error Full
+      | Health.Degraded | Health.Healthy -> (
+          match Mod_queue.enqueue s.queue ?completion op with
+          | Mod_queue.Admitted -> Ok ()
+          | Mod_queue.Admit_full -> Error Full
+          | Mod_queue.Admit_closed ->
+              (* A failure path or shutdown closed the queue after our
+                 stop/Health checks passed ([close] is taken under the
+                 queue lock, so this entry provably did not land).
+                 Report the cause, not backpressure. *)
+              if Health.state s.health = Health.Failed then Error Failed
+              else Error Shutdown)
     end
 
   let insert h k v = enqueue h k ~waited:false (Mod_queue.Insert (k, v))

@@ -97,15 +97,24 @@ module Make (D : Repro_dict.Dict.DICT) : sig
       {!shutdown}. *)
 
   val shutdown : ?deadline_ns:int -> t -> shutdown_result
-  (** Stop accepting writes, then let each updater drain its backlog —
-      every accepted completion resolves — returning [Drained]. If the
-      drain exceeds [deadline_ns] (default 5 s): force-stop — updaters
-      exit at their next batch boundary, remaining queue entries are
-      purged with their completions aborted, a structured report is
-      emitted per affected shard, and wedged updater domains are
-      abandoned rather than joined — returning [Forced]. Idempotent
-      (later calls return the first result). Clients may still be
-      registered; their writes are rejected and reads keep working. *)
+  (** Stop accepting writes (admission is closed under each queue lock,
+      so a producer racing the shutdown either gets its entry applied or
+      a typed [Shutdown] reject — never a stranded entry), then let each
+      updater drain its backlog — every accepted completion resolves —
+      returning [Drained]; entries that slipped in behind an exiting
+      updater (including a backlog enqueued when {!start} was never
+      called) are applied by the shutdown caller itself. If the drain
+      exceeds [deadline_ns] (default 5 s): force-stop — updaters exit at
+      their next batch boundary, remaining queue entries {e and} any
+      wedged updater's unapplied batch are discarded with their
+      completions aborted (waiters unblock with a typed reject; all of
+      it counts into [lost]), a structured report is emitted per
+      affected shard, and wedged updater domains are abandoned rather
+      than joined — returning [Forced]. An abandoned domain may still
+      apply part of its batch, so after [Forced] the tree contents are
+      best-effort. Idempotent (later calls return the first result).
+      Clients may still be registered; their writes are rejected and
+      reads keep working. *)
 
   (** {2 Client operations} *)
 
@@ -141,7 +150,13 @@ module Make (D : Repro_dict.Dict.DICT) : sig
       acceptance means the accepted write was discarded by a failure
       path (shard failed, or shutdown forced past its drain deadline).
       Only call while updaters run (between {!start} and {!shutdown});
-      the wait includes the operation's whole queueing delay. *)
+      the wait includes the operation's whole queueing delay.
+
+      Post-crash caveat: if an updater crash lands {e inside} the
+      dictionary operation after it linearized, the restarted updater's
+      idempotent replay returns the no-op answer — the waiter can see
+      [Ok false] for a write that took effect. The write itself is never
+      lost; only the boolean is weaker across that exact window. *)
 
   val delete_wait : handle -> int -> (bool, reject) result
 

@@ -12,11 +12,23 @@ module Trace = Repro_sync.Trace
    backoff), then exits. This gives the whole chain a single logical
    thread of control — the crash bookkeeping ([window_crashes],
    [last_crash_ns], [restart_samples]) is plain mutable state with
-   happens-before edges supplied by [Domain.spawn], and there is no
-   monitor domain burning a core per shard just to watch for exits.
-   Whatever backlog-adoption the restarted updater performs lives in
-   [run] itself (see [Shard_router]): the supervisor is policy, not
+   happens-before edges supplied by [Domain.spawn] (reinforced by the
+   successor joining its predecessor, below), and there is no monitor
+   domain burning a core per shard just to watch for exits. Whatever
+   backlog-adoption the restarted updater performs lives in [run]
+   itself (see [Shard_router]): the supervisor is policy, not
    mechanism.
+
+   Only the newest incarnation's handle is retained ([latest]). Each
+   successor begins by joining its predecessor — which exits right
+   after publishing the successor, so the join is near-instant — and
+   therefore (a) no handle is ever leaked or accumulated across a
+   long-lived shard's restarts, (b) joining the final handle
+   transitively joins every domain the chain ever spawned, and (c) by
+   the time any chain code runs in the successor, [latest] already
+   names it: [done_] can never be observed while [latest] still points
+   at a dead predecessor. The first incarnation has no predecessor and
+   gates on a flag the spawner sets after publishing instead.
 
    Lifecycle flags are atomics because *other* domains poll them:
    [done_] tells the shutdown path the chain has exited (so joining
@@ -51,7 +63,8 @@ type t = {
   failed_ : bool Atomic.t;
   crashes : int Atomic.t;
   restarts : int Atomic.t;
-  domains : unit Domain.t list Atomic.t;
+  latest : unit Domain.t option Atomic.t; (* newest incarnation, see above *)
+  joined : bool Atomic.t;
   (* Chain-private state (single logical thread, see above). *)
   mutable window_crashes : int;
   mutable last_crash_ns : int;
@@ -59,10 +72,6 @@ type t = {
 }
 
 let now_ns = Metrics.now_ns
-
-let rec push_domain t d =
-  let old = Atomic.get t.domains in
-  if not (Atomic.compare_and_set t.domains old (d :: old)) then push_domain t d
 
 (* Backoff sleep in ~1 ms slices, polling [abort] so a forced shutdown
    is never gated on a supervisor finishing its nap. *)
@@ -116,9 +125,30 @@ let rec incarnation t ~adopted_at () =
           if Metrics.enabled () then
             Stats.incr Metrics.updater_restarts (Metrics.slot ());
           Trace.record Trace.Updater_restart t.shard;
-          push_domain t (Domain.spawn (incarnation t ~adopted_at:(Some now)))
+          spawn_next t ~adopted_at:(Some now)
         end
       end
+
+(* Spawn the next incarnation so [latest] is complete before the chain
+   can publish [done_]. The successor first joins its predecessor (for a
+   respawn, [prev] is the spawning domain itself, which exits right
+   after publishing — so the join also orders the chain-private mutable
+   state); the first incarnation instead spins on [ready], set after the
+   publication. Either way, no chain code runs in the new domain until
+   [latest] names it. *)
+and spawn_next t ~adopted_at =
+  let prev = Atomic.get t.latest in
+  let ready = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        (match prev with Some p -> Domain.join p | None -> ());
+        while not (Atomic.get ready) do
+          Domain.cpu_relax ()
+        done;
+        incarnation t ~adopted_at ())
+  in
+  Atomic.set t.latest (Some d);
+  Atomic.set ready true
 
 let start ?(policy = default_policy) ?forget_backlog ~shard ~abort ~on_failed
     run =
@@ -138,13 +168,14 @@ let start ?(policy = default_policy) ?forget_backlog ~shard ~abort ~on_failed
       failed_ = Atomic.make false;
       crashes = Atomic.make 0;
       restarts = Atomic.make 0;
-      domains = Atomic.make [];
+      latest = Atomic.make None;
+      joined = Atomic.make false;
       window_crashes = 0;
       last_crash_ns = 0;
       restart_samples = [];
     }
   in
-  push_domain t (Domain.spawn (incarnation t ~adopted_at:None));
+  spawn_next t ~adopted_at:None;
   t
 
 let shard t = t.shard
@@ -154,9 +185,15 @@ let crashes t = Atomic.get t.crashes
 let restarts t = Atomic.get t.restarts
 
 let join t =
-  (* Only meaningful once [finished]: past that point the chain spawns no
-     further incarnations, so the domain list is complete and every
-     member has exited or is about to. *)
-  List.iter Domain.join (Atomic.get t.domains)
+  (* Only meaningful once [finished]: past that point the chain spawns
+     no further incarnation and [latest] names the final one — published
+     before it could run, so a true [done_] is never paired with a stale
+     handle. Every earlier incarnation was joined by its successor, so
+     joining the final handle joins the whole chain. Idempotent (a
+     domain may be joined only once). *)
+  if Atomic.compare_and_set t.joined false true then
+    match Atomic.get t.latest with
+    | Some d -> Domain.join d
+    | None -> ()
 
 let restart_latencies_ns t = t.restart_samples

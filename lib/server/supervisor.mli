@@ -19,7 +19,10 @@
 
     Implementation note: restarts are chain-respawns — the dying
     incarnation spawns its successor — so the crash bookkeeping is
-    single-threaded by construction and no monitor domain is needed. *)
+    single-threaded by construction and no monitor domain is needed.
+    Each successor joins its predecessor on startup, so only the newest
+    domain handle is retained (nothing accumulates across a long-lived
+    shard's restarts) and {!join} reaches the whole chain through it. *)
 
 type policy = {
   max_restarts : int;
@@ -66,8 +69,10 @@ val crashes : t -> int
 val restarts : t -> int
 
 val join : t -> unit
-(** Join every incarnation ever spawned. Call only once {!finished} is
-    true. *)
+(** Join every incarnation ever spawned (via the newest handle — each
+    incarnation already joined its predecessor; the newest is always
+    published before it can run, so a true {!finished} never races a
+    stale handle). Idempotent. Call only once {!finished} is true. *)
 
 val restart_latencies_ns : t -> int list
 (** Crash-to-replacement-running samples, newest first — the recovery

@@ -1,8 +1,10 @@
 (* Tests for the serving layer: hash distribution across shards, FIFO
    drain order and backpressure of the modification queue, completion
    wake-up, typed admission rejects and overload shedding, supervisor
-   crash-restart (with both validators armed), restart-budget exhaustion,
-   the staleness watchdog, the shutdown drain deadline, the open-loop
+   crash-restart (with both validators armed), restart-budget exhaustion
+   (including that a failed shard aborts rather than strands its
+   waiters), the closed-admission barrier, the staleness watchdog, the
+   shutdown drain deadline and no-updater backlog sweep, the open-loop
    generator's retry/deadline accounting, the chaos backlog-loss
    mutation, and an end-to-end serve run with lockdep and the
    reclamation sanitizer armed. *)
@@ -234,6 +236,113 @@ let test_purge_aborts_completions () =
   checki "stats enqueued" 5 s.Mod_queue.enqueued;
   checki "stats purged" 5 s.Mod_queue.purged;
   checki "stats drained" 0 s.Mod_queue.drained
+
+(* --- Mod_queue: closed admission barrier --- *)
+
+let test_close_rejects_enqueue () =
+  let q = Mod_queue.create ~depth:8 () in
+  checkb "open accepts" true (Mod_queue.try_enqueue q (Mod_queue.Insert (1, 1)));
+  checkb "not closed yet" false (Mod_queue.is_closed q);
+  Mod_queue.close q;
+  checkb "closed" true (Mod_queue.is_closed q);
+  checkb "closed rejects, typed" true
+    (Mod_queue.enqueue q (Mod_queue.Insert (2, 2)) = Mod_queue.Admit_closed);
+  checkb "closed rejects, boolean" false
+    (Mod_queue.try_enqueue q (Mod_queue.Insert (3, 3)));
+  (* A closed reject is not backpressure: it must not count as a drop. *)
+  checki "no drop counted" 0 (Mod_queue.stats q).Mod_queue.dropped;
+  (* Draining the pre-close backlog still works, so close-then-sweep
+     strands nothing. *)
+  checki "pre-close entry drains" 1 (Array.length (Mod_queue.drain q ~max:8));
+  Mod_queue.close q (* idempotent *);
+  checki "purge after close finds nothing" 0 (Mod_queue.purge q)
+
+(* --- shutdown without start: the backlog sweep --- *)
+
+let test_shutdown_applies_pre_start_backlog () =
+  (* [start] is never called: the only thing standing between these
+     accepted writes (and their waiters) and a permanent hang is the
+     shutdown sweep. *)
+  let t = Router.create ~shards:2 ~queue_depth:64 ~max_clients:4 () in
+  let h = Router.register t in
+  let accepted = ref 0 in
+  for k = 0 to 19 do
+    if Router.insert h k k = Ok () then incr accepted
+  done;
+  checkb "writes accepted before start" true (!accepted > 0);
+  let waiter = Domain.spawn (fun () -> Router.insert_wait h 100 100) in
+  let rec until_enqueued tries =
+    let n =
+      Array.fold_left
+        (fun acc (q : Mod_queue.stats) -> acc + q.Mod_queue.enqueued)
+        0 (Router.queue_stats t)
+    in
+    if n < !accepted + 1 then
+      if tries = 0 then Alcotest.fail "waited write never enqueued"
+      else begin
+        Unix.sleepf 0.005;
+        until_enqueued (tries - 1)
+      end
+  in
+  until_enqueued 400;
+  checkb "drained without updaters" true
+    (Router.shutdown t = Shard_router.Drained);
+  (match Domain.join waiter with
+  | Ok fresh -> checkb "waiter resolved by the sweep" true fresh
+  | Error r ->
+      Alcotest.fail ("waited write lost: " ^ Shard_router.reject_name r));
+  checki "every accepted write applied" (!accepted + 1) (Router.size t);
+  Router.check t;
+  Router.unregister h
+
+(* --- Supervisor: a failed shard aborts its waiters --- *)
+
+let test_failed_shard_unblocks_waiter () =
+  (* Budget of zero: the first crash fails the shard. The waited write is
+     the very entry the crash lands on — its completion must abort (the
+     failure path closes admission, purges the queue and aborts the
+     adopted batch), so the waiter unblocks with [Failed] instead of
+     spinning forever on a queue no updater will ever drain again. *)
+  let policy =
+    {
+      Supervisor.max_restarts = 0;
+      backoff_base_ns = 100_000;
+      backoff_max_ns = 1_000_000;
+      reset_after_ns = 60_000_000_000;
+    }
+  in
+  let t =
+    Router.create ~shards:1 ~queue_depth:64 ~max_clients:4 ~supervisor:policy
+      ()
+  in
+  let h = Router.register t in
+  checkb "prefilled" true (Router.load h 1 1);
+  let waiter = Domain.spawn (fun () -> Router.insert_wait h 7 7) in
+  let rec until_enqueued tries =
+    if (Router.queue_stats t).(0).Mod_queue.enqueued < 1 then
+      if tries = 0 then Alcotest.fail "waited write never enqueued"
+      else begin
+        Unix.sleepf 0.005;
+        until_enqueued (tries - 1)
+      end
+  in
+  until_enqueued 400;
+  Router.crash_updater t 0;
+  Router.start t;
+  (match Domain.join waiter with
+  | Error Shard_router.Failed -> ()
+  | Error r ->
+      Alcotest.fail ("unexpected reject " ^ Shard_router.reject_name r)
+  | Ok _ -> Alcotest.fail "aborted write reported applied");
+  checkb "shard failed" true ((Router.health t).(0) = Health.Failed);
+  (* Late producers get the typed reject even though they race no
+     explicit purge anymore — admission is closed for good. *)
+  checkb "write rejected as failed" true
+    (Router.insert h 9 9 = Error Shard_router.Failed);
+  checkb "reads keep working" true (Router.mem h 1);
+  checkb "failed shard shuts down cleanly" true
+    (Router.shutdown t = Shard_router.Drained);
+  Router.unregister h
 
 (* --- Mod_queue: staleness watchdog --- *)
 
@@ -770,6 +879,8 @@ let () =
             test_rejected_after_shutdown;
           Alcotest.test_case "shutdown drains backlog" `Quick
             test_shutdown_drains_backlog;
+          Alcotest.test_case "shutdown applies pre-start backlog" `Quick
+            test_shutdown_applies_pre_start_backlog;
           Alcotest.test_case "shutdown drain deadline forces" `Quick
             test_shutdown_drain_deadline;
         ] );
@@ -781,6 +892,8 @@ let () =
             test_supervisor_restart_armed;
           Alcotest.test_case "budget exhaustion fails shard" `Quick
             test_budget_exhaustion_fails_shard;
+          Alcotest.test_case "failed shard unblocks its waiter" `Quick
+            test_failed_shard_unblocks_waiter;
         ] );
       ( "mod-queue",
         [
@@ -792,6 +905,8 @@ let () =
             test_completion_through_updater;
           Alcotest.test_case "purge aborts completions" `Quick
             test_purge_aborts_completions;
+          Alcotest.test_case "close rejects enqueue" `Quick
+            test_close_rejects_enqueue;
           Alcotest.test_case "staleness watchdog" `Quick test_stall_watchdog;
         ] );
       ( "open-loop",
