@@ -843,6 +843,267 @@ let serve_bench scale quick json =
           Format.eprintf "cannot write JSON report: %s@." msg;
           exit 1)
 
+(* --- call_rcu: inline grace-period waits vs background reclamation ---
+
+   A/B over the process-global [Reclaimer] switch, three experiments in
+   one schema-v1 report (committed as BENCH_fig9.json):
+
+   1. fig9-style write-heavy updater throughput on Citrus: the
+      single-writer update-only role, where every two-child delete pays
+      a grace period inline — or hands it to the reclaimer and moves on.
+   2. The grace-period-bound serving configuration (citrus-urcu, one
+      shard, async writes): write p99 is dominated by the updater
+      stalling on synchronize mid-drain; call_rcu takes that stall off
+      the drain loop.
+   3. The read side, which must NOT change: read_lock/read_unlock cycle
+      rate over the (cache-line-padded) reader-slot registry, sweeping
+      reader counts so false sharing on the slot array would show as a
+      super-linear per-cycle cost. *)
+
+let callrcu_ab on f =
+  let module Rec = Repro_rcu.Reclaimer in
+  let was = Rec.call_rcu_enabled () in
+  Rec.set_call_rcu on;
+  Fun.protect ~finally:(fun () -> Rec.set_call_rcu was) f
+
+let callrcu_label on = if on then "call_rcu" else "inline"
+
+(* Median-of-[reps] by [key]: these are A/B ratios on a noisy box. *)
+let median reps key runs =
+  ignore reps;
+  let sorted = List.sort (fun a b -> compare (key a) (key b)) runs in
+  List.nth sorted (List.length sorted / 2)
+
+let callrcu_fig9 ~duration ~reps ~threads_list =
+  let key_range = 8_192 in
+  Format.printf
+    "@.call_rcu A: fig9-style write-heavy Citrus (single writer, 50%%@.\
+     insert / 50%% delete, other threads 100%% contains, %d keys).@.\
+     updater/s counts the writer's operations only — the thread whose@.\
+     grace-period waits call_rcu removes. The more readers, the longer@.\
+     each grace period and the bigger the updater's win: the reclaimer@.\
+     amortizes one wait over a whole batch of retirements where the@.\
+     inline updater pays one per two-child delete.@."
+    key_range;
+  Format.printf "%-12s %8s %10s %12s %12s %12s %12s@." "structure" "threads"
+    "config" "ops/s" "updater/s" "gps" "enqueued";
+  List.concat_map
+    (fun (module D : Dict.DICT) ->
+      List.concat_map
+        (fun threads ->
+          let cfg =
+            W.config ~key_range
+              ~role:(W.Single_writer W.update_only)
+              ~threads ~duration ()
+          in
+          List.map
+            (fun on ->
+              let runs =
+                List.init reps (fun i ->
+                    callrcu_ab on (fun () ->
+                        Repro_sync.Metrics.reset ();
+                        Runner.run ~observe:true
+                          (module D)
+                          { cfg with seed = Int64.of_int (97 + i) }))
+              in
+              let updater r =
+                float_of_int (r.Runner.insert_ops + r.Runner.delete_ops)
+                /. r.Runner.wall
+              in
+              let r = median reps updater runs in
+              let met k =
+                try List.assoc k r.Runner.metrics with Not_found -> 0.
+              in
+              Format.printf "%-12s %8d %10s %12s %12s %12.0f %12.0f@." D.name
+                threads (callrcu_label on)
+                (Report.si r.Runner.throughput)
+                (Report.si (updater r))
+                (met "grace_periods")
+                (met "call_rcu_enqueued");
+              Json.Obj
+                [
+                  ("structure", Json.String D.name);
+                  ("config", Json.String (callrcu_label on));
+                  ("threads", Json.Int threads);
+                  ("key_range", Json.Int key_range);
+                  ("duration_s", Json.Float duration);
+                  ("total_ops_per_s", Json.Float r.Runner.throughput);
+                  ("updater_ops_per_s", Json.Float (updater r));
+                  ("insert_ops", Json.Int r.Runner.insert_ops);
+                  ("delete_ops", Json.Int r.Runner.delete_ops);
+                  ("grace_periods", Json.Float (met "grace_periods"));
+                  ("call_rcu_enqueued", Json.Float (met "call_rcu_enqueued"));
+                  ("reclaim_batches", Json.Float (met "reclaim_batches"));
+                ])
+            [ false; true ])
+        threads_list)
+    [ (module Dict.Citrus_urcu); (module Dict.Citrus_epoch) ]
+
+let callrcu_serve ~duration ~reps ~rate =
+  let module Serve = Repro_server.Serve in
+  let module Open_loop = Repro_workload.Open_loop in
+  let mix = W.mix ~contains:30 ~insert:35 ~delete:35 in
+  let key_range = 32_768 in
+  Format.printf
+    "@.call_rcu B: the grace-period-bound serving configuration@.\
+     (citrus-urcu, 1 shard, async writes, %s offered ops/s,@.\
+     30%%c/35%%i/35%%d on %d keys): write p99 is queueing delay behind@.\
+     an updater that stalls on synchronize mid-drain.@."
+    (Report.si rate) key_range;
+  Format.printf "%10s %12s %12s %14s %14s@." "config" "achieved/s" "drained/s"
+    "write-p50" "write-p99";
+  List.map
+    (fun on ->
+      let runs =
+        List.init reps (fun _ ->
+            callrcu_ab on (fun () ->
+                let c =
+                  Serve.cfg ~shards:1 ~clients:4 ~queue_depth:4096
+                    ~drain_batch:64 ~rate ~duration ~mix ~key_range
+                    ~write_mode:Serve.Async ()
+                in
+                Serve.run ~observe:true (module Dict.Citrus_urcu) c))
+      in
+      let summary r op =
+        match List.assoc_opt op r.Serve.load.Open_loop.latency with
+        | Some h -> Repro_workload.Latency.summarize h
+        | None ->
+            Repro_workload.Latency.summarize (Repro_workload.Latency.histogram ())
+      in
+      let p99 r = (summary r W.Insert).Repro_workload.Latency.p99 in
+      let r = median reps p99 runs in
+      let ins = summary r W.Insert in
+      Format.printf "%10s %12s %12s %12.0fns %12.0fns@." (callrcu_label on)
+        (Report.si r.Serve.load.Open_loop.achieved)
+        (Report.si r.Serve.write_throughput)
+        ins.Repro_workload.Latency.p50 ins.Repro_workload.Latency.p99;
+      Json.Obj
+        [
+          ("config", Json.String (callrcu_label on));
+          ("structure", Json.String "citrus-urcu");
+          ("shards", Json.Int 1);
+          ("offered_per_s", Json.Float rate);
+          ("duration_s", Json.Float duration);
+          ("achieved_per_s", Json.Float r.Serve.load.Open_loop.achieved);
+          ("drained_per_s", Json.Float r.Serve.write_throughput);
+          ("write_p50_ns", Json.Float ins.Repro_workload.Latency.p50);
+          ("write_p99_ns", Json.Float ins.Repro_workload.Latency.p99);
+          ( "contains_p99_ns",
+            Json.Float (summary r W.Contains).Repro_workload.Latency.p99 );
+        ])
+    [ false; true ]
+
+(* Read-side registry cycles: [readers] domains doing empty
+   read_lock/read_unlock sections flat out. Each cycle hits the
+   registering domain's slot in the reader registry; with the slots
+   padded to cache lines the per-cycle cost should hold roughly flat as
+   readers are added (modulo scheduling on few cores), where unpadded
+   neighbours would drag each other's lines. *)
+let callrcu_readside ~duration ~readers_list =
+  let module R = Repro_rcu.Epoch_rcu in
+  Format.printf
+    "@.call_rcu C: read-side registry cycles (empty read_lock/unlock@.\
+     sections; the reader-slot registry entries are padded to cache@.\
+     lines — per-cycle cost should stay flat as readers are added).@.";
+  Format.printf "%8s %14s %12s@." "readers" "cycles/s" "ns/cycle";
+  List.map
+    (fun readers ->
+      let r = R.create ~max_threads:(readers + 1) () in
+      let stop = Atomic.make false in
+      let bar = Repro_sync.Barrier.create (readers + 1) in
+      let domains =
+        List.init readers (fun _ ->
+            Domain.spawn (fun () ->
+                let th = R.register r in
+                Repro_sync.Barrier.wait bar;
+                let n = ref 0 in
+                while not (Atomic.get stop) do
+                  R.read_lock th;
+                  R.read_unlock th;
+                  incr n
+                done;
+                R.unregister th;
+                !n))
+      in
+      Repro_sync.Barrier.wait bar;
+      let t0 = Unix.gettimeofday () in
+      Unix.sleepf duration;
+      Atomic.set stop true;
+      let total = List.fold_left (fun a d -> a + Domain.join d) 0 domains in
+      let wall = Unix.gettimeofday () -. t0 in
+      let per_s = float_of_int total /. wall in
+      let ns_per_cycle =
+        wall *. 1e9 *. float_of_int readers /. float_of_int (max total 1)
+      in
+      Format.printf "%8d %14s %12.1f@." readers (Report.si per_s) ns_per_cycle;
+      Json.Obj
+        [
+          ("readers", Json.Int readers);
+          ("duration_s", Json.Float duration);
+          ("cycles_per_s", Json.Float per_s);
+          ("ns_per_cycle", Json.Float ns_per_cycle);
+        ])
+    readers_list
+
+let callrcu_json ~meta experiments =
+  Json.Obj
+    [
+      ("schema_version", Json.Int Json_report.schema_version);
+      ("generator", Json.String "citrus-repro bench");
+      ("generated_at_unix", Json.Float (Unix.gettimeofday ()));
+      ("meta", Json.Obj meta);
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (name, points) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("points", Json.List points);
+                 ])
+             experiments) );
+    ]
+
+let callrcu_bench scale quick json =
+  let duration = if quick then 0.15 else Float.max scale.duration 1.0 in
+  let reps = if quick then 1 else max scale.repeats 3 in
+  (* At least one reader: this is fig9's single-writer-plus-readers
+     regime, where grace periods have someone to wait for. *)
+  let threads_list = if quick then [ 2; 4 ] else [ 2; 4; 8 ] in
+  let rate = if quick then 30_000.0 else 150_000.0 in
+  let fig9_points = callrcu_fig9 ~duration ~reps ~threads_list in
+  let serve_points = callrcu_serve ~duration ~reps ~rate in
+  let read_points =
+    callrcu_readside
+      ~duration:(Float.min duration 0.5)
+      ~readers_list:(if quick then [ 1; 2 ] else [ 1; 2; 4 ])
+  in
+  match json with
+  | None -> ()
+  | Some file -> (
+      let doc =
+        callrcu_json
+          ~meta:
+            [
+              ("benchmark", Json.String "callrcu");
+              ("duration_s", Json.Float duration);
+              ("repeats", Json.Int reps);
+            ]
+          [
+            ("callrcu: fig9 write-heavy updater throughput", fig9_points);
+            ("callrcu: serve write p99, 1 shard citrus-urcu", serve_points);
+            ("callrcu: read-side registry cycles", read_points);
+          ]
+      in
+      match Json_report.write file doc with
+      | () ->
+          Format.printf "wrote JSON report: %s (%d points)@." file
+            (List.length fig9_points + List.length serve_points
+           + List.length read_points)
+      | exception Sys_error msg ->
+          Format.eprintf "cannot write JSON report: %s@." msg;
+          exit 1)
+
 (* --- command line --- *)
 
 open Cmdliner
@@ -1019,6 +1280,25 @@ let timeline_cmd =
     (Cmd.info "timeline" ~doc:"Throughput over time (grace-period stalls).")
     Term.(const (fun scale _ -> timeline scale) $ scale_term $ csv_term)
 
+let callrcu_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "CI smoke scale: 0.15s single-repeat runs. The numbers are \
+             meaningless for performance; the run validates the harness, \
+             the A/B switch, and the JSON schema.")
+  in
+  Cmd.v
+    (Cmd.info "callrcu"
+       ~doc:
+         "Inline grace-period waits vs the call_rcu background reclaimer: \
+          write-heavy Citrus updater throughput (fig9-style), serve-bench \
+          write p99 on the grace-period-bound configuration, and the \
+          read-side registry cycle cost (must not change).")
+    Term.(const callrcu_bench $ scale_term $ quick $ json_term)
+
 let main =
   Cmd.group
     ~default:Term.(const (wrap run_all) $ scale_term $ csv_term $ json_term)
@@ -1032,6 +1312,7 @@ let main =
       skew_cmd;
       timeline_cmd;
       serve_cmd;
+      callrcu_cmd;
       gp_cmd;
       rcu_cmd;
       latency_cmd;

@@ -246,9 +246,17 @@ let stats name threads duration keys contains_pct trace_events json_file =
 (* Open-loop serving demo: stand up the sharded service over one
    structure, offer a fixed load, report per-op latency percentiles and
    the drop/queue accounting (SERVING.md). *)
+(* Flip the process-global call_rcu switch around [f] (structures created
+   inside pick it up), restoring the previous setting. *)
+let with_call_rcu enabled f =
+  let module Rec = Repro_rcu.Reclaimer in
+  let was = Rec.call_rcu_enabled () in
+  Rec.set_call_rcu enabled;
+  Fun.protect ~finally:(fun () -> Rec.set_call_rcu was) f
+
 let serve name shards clients queue_depth drain_batch rate duration keys
-    contains_pct write_mode max_retries retry_base_us deadline_ms quick
-    json_file =
+    contains_pct write_mode max_retries retry_base_us deadline_ms call_rcu
+    quick json_file =
   let (module D) = resolve name in
   let mix = contains_mix contains_pct in
   let duration = if quick then Float.min duration 0.3 else duration in
@@ -266,14 +274,18 @@ let serve name shards clients queue_depth drain_batch rate duration keys
   in
   Printf.printf
     "serving %s: %d shards, %d clients, %.0f ops/s offered for %.1fs, keys \
-     [0,%d), %s, %s writes, queue depth %d, drain batch %d\n\
+     [0,%d), %s, %s writes, queue depth %d, drain batch %d%s\n\
      %!"
     D.name shards clients rate duration keys
     (Format.asprintf "%a" W.pp_mix mix)
     (Serve.write_mode_name write_mode)
-    queue_depth drain_batch;
+    queue_depth drain_batch
+    (if call_rcu then ", call_rcu reclaimers" else "");
   let r =
-    try registry_guard clients (fun () -> Serve.run ~observe:true (module D) c)
+    try
+      with_call_rcu call_rcu (fun () ->
+          registry_guard clients (fun () ->
+              Serve.run ~observe:true (module D) c))
     with Invalid_argument msg ->
       Printf.eprintf "bad serve configuration: %s\n" msg;
       exit 2
@@ -339,7 +351,7 @@ let serve name shards clients queue_depth drain_batch rate duration keys
    Any violated claim (or armed-validator violation) exits 1. *)
 let chaos name shards clients queue_depth drain_batch rate duration keys
     contains_pct crashes stall_rate stall_delay_ms p99_bound_ms seed sanitize
-    lockdep quick json_file =
+    lockdep call_rcu quick json_file =
   let (module D) = resolve name in
   let duration = if quick then Float.min duration 0.5 else duration in
   let rate = if quick then Float.min rate 6_000.0 else rate in
@@ -357,10 +369,10 @@ let chaos name shards clients queue_depth drain_batch rate duration keys
   in
   Printf.printf
     "chaos on %s: %d shards, %d clients, %.0f ops/s for %.1fs, %d forced \
-     crash(es) per shard, stall rate %g, sanitize=%b lockdep=%b\n\
+     crash(es) per shard, stall rate %g, sanitize=%b lockdep=%b call_rcu=%b\n\
      %!"
     D.name shards clients c.Chaos.rate c.Chaos.duration c.Chaos.crashes_per_shard
-    stall_rate sanitize lockdep;
+    stall_rate sanitize lockdep call_rcu;
   if sanitize then Repro_sanitizer.Sanitizer.arm ();
   if lockdep then Repro_lockdep.Lockdep.arm ();
   let r =
@@ -369,7 +381,8 @@ let chaos name shards clients queue_depth drain_batch rate duration keys
         if lockdep then Repro_lockdep.Lockdep.disarm ();
         if sanitize then Repro_sanitizer.Sanitizer.disarm ())
       (fun () ->
-        registry_guard (clients + 2) (fun () -> Chaos.run (module D) c))
+        with_call_rcu call_rcu (fun () ->
+            registry_guard (clients + 2) (fun () -> Chaos.run (module D) c)))
   in
   let validator_failures =
     (if sanitize && Repro_sanitizer.Sanitizer.violations () > 0 then
@@ -427,7 +440,8 @@ let chaos name shards clients queue_depth drain_batch rate duration keys
    every RCU flavour unless one is named; non-zero torture errors exit 1,
    usage errors (unknown flavour / fault point, bad spec) exit 2. *)
 let torture flavour seed fault_specs stall_ms stall_mode readers writers
-    updates use_defer use_poll park_ms sanitize lockdep quick verbose =
+    updates use_defer use_poll use_call_rcu park_ms sanitize lockdep quick
+    verbose =
   let faults =
     List.map
       (fun spec ->
@@ -467,6 +481,7 @@ let torture flavour seed fault_specs stall_ms stall_mode readers writers
       updates_per_writer = updates;
       use_defer;
       use_poll;
+      use_call_rcu;
       reader_park_ms = park_ms;
       faults;
       stall_ms;
@@ -478,11 +493,11 @@ let torture flavour seed fault_specs stall_ms stall_mode readers writers
   in
   Printf.printf
     "torture: seed=%d readers=%d writers=%d updates=%d park_ms=%d \
-     stall_ms=%d mode=%s sanitize=%b lockdep=%b faults=[%s]\n\
+     stall_ms=%d mode=%s sanitize=%b lockdep=%b call_rcu=%b faults=[%s]\n\
      %!"
     seed readers writers updates park_ms stall_ms
     (match stall_mode with `Warn -> "warn" | `Fail -> "fail")
-    sanitize lockdep
+    sanitize lockdep use_call_rcu
     (String.concat ", "
        (List.map (fun (nm, rate, _) -> Printf.sprintf "%s=%g" nm rate) faults));
   let failed = ref false in
@@ -801,6 +816,15 @@ let serve_cmd =
             "Per-operation completion deadline in milliseconds, measured \
              from the scheduled arrival; 0 disables.")
   in
+  let call_rcu =
+    Arg.(
+      value & flag
+      & info [ "call-rcu" ]
+          ~doc:
+            "Serve over call_rcu tables: two-child deletes hand their \
+             grace-period wait to a background reclaimer domain instead of \
+             blocking the shard updater.")
+  in
   let quick =
     Arg.(
       value & flag
@@ -823,7 +847,7 @@ let serve_cmd =
     Term.(
       const serve $ structure $ shards $ clients $ queue_depth $ drain_batch
       $ rate $ duration $ keys $ contains $ write_mode $ max_retries
-      $ retry_base_us $ deadline_ms $ quick $ json)
+      $ retry_base_us $ deadline_ms $ call_rcu $ quick $ json)
 
 let chaos_cmd =
   let structure =
@@ -916,6 +940,15 @@ let chaos_cmd =
           ~doc:
             "Arm the lockdep validator for the run; any violation fails it.")
   in
+  let call_rcu =
+    Arg.(
+      value & flag
+      & info [ "call-rcu" ]
+          ~doc:
+            "Serve over call_rcu tables (background reclaimer domains) — \
+             chaos then also covers reclaimer teardown under forced \
+             shutdown.")
+  in
   let quick =
     Arg.(
       value & flag
@@ -941,8 +974,8 @@ let chaos_cmd =
     Term.(
       const chaos $ structure $ shards $ clients $ queue_depth $ drain_batch
       $ rate $ duration $ keys $ contains $ crashes $ stall_rate
-      $ stall_delay_ms $ p99_bound_ms $ seed $ sanitize $ lockdep $ quick
-      $ json)
+      $ stall_delay_ms $ p99_bound_ms $ seed $ sanitize $ lockdep $ call_rcu
+      $ quick $ json)
 
 let torture_cmd =
   let flavour =
@@ -1012,6 +1045,16 @@ let torture_cmd =
              $(b,cond_synchronize) — exercising grace-period elision and \
              coalescing.")
   in
+  let use_call_rcu =
+    Arg.(
+      value & flag
+      & info [ "call-rcu" ]
+          ~doc:
+            "Writers hand frees to a background reclaimer domain \
+             (epoch-tagged bags, $(b,Reclaimer)) and never wait for a \
+             grace period themselves; overrides $(b,--defer) and \
+             $(b,--poll).")
+  in
   let park_ms =
     Arg.(
       value & opt int 0
@@ -1056,8 +1099,8 @@ let torture_cmd =
           reclamation sanitizer (see ROBUSTNESS.md).")
     Term.(
       const torture $ flavour $ seed $ faults $ stall_ms $ stall_mode
-      $ readers $ writers $ updates $ use_defer $ use_poll $ park_ms
-      $ sanitize $ lockdep $ quick $ verbose)
+      $ readers $ writers $ updates $ use_defer $ use_poll $ use_call_rcu
+      $ park_ms $ sanitize $ lockdep $ quick $ verbose)
 
 let mutants_cmd =
   let seed =

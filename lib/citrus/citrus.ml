@@ -53,6 +53,7 @@ let right = 1
 
 module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
   module Defer = Repro_rcu.Defer.Make (R)
+  module Rec = Repro_rcu.Reclaimer.Make (R)
 
   (* One *ordered* lockdep class for every node lock of every tree built
      from this instantiation. The locking protocol (paper, Section 3) only
@@ -108,6 +109,17 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
     root : 'v node;
     rcu : R.t;
     reclamation : bool;
+    reclaimer : Rec.t option;
+        (* Some iff the tree was created under the call_rcu discipline:
+           two-child deletes hand their grace-period-then-unlink
+           continuation to this background domain instead of blocking
+           inline, and [retire] (with [reclamation]) routes through its
+           bags instead of [Defer]. *)
+    self_bag : Rec.producer option;
+        (* Retired bag owned by the reclaimer domain itself: unlink
+           continuations running there retire the unlinked successor
+           into it (a fresh post-unlink cookie) instead of blocking the
+           reclaimer on a second grace period. *)
     san : San.domain;
     hooks : hooks;
     group : Stats.group;
@@ -125,7 +137,10 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
     tree : 'v t;
     rt : R.thread;
     id : int;
-    defer : Defer.t option; (* Some iff the tree has reclamation on *)
+    defer : Defer.t option;
+        (* Some iff the tree has reclamation on and no reclaimer (the
+           inline-synchronize configuration) *)
+    bag : Rec.producer option; (* Some iff the tree has a reclaimer *)
   }
 
   let new_node key value =
@@ -140,10 +155,16 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
       shadow = None;
     }
 
-  let create ?max_threads ?(reclamation = false) () =
+  let create ?max_threads ?(reclamation = false)
+      ?(call_rcu = Repro_rcu.Reclaimer.call_rcu_enabled ()) () =
     let infinity_node = new_node Pos_inf None in
     let root = new_node Neg_inf None in
     Atomic.set root.children.(right) (Some infinity_node);
+    let rcu = R.create ?max_threads () in
+    (* The reclaimer is per tree instance (one background domain per
+       [R.t]); [shutdown] stops and joins it. *)
+    let reclaimer = if call_rcu then Some (Rec.create rcu) else None in
+    let self_bag = Option.map Rec.new_producer reclaimer in
     let group = Stats.group () in
     (* Bind counters outside the record literal: field evaluation order is
        unspecified, and the group dumps in creation order. *)
@@ -156,8 +177,10 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
     let rotations = Stats.counter group "rotations" in
     {
       root;
-      rcu = R.create ?max_threads ();
+      rcu;
       reclamation;
+      reclaimer;
+      self_bag;
       san = San.create ("citrus/" ^ R.name);
       hooks =
         {
@@ -183,7 +206,10 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
       rt = R.register tree.rcu;
       id = Atomic.fetch_and_add tree.handle_ids 1;
       defer =
-        (if tree.reclamation then Some (Defer.create tree.rcu) else None);
+        (if tree.reclamation && Option.is_none tree.reclaimer then
+           Some (Defer.create tree.rcu)
+         else None);
+      bag = Option.map Rec.new_producer tree.reclaimer;
     }
 
   let unregister h =
@@ -193,31 +219,41 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
     (match h.defer with Some d -> Defer.drain d | None -> ());
     R.unregister h.rt
 
+  (* Armed sanitizer: give the node a shadow record now, so every
+     traversal that touches it from here on is checked. The deferral
+     machinery carries it through Deferred (at enqueue) and Reclaimed
+     (when the callback runs after its grace period). *)
+  let new_shadow t node =
+    if San.enabled () then begin
+      let s = San.register t.san in
+      node.shadow <- Some s;
+      Some s
+    end
+    else None
+
   (* Retire an unlinked node: one grace period later no reader can hold it,
      so it is safe to poison (standing in for free()). A reader that later
      observes the poison has found a use-after-free — the detection scheme
-     behind the reclamation tests. *)
+     behind the reclamation tests. With a reclaimer the poison is handed to
+     [call_rcu] (background free); otherwise to the handle's [Defer] queue
+     (the retiring thread pays the grace period at flush). *)
   let retire h node =
-    match h.defer with
-    | None -> ()
-    | Some d ->
-        let t = h.tree in
-        let id = h.id in
-        (* Armed sanitizer: give the node a shadow record now, so every
-           traversal that touches it from here on is checked. Defer carries
-           it through Deferred (here) and Reclaimed (when the callback runs
-           after its grace period). *)
-        let shadow =
-          if San.enabled () then begin
-            let s = San.register t.san in
-            node.shadow <- Some s;
-            Some s
-          end
-          else None
-        in
-        Defer.defer d ?shadow (fun () ->
-            node.reclaimed <- true;
-            Stats.incr t.reclaimed_nodes id)
+    let t = h.tree in
+    let id = h.id in
+    let poison () =
+      node.reclaimed <- true;
+      Stats.incr t.reclaimed_nodes id
+    in
+    match (t.reclaimer, h.bag) with
+    | Some rc, Some bag when t.reclamation ->
+        let shadow = new_shadow t node in
+        Rec.call_rcu rc bag ?shadow poison
+    | _ -> (
+        match h.defer with
+        | None -> ()
+        | Some d ->
+            let shadow = new_shadow t node in
+            Defer.defer d ?shadow poison)
 
   (* Restarts are double-booked: in the tree's own stats group (per-tree
      diagnostics) and in the process-global metrics/trace (workload-level
@@ -487,43 +523,124 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
             Atomic.set prev.children.(direction) (Some node);
             t.hooks.before_synchronize ();
             if Fault.enabled () then Fault.inject fault_delete_window;
-            (* Wait for pre-existing readers: any search that could still
-               find the successor only in its old position completes before
-               we unlink it (line 74). Deliberately the synchronous form —
-               the unlink below must not happen earlier — but with many
-               updaters deleting concurrently these calls now coalesce
-               inside [synchronize] (piggybacking on a grace period already
-               in flight) rather than each driving its own scan. *)
-            if Atomic.get sync_in_read_bug then begin
-              (* Seeded bug (lockdep mutant): the grace-period wait issued
-                 from *inside* a read-side critical section — the waiter is
-                 its own blocking reader, so disarmed this self-deadlocks.
-                 Armed, [check_sync] raises [Sync_in_read_section] before
-                 the wait begins; the Fun.protect unwinds the read section
-                 so only the node locks are left wedged. *)
-              R.read_lock h.rt;
-              Fun.protect
-                ~finally:(fun () -> R.read_unlock h.rt)
-                (fun () -> R.synchronize t.rcu)
-            end
-            else R.synchronize t.rcu;
-            succ.marked <- true;
-            if prev_succ == curr then begin
-              (* succ is the right child of curr, which [node] replaced. *)
-              Atomic.set node.children.(right) (child succ right);
-              increment_tag node right
-            end
-            else begin
-              Atomic.set prev_succ.children.(left) (child succ right);
-              increment_tag prev_succ left
-            end;
-            Spinlock.release node.lock;
-            Spinlock.release succ.lock;
-            if curr != prev_succ then Spinlock.release prev_succ.lock;
-            Spinlock.release curr.lock;
-            Spinlock.release prev.lock;
-            retire h curr;
-            retire h succ;
+            (* The unlink below must wait for pre-existing readers: any
+               search that could still find the successor only in its old
+               position completes first (line 74). Two ways to pay for
+               that wait: *)
+            (match (t.reclaimer, h.bag, t.self_bag) with
+            | Some rc, Some bag, Some self_bag
+              when not (Atomic.get sync_in_read_bug) ->
+                (* call_rcu: hand the grace-period-then-unlink
+                   continuation to the background reclaimer and return
+                   now — the updater never blocks. The window state is
+                   exactly the inline version's: all five locks stay
+                   held (ceded to the continuation, which adopts and
+                   releases them after the grace period), so every
+                   schedule here is a schedule of the paper's protocol
+                   in which the deleting thread is merely descheduled
+                   inside synchronize while other operations run — the
+                   safety argument is unchanged. Updaters that resolve
+                   to the held nodes spin as they would against a
+                   blocked inline deleter; readers never take node
+                   locks, so the grace period always elapses. *)
+                Spinlock.transfer node.lock;
+                Spinlock.transfer succ.lock;
+                if curr != prev_succ then Spinlock.transfer prev_succ.lock;
+                Spinlock.transfer curr.lock;
+                Spinlock.transfer prev.lock;
+                Rec.call_rcu rc bag (fun () ->
+                    succ.marked <- true;
+                    if prev_succ == curr then begin
+                      (* succ is the right child of curr, which [node]
+                         replaced. *)
+                      Atomic.set node.children.(right) (child succ right);
+                      increment_tag node right
+                    end
+                    else begin
+                      Atomic.set prev_succ.children.(left) (child succ right);
+                      increment_tag prev_succ left
+                    end;
+                    Spinlock.adopt node.lock ~order:4;
+                    Spinlock.release node.lock;
+                    Spinlock.adopt succ.lock ~order:3;
+                    Spinlock.release succ.lock;
+                    if curr != prev_succ then begin
+                      Spinlock.adopt prev_succ.lock ~order:2;
+                      Spinlock.release prev_succ.lock
+                    end;
+                    Spinlock.adopt curr.lock ~order:1;
+                    Spinlock.release curr.lock;
+                    Spinlock.adopt prev.lock ~order:0;
+                    Spinlock.release prev.lock;
+                    (* succ only became unreachable at the unlink above,
+                       so its retirement cookie must postdate it. On the
+                       reclaimer domain, re-enqueue into the
+                       reclaimer-owned bag (single-producer discipline);
+                       on a fallback path (bag full, reclaimer dead or
+                       stopping — this closure then ran on the retiring
+                       updater or the stopping thread), free inline
+                       after the fresh grace period. *)
+                    if t.reclamation then begin
+                      let shadow = new_shadow t succ in
+                      let poison () =
+                        succ.reclaimed <- true;
+                        Stats.incr t.reclaimed_nodes h.id
+                      in
+                      if Rec.on_reclaimer_domain rc then
+                        Rec.call_rcu rc self_bag ?shadow poison
+                      else begin
+                        (match shadow with
+                        | Some s -> San.on_defer s ~gp:(R.gp_cookie t.rcu)
+                        | None -> ());
+                        R.cond_synchronize t.rcu (R.read_gp_seq t.rcu);
+                        (match shadow with
+                        | Some s -> San.on_reclaim ~gp:(R.gp_cookie t.rcu) s
+                        | None -> ());
+                        poison ()
+                      end
+                    end);
+                (* curr became unreachable at the copy's publication, so
+                   its cookie (taken inside [retire], i.e. now) already
+                   covers every reader that could hold it. *)
+                retire h curr
+            | _ ->
+                (* Inline: the paper's synchronous form. With many
+                   updaters deleting concurrently these calls coalesce
+                   inside [synchronize] (piggybacking on a grace period
+                   already in flight) rather than each driving its own
+                   scan. *)
+                if Atomic.get sync_in_read_bug then begin
+                  (* Seeded bug (lockdep mutant): the grace-period wait
+                     issued from *inside* a read-side critical section —
+                     the waiter is its own blocking reader, so disarmed
+                     this self-deadlocks. Armed, [check_sync] raises
+                     [Sync_in_read_section] before the wait begins; the
+                     Fun.protect unwinds the read section so only the
+                     node locks are left wedged. *)
+                  R.read_lock h.rt;
+                  Fun.protect
+                    ~finally:(fun () -> R.read_unlock h.rt)
+                    (fun () -> R.synchronize t.rcu)
+                end
+                else R.synchronize t.rcu;
+                succ.marked <- true;
+                if prev_succ == curr then begin
+                  (* succ is the right child of curr, which [node]
+                     replaced. *)
+                  Atomic.set node.children.(right) (child succ right);
+                  increment_tag node right
+                end
+                else begin
+                  Atomic.set prev_succ.children.(left) (child succ right);
+                  increment_tag prev_succ left
+                end;
+                Spinlock.release node.lock;
+                Spinlock.release succ.lock;
+                if curr != prev_succ then Spinlock.release prev_succ.lock;
+                Spinlock.release curr.lock;
+                Spinlock.release prev.lock;
+                retire h curr;
+                retire h succ);
             Stats.incr t.deletes_two_children h.id;
             true
           end
@@ -609,7 +726,21 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
     check (Some Neg_inf) (Some Pos_inf) (child inf left)
 
   let stats t =
-    Stats.dump t.group @ [ ("grace_periods", R.grace_periods t.rcu) ]
+    Stats.dump t.group
+    @ [ ("grace_periods", R.grace_periods t.rcu) ]
+    @
+    match t.reclaimer with
+    | None -> []
+    | Some rc ->
+        [
+          ("reclaim_batches", Rec.batches rc);
+          ("reclaimer_crashes", Rec.crashes rc);
+          ("reclaim_backpressure", Rec.backpressure_waits rc);
+          ("reclaim_pending", Rec.pending rc);
+        ]
+
+  let shutdown t =
+    match t.reclaimer with Some rc -> Rec.stop rc | None -> ()
 
   (* --- Maintenance rebalancing (the paper's first future-work item) ---
 

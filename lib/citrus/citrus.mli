@@ -53,7 +53,8 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) : sig
   type 'v handle
   (** Per-domain access handle (carries the RCU thread state). *)
 
-  val create : ?max_threads:int -> ?reclamation:bool -> unit -> 'v t
+  val create :
+    ?max_threads:int -> ?reclamation:bool -> ?call_rcu:bool -> unit -> 'v t
   (** An empty tree whose RCU domain admits up to [max_threads] registered
       domains (default 128).
 
@@ -73,7 +74,17 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) : sig
       traversal step checks them: a search that touches a node after its
       grace-period-protected reclamation raises [Sanitizer.Violation] out
       of [contains]/[mem] (read sections unwind cleanly; node-lock-holding
-      paths record the violation without raising). See ROBUSTNESS.md. *)
+      paths record the violation without raising). See ROBUSTNESS.md.
+
+      [call_rcu] (default {!Repro_rcu.Reclaimer.call_rcu_enabled}) spawns
+      a background reclaimer domain for this tree and takes the
+      grace-period wait off the updater hot path: a two-child [delete]
+      returns as soon as the successor copy is published, handing the
+      wait-then-unlink continuation (with the node locks still held, so
+      the protocol other threads observe is unchanged) to the reclaimer;
+      [retire]d nodes likewise go to an epoch-tagged bag instead of a
+      blocking deferred queue. A tree created with [call_rcu:true] owns a
+      domain and must be {!shutdown}. *)
 
   val register : 'v t -> 'v handle
   (** Register the calling domain. One handle per domain per tree. *)
@@ -91,10 +102,20 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) : sig
   val delete : 'v handle -> K.t -> bool
   (** Remove the binding; [false] if the key is absent. *)
 
+  val shutdown : 'v t -> unit
+  (** Stop and join the tree's background reclaimer domain (no-op without
+      one): every pending call_rcu continuation — unlinks and frees —
+      runs before this returns. Call it once all operations are done,
+      and {e before} any quiescent-state helper below: while an async
+      delete is in flight the tree legitimately holds a locked reachable
+      copy and a duplicate key, which {!check_invariants} would report.
+      Idempotent. *)
+
   (** {2 Quiescent-state helpers}
 
       The following must only be called while no other operation is in
-      flight (tests, reporting). *)
+      flight and, on a [call_rcu] tree, after {!shutdown} (tests,
+      reporting). *)
 
   val size : 'v t -> int
   val to_list : 'v t -> (K.t * 'v) list
@@ -111,9 +132,11 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) : sig
       @raise Invariant_violation otherwise. *)
 
   val stats : 'v t -> (string * int) list
-  (** Operation counters: restarts, two-child deletes (i.e. grace periods
-      paid), one-child deletes, inserts, reclaimed nodes, use-after-reclaim
-      detections (must be 0), maintenance rotations, and grace periods. *)
+  (** Operation counters: restarts, two-child deletes, one-child deletes,
+      inserts, reclaimed nodes, use-after-reclaim detections (must be 0),
+      maintenance rotations, and grace periods. A [call_rcu] tree adds
+      its reclaimer's counters (reclaim_batches, reclaimer_crashes,
+      reclaim_backpressure, reclaim_pending). *)
 
   (** {2 Maintenance rebalancing}
 

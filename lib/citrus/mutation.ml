@@ -53,12 +53,15 @@ module type TREE = sig
   type 'v t
   type 'v handle
 
-  val create : ?max_threads:int -> ?reclamation:bool -> unit -> 'v t
+  val create :
+    ?max_threads:int -> ?reclamation:bool -> ?call_rcu:bool -> unit -> 'v t
+
   val register : 'v t -> 'v handle
   val unregister : 'v handle -> unit
   val mem : 'v handle -> int -> bool
   val insert : 'v handle -> int -> 'v -> bool
   val delete : 'v handle -> int -> bool
+  val shutdown : 'v t -> unit
 end
 
 module Buggy_epoch = Citrus_buggy.Make (Citrus_int.Ord_int) (Repro_rcu.Epoch_rcu)
@@ -82,9 +85,10 @@ let with_armed ~seed f =
    [citrus.read.step] fault parks readers mid-traversal so the reclaim
    lands while the parked reader still holds the node. Returns the
    number of sanitizer violations observed. *)
-let citrus_round (module T : TREE) ~seed ~keys ~rounds ~readers =
+let citrus_round ?(call_rcu = false) (module T : TREE) ~seed ~keys ~rounds
+    ~readers =
   let before = San.violations () in
-  let t = T.create ~reclamation:true () in
+  let t = T.create ~reclamation:true ~call_rcu () in
   let stop = Atomic.make false in
   let h0 = T.register t in
   for k = 0 to keys - 1 do
@@ -118,6 +122,9 @@ let citrus_round (module T : TREE) ~seed ~keys ~rounds ~readers =
   Atomic.set stop true;
   List.iter Domain.join rdrs;
   T.unregister h0;
+  (* Join the reclaimer (no-op without call_rcu) before counting: a
+     drain-time early free is a catch too. *)
+  T.shutdown t;
   San.violations () - before
 
 (* Retry [f attempt] with derived seeds until it reports a violation or
@@ -145,6 +152,25 @@ let citrus_hunt (module T : TREE) ~mutant ~seed ~attempts ~rounds =
 let skip_sync ?(seed = 42) ?(attempts = 6) () =
   citrus_hunt (module Buggy_epoch) ~mutant:skip_sync_name ~seed ~attempts
     ~rounds:40
+
+let early_free_name = "reclaimer-early-free"
+
+(* (d) {!early_free} — [Reclaimer.Buggy.early_free]: the background
+   reclaimer frees retired pointers without waiting on their grace-period
+   cookies, the exact bug the epoch tags exist to prevent. Same hunt
+   shape as skip_sync but over a correct tree with call_rcu on: the only
+   broken component is the reclaimer's cookie discipline. *)
+let early_free ?(seed = 42) ?(attempts = 6) () =
+  hunt ~mutant:early_free_name ~attempts (fun i ->
+      Repro_rcu.Reclaimer.Buggy.early_free true;
+      Fun.protect
+        ~finally:(fun () -> Repro_rcu.Reclaimer.Buggy.early_free false)
+        (fun () ->
+          with_armed ~seed:(seed + i) (fun () ->
+              Fault.set "citrus.read.step" ~rate:0.005
+                ~action:(Fault.Delay_ns 2_000_000);
+              citrus_round ~call_rcu:true (module Citrus_int.Epoch)
+                ~seed:(seed + i) ~keys:64 ~rounds:40 ~readers:2)))
 
 (* Torture configuration shared by the urcu and qsbr hunts: few slots so
    writers keep retiring what readers hold, delays on, sanitizer on, and
@@ -205,6 +231,7 @@ let qsbr_quiescence ?(seed = 42) ?(attempts = 8) () =
 let all ?seed ?attempts () =
   [
     skip_sync ?seed ?attempts ();
+    early_free ?seed ?attempts ();
     urcu_single_flip ?seed ?attempts ();
     qsbr_quiescence ?seed ?attempts ();
   ]
@@ -326,6 +353,15 @@ let controls ?(seed = 42) () =
         citrus_round (module Citrus_int.Epoch) ~seed ~keys:64 ~rounds:4
           ~readers:2)
   in
+  let call_rcu =
+    (* The early-free control: identical hunt configuration, correct
+       reclaimer — the cookie wait must keep the sanitizer silent. *)
+    with_armed ~seed (fun () ->
+        Fault.set "citrus.read.step" ~rate:0.005
+          ~action:(Fault.Delay_ns 2_000_000);
+        citrus_round ~call_rcu:true (module Citrus_int.Epoch) ~seed ~keys:64
+          ~rounds:4 ~readers:2)
+  in
   let urcu =
     Torture.run_flavour ~seed "urcu"
       (torture_cfg ~nest:false ~updates:60
@@ -341,6 +377,7 @@ let controls ?(seed = 42) () =
   in
   [
     control skip_sync_name citrus;
+    control early_free_name call_rcu;
     control urcu_single_flip_name urcu.Torture.violations;
     control qsbr_quiescence_name qsbr.Torture.violations;
   ]

@@ -25,6 +25,12 @@ val skip_sync : ?seed:int -> ?attempts:int -> unit -> result
     reclamation) is skipped and retired nodes are freed while parked
     readers still hold them. *)
 
+val early_free : ?seed:int -> ?attempts:int -> unit -> result
+(** Mutant (d): [Repro_rcu.Reclaimer.Buggy.early_free] — the background
+    call_rcu reclaimer frees retired pointers without waiting on their
+    epoch cookies, over an otherwise-correct tree with [call_rcu] on.
+    The exact bug the epoch-tagged bags exist to prevent. *)
+
 val urcu_single_flip : ?seed:int -> ?attempts:int -> unit -> result
 (** Mutant (b): [Repro_rcu.Urcu.Buggy.single_flip] — the grace period
     flips the reader phase once instead of twice, missing readers whose
@@ -38,8 +44,8 @@ val qsbr_quiescence : ?seed:int -> ?attempts:int -> unit -> result
     section. *)
 
 val all : ?seed:int -> ?attempts:int -> unit -> result list
-(** The three mutants, in order (a), (b), (c). Every [caught] must be
-    true. *)
+(** The four mutants, in order (a), (d), (b), (c). Every [caught] must
+    be true. *)
 
 val controls : ?seed:int -> unit -> result list
 (** The same configurations with the mutants disabled; every

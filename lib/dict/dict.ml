@@ -22,6 +22,7 @@ module Citrus_adapter
   let mem = T.mem
   let insert = T.insert
   let delete = T.delete
+  let shutdown = T.shutdown
   let size = T.size
   let to_list = T.to_list
   let check = T.check_invariants
@@ -56,6 +57,7 @@ module Rb : DICT = struct
   let mem = T.mem
   let insert = T.insert
   let delete = T.delete
+  let shutdown _ = ()
   let size = T.size
   let to_list = T.to_list
   let check = T.check_invariants
@@ -76,6 +78,7 @@ module Bonsai : DICT = struct
   let mem = B.Bonsai.mem
   let insert = B.Bonsai.insert
   let delete = B.Bonsai.delete
+  let shutdown _ = ()
   let size = B.Bonsai.size
   let to_list = B.Bonsai.to_list
   let check = B.Bonsai.check_invariants
@@ -96,6 +99,7 @@ module Avl : DICT = struct
   let mem = B.Avl.mem
   let insert = B.Avl.insert
   let delete = B.Avl.delete
+  let shutdown _ = ()
   let size = B.Avl.size
   let to_list = B.Avl.to_list
   let check = B.Avl.check_invariants
@@ -116,6 +120,7 @@ module Nm : DICT = struct
   let mem = B.Nm_bst.mem
   let insert = B.Nm_bst.insert
   let delete = B.Nm_bst.delete
+  let shutdown _ = ()
   let size = B.Nm_bst.size
   let to_list = B.Nm_bst.to_list
   let check = B.Nm_bst.check_invariants
@@ -136,6 +141,7 @@ module Skiplist : DICT = struct
   let mem = B.Skiplist.mem
   let insert = B.Skiplist.insert
   let delete = B.Skiplist.delete
+  let shutdown _ = ()
   let size = B.Skiplist.size
   let to_list = B.Skiplist.to_list
   let check = B.Skiplist.check_invariants
@@ -156,6 +162,7 @@ module Ellen : DICT = struct
   let mem = B.Ellen_bst.mem
   let insert = B.Ellen_bst.insert
   let delete = B.Ellen_bst.delete
+  let shutdown _ = ()
   let size = B.Ellen_bst.size
   let to_list = B.Ellen_bst.to_list
   let check = B.Ellen_bst.check_invariants
@@ -176,6 +183,7 @@ module Lazy_list : DICT = struct
   let mem = B.Lazy_list.mem
   let insert = B.Lazy_list.insert
   let delete = B.Lazy_list.delete
+  let shutdown _ = ()
   let size = B.Lazy_list.size
   let to_list = B.Lazy_list.to_list
   let check = B.Lazy_list.check_invariants
@@ -196,6 +204,7 @@ module Cf : DICT = struct
   let mem = B.Cf_tree.mem
   let insert = B.Cf_tree.insert
   let delete = B.Cf_tree.delete
+  let shutdown _ = ()
   let size = B.Cf_tree.size
   let to_list = B.Cf_tree.to_list
   let check = B.Cf_tree.check_invariants
@@ -216,6 +225,7 @@ module Rcu_hash : DICT = struct
   let mem = B.Rcu_hash.mem
   let insert = B.Rcu_hash.insert
   let delete = B.Rcu_hash.delete
+  let shutdown _ = ()
   let size = B.Rcu_hash.size
   let to_list = B.Rcu_hash.to_list
   let check = B.Rcu_hash.check_invariants
@@ -236,6 +246,7 @@ module Coarse : DICT = struct
   let mem = B.Coarse_bst.mem
   let insert = B.Coarse_bst.insert
   let delete = B.Coarse_bst.delete
+  let shutdown _ = ()
   let size = B.Coarse_bst.size
   let to_list = B.Coarse_bst.to_list
   let check = B.Coarse_bst.check_invariants

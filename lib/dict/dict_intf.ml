@@ -27,6 +27,13 @@ module type DICT = sig
   val insert : handle -> int -> int -> bool
   val delete : handle -> int -> bool
 
+  val shutdown : t -> unit
+  (** Stop any background domains the structure owns (Citrus's call_rcu
+      reclaimer), draining their pending work; a no-op for structures
+      without one. Must run before the quiescent-state helpers below on
+      structures with asynchronous reclamation, and before the process
+      exits. Idempotent. *)
+
   (** {2 Quiescent-state helpers} *)
 
   val size : t -> int

@@ -5,6 +5,7 @@ module Urcu = Urcu
 module Qsbr = Qsbr
 module Stall = Stall
 module Gp = Gp
+module Reclaimer = Reclaimer
 
 exception Stalled = Stall.Stalled
 

@@ -27,6 +27,11 @@ module Gp : module type of Gp
     flavours (on by default; benchmarks flip it to measure the
     uncoalesced baseline). See {!Gp}. *)
 
+module Reclaimer : module type of Reclaimer
+(** call_rcu: per-producer epoch-tagged retired bags drained by a
+    supervised background reclaimer domain, plus the process-global
+    switch that routes Citrus deletes through it. See {!Reclaimer}. *)
+
 exception Stalled of Stall.report
 (** Raised by [synchronize] when the watchdog is armed in [Fail] mode and
     a reader blocks the grace period past the threshold. The aborted

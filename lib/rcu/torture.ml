@@ -38,6 +38,7 @@ type config = {
   reader_delay : bool;
   use_defer : bool;
   use_poll : bool;
+  use_call_rcu : bool;
   reader_park_ms : int;
   faults : (string * float * Fault.action option) list;
   stall_ms : int;
@@ -57,6 +58,7 @@ let default =
     reader_delay = false;
     use_defer = false;
     use_poll = false;
+    use_call_rcu = false;
     reader_park_ms = 0;
     faults = [];
     stall_ms = 0;
@@ -87,9 +89,11 @@ let fault_reader_hold = Fault.register "torture.reader.hold"
 
 module Make (R : Rcu_intf.S) = struct
   module Defer = Defer.Make (R)
+  module Rec = Reclaimer.Make (R)
 
   let body cfg ~seed ~stall_count ~san =
     let r = R.create ~max_threads:(cfg.readers + cfg.writers + 1) () in
+    let reclaimer = if cfg.use_call_rcu then Some (Rec.create r) else None in
     let new_shadow () =
       match san with Some d -> Some (San.register d) | None -> None
     in
@@ -192,6 +196,7 @@ module Make (R : Rcu_intf.S) = struct
       Domain.spawn (fun () ->
           let th = R.register r in
           let defer = if cfg.use_defer then Some (Defer.create r) else None in
+          let bag = Option.map Rec.new_producer reclaimer in
           let rng = Rng.create (Int64.of_int (seed + 9_000 + i)) in
           Barrier.wait start;
           while not (Atomic.get parked) do
@@ -219,7 +224,17 @@ module Make (R : Rcu_intf.S) = struct
                    shadow = new_shadow () }
                in
                let old = Atomic.exchange slot fresh in
-               (match defer with
+               (match (reclaimer, bag) with
+               | Some rc, Some b ->
+                   (* call_rcu: the cookie is snapshotted at enqueue and
+                      the background reclaimer frees after it elapses —
+                      the writer never waits. The readers' freed-flag and
+                      shadow checks verify the cookie discipline exactly
+                      as they do the inline grace periods. *)
+                   Rec.call_rcu rc b ?shadow:old.shadow (fun () ->
+                       old.freed <- true)
+               | _ -> (
+               match defer with
                | Some d ->
                    (* Defer owns the shadow lifecycle: Deferred at enqueue
                       (rejecting double-enqueues), Reclaimed when the
@@ -244,7 +259,7 @@ module Make (R : Rcu_intf.S) = struct
                    mark_deferred old;
                    R.synchronize r;
                    old.freed <- true;
-                   mark_reclaimed old);
+                   mark_reclaimed old));
                incr u
              done;
              match defer with Some d -> Defer.drain d | None -> ()
@@ -270,6 +285,9 @@ module Make (R : Rcu_intf.S) = struct
     List.iter Domain.join writers;
     Atomic.set stop true;
     List.iter Domain.join readers;
+    (* Join the reclaimer before the leak audit: every promised free must
+       have run by then. *)
+    Option.iter Rec.stop reclaimer;
     {
       errors = Atomic.get errors;
       grace_periods = R.grace_periods r;

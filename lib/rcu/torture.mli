@@ -31,6 +31,12 @@ type config = {
           unpublishing, dawdle, then free through [cond_synchronize] —
           exercising the polled/elided grace-period path instead of an
           unconditional [synchronize] *)
+  use_call_rcu : bool;
+      (** writers hand frees to a background {!Reclaimer} domain
+          (epoch-tagged bags, one per writer) instead of waiting for any
+          grace period themselves; takes precedence over [use_defer] and
+          [use_poll]. The reclaimer is stopped (all frees forced) before
+          the leak audit. *)
   reader_park_ms : int;
       (** if > 0, reader 0 parks this long inside one critical section at
           start — the canonical stalled-grace-period schedule *)

@@ -392,6 +392,12 @@ module Make (D : Repro_dict.Dict.DICT) = struct
             end
           end
         in
+        (* Stop each table's background reclaimer (a no-op for tables
+           without one): pending call_rcu unlinks and frees run before we
+           return, so [check]/[size] after shutdown see a quiescent tree.
+           After [Forced] an abandoned updater may still retire nodes —
+           the stopped reclaimer routes those to inline frees. *)
+        Array.iter (fun s -> D.shutdown s.table) t.shards;
         t.shutdown_result <- Some r;
         r
 

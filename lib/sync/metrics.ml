@@ -31,6 +31,14 @@ let lock_wait_ns = Stats.Timer.create "lock_wait_ns"
 let restarts = Stats.create "restarts"
 let defer_flushes = Stats.create "defer_flushes"
 let defer_callbacks = Stats.create "defer_callbacks"
+let call_rcu_enqueued = Stats.create "call_rcu_enqueued"
+let reclaim_batches = Stats.create "reclaim_batches"
+
+(* Sampled, not timed: the reclaimer records its backlog depth (retired
+   pointers still waiting on a grace period) through the Timer machinery
+   at each batch, so snapshots expose mean and peak backlog without a
+   dedicated histogram. *)
+let reclaim_backlog = Stats.Timer.create "reclaim_backlog"
 let sanitizer_checks = Stats.create "sanitizer_checks"
 let sanitizer_violations = Stats.create "sanitizer_violations"
 let mod_enqueues = Stats.create "mod_enqueues"
@@ -57,6 +65,9 @@ let reset () =
   Stats.reset restarts;
   Stats.reset defer_flushes;
   Stats.reset defer_callbacks;
+  Stats.reset call_rcu_enqueued;
+  Stats.reset reclaim_batches;
+  Stats.Timer.reset reclaim_backlog;
   Stats.reset sanitizer_checks;
   Stats.reset sanitizer_violations;
   Stats.reset mod_enqueues;
@@ -91,6 +102,10 @@ let snapshot () =
     ("restarts", float_of_int (Stats.read restarts));
     ("defer_flushes", float_of_int (Stats.read defer_flushes));
     ("defer_callbacks", float_of_int (Stats.read defer_callbacks));
+    ("call_rcu_enqueued", float_of_int (Stats.read call_rcu_enqueued));
+    ("reclaim_batches", float_of_int (Stats.read reclaim_batches));
+    ("reclaim_backlog_mean", Stats.Timer.mean_ns reclaim_backlog);
+    ("reclaim_backlog_max", float_of_int (Stats.Timer.max_ns reclaim_backlog));
     ("sanitizer_checks", float_of_int (Stats.read sanitizer_checks));
     ("sanitizer_violations", float_of_int (Stats.read sanitizer_violations));
     ("mod_enqueues", float_of_int (Stats.read mod_enqueues));

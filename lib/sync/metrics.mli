@@ -71,6 +71,21 @@ val defer_flushes : Stats.t
 val defer_callbacks : Stats.t
 (** Individual deferred callbacks run. *)
 
+val call_rcu_enqueued : Stats.t
+(** Retired pointers handed to a background reclaimer domain
+    ([Repro_rcu.Reclaimer]) instead of being freed inline after a
+    blocking [synchronize]. *)
+
+val reclaim_batches : Stats.t
+(** Batches of retired pointers freed by a reclaimer domain after their
+    grace-period cookies elapsed. *)
+
+val reclaim_backlog : Stats.Timer.t
+(** One sample per reclaim batch, valued at the backlog depth (retired
+    pointers still awaiting a grace period) observed at batch start —
+    a depth sampler, not a timer, so snapshots report mean and peak
+    backlog. *)
+
 val sanitizer_checks : Stats.t
 (** Shadow-record lookups performed by the reclamation sanitizer
     ([Repro_sanitizer.Sanitizer]); 0 unless the sanitizer is armed. *)

@@ -12,9 +12,9 @@
 val line_words : int
 (** Assumed cache line size in OCaml words (64 bytes / 8). *)
 
-val spaced_atomic : int -> int Atomic.t
-(** Allocate an [int Atomic.t] followed by a line of padding allocations. *)
+val spaced_atomic : 'a -> 'a Atomic.t
+(** Allocate an ['a Atomic.t] followed by a line of padding allocations. *)
 
-val spaced_atomics : int -> int -> int Atomic.t array
+val spaced_atomics : int -> 'a -> 'a Atomic.t array
 (** [spaced_atomics n init] allocates [n] spaced atomics initialised to
     [init]. *)

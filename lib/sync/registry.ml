@@ -9,7 +9,12 @@ let create ~capacity ~make =
   if capacity <= 0 then invalid_arg "Registry.create: capacity must be positive";
   {
     payloads = Array.init capacity make;
-    in_use = Array.init capacity (fun _ -> Atomic.make false);
+    (* Spaced allocation: the RCU flavours already pad their slot
+       *payloads*, but these flags sit in one dense array right next to
+       each other — [acquire]/[release] CASes on one slot would
+       otherwise invalidate the line under every reader's flag on
+       registration churn (the false-sharing audit, ROADMAP item 5). *)
+    in_use = Padding.spaced_atomics capacity false;
   }
 
 let acquire t =

@@ -66,6 +66,22 @@ let release t =
   if not (Atomic.exchange t.state false) then
     invalid_arg "Spinlock.release: lock was not held"
 
+(* Cross-domain lock handoff (the call_rcu delete path in Citrus): the
+   holder cedes lockdep ownership without opening the lock, and the
+   adopting domain registers itself before the eventual [release]. The
+   lock word never changes hands un-held, so no third party can sneak
+   in between [transfer] and [adopt]. *)
+
+let transfer t =
+  if not (Atomic.get t.state) then
+    invalid_arg "Spinlock.transfer: lock was not held";
+  if Lockdep.enabled () then Lockdep.lock_released t.cls ~id:t.id
+
+let adopt t ~order =
+  if not (Atomic.get t.state) then
+    invalid_arg "Spinlock.adopt: lock was not held";
+  if Lockdep.enabled () then Lockdep.trylock_acquired t.cls ~id:t.id ~order
+
 let is_locked t = Atomic.get t.state
 
 let with_lock t f =

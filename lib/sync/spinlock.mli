@@ -38,6 +38,20 @@ val release : t -> unit
     domain does not hold (double unlock, foreign unlock) raises
     [Lockdep.Violation] first, with the lock state untouched. *)
 
+val transfer : t -> unit
+(** Cede ownership of a held lock to another domain without releasing
+    it: with lockdep armed, pops the caller's held-stack entry (raising
+    [Lockdep.Violation] if the caller does not hold the lock) while the
+    lock word stays taken. The receiving domain must {!adopt} before it
+    may {!release}. Raises [Invalid_argument] if the lock is free. *)
+
+val adopt : t -> order:int -> unit
+(** Take lockdep ownership of a lock previously ceded with {!transfer}:
+    pushes a held-stack entry through the trylock path (recorded, never
+    reported as an inversion — adoption cannot deadlock, the lock is
+    already held). [order] is the within-class order token, [-1] for
+    unordered. Raises [Invalid_argument] if the lock is free. *)
+
 val is_locked : t -> bool
 (** Snapshot of the lock state, for assertions and statistics only. *)
 

@@ -37,6 +37,7 @@ type kind =
   | Updater_crash
   | Updater_restart
   | Shard_state
+  | Reclaim
 
 let kind_to_string = function
   | Read_enter -> "read_enter"
@@ -57,6 +58,7 @@ let kind_to_string = function
   | Updater_crash -> "updater_crash"
   | Updater_restart -> "updater_restart"
   | Shard_state -> "shard_state"
+  | Reclaim -> "reclaim"
 
 let kind_index = function
   | Read_enter -> 0
@@ -77,6 +79,7 @@ let kind_index = function
   | Updater_crash -> 15
   | Updater_restart -> 16
   | Shard_state -> 17
+  | Reclaim -> 18
 
 let kind_of_index = function
   | 0 -> Read_enter
@@ -96,6 +99,7 @@ let kind_of_index = function
   | 15 -> Updater_crash
   | 16 -> Updater_restart
   | 17 -> Shard_state
+  | 18 -> Reclaim
   | _ -> Stall
 
 type event = {

@@ -70,6 +70,10 @@ type kind =
       (** a shard's health state changed ([Repro_server.Health]);
           arg = [shard_id * 4 + state] with state 0 = healthy,
           1 = degraded, 2 = failed *)
+  | Reclaim
+      (** the background reclaimer domain freed one batch of retired
+          pointers after their grace periods elapsed
+          ([Repro_rcu.Reclaimer]); arg = batch size (callbacks run) *)
 
 val kind_to_string : kind -> string
 

@@ -156,6 +156,7 @@ let measure (module D : Repro_dict.Dict.DICT) (cfg : Workload.config) =
   Unix.sleepf cfg.duration;
   Atomic.set stop true;
   List.iter Domain.join domains;
+  D.shutdown t;
   D.check t;
   let all = Array.to_list histograms in
   let pick3 f = merge (List.map f all) in

@@ -201,6 +201,9 @@ let run ?sample_interval ?(observe = false)
   (* Snapshot before the invariant check so checker traversals do not
      pollute the run's metrics. *)
   let metrics = if observe then Metrics.snapshot () else [] in
+  (* Quiesce background reclamation (call_rcu tables) before checking:
+     mid-flight asynchronous deletes legitimately leave locked copies. *)
+  D.shutdown t;
   D.check t;
   let sum f = Array.fold_left (fun acc c -> acc + f c) 0 counts in
   let contains_ops = sum (fun c -> c.n_contains) in

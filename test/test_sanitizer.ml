@@ -244,7 +244,7 @@ let test_mutants_caught () =
         true
         (r.Mutation.violations > 0))
     results;
-  checki "three mutants" 3 (List.length results);
+  checki "four mutants" 4 (List.length results);
   San.reset_violations ()
 
 let test_controls_clean () =
