@@ -350,17 +350,28 @@ let serve name shards clients queue_depth drain_batch rate duration keys
    accepted-write loss, bounded recovery, no failed shards, clean drain.
    Any violated claim (or armed-validator violation) exits 1. *)
 let chaos name shards clients queue_depth drain_batch rate duration keys
-    contains_pct crashes stall_rate stall_delay_ms p99_bound_ms seed sanitize
-    lockdep call_rcu quick json_file =
+    contains_pct crashes stall_rate stall_delay_ms stall_reader p99_bound_ms
+    seed sanitize lockdep call_rcu quick json_file =
   let (module D) = resolve name in
   let duration = if quick then Float.min duration 0.5 else duration in
   let rate = if quick then Float.min rate 6_000.0 else rate in
   let crashes = if quick then min crashes 1 else crashes in
+  (* The stall-reader scenario watches reclamation pressure, which only
+     exists on call_rcu tables (epoch tables free inline under their own
+     grace periods) — force the reclaimer on. A dense key range keeps
+     delete hit rates high so the parked reader's retired backlog
+     actually climbs within the run. *)
+  let call_rcu = call_rcu || stall_reader in
+  let keys =
+    if stall_reader then min keys (if quick then 256 else 2_048) else keys
+  in
   let c =
     try
       Chaos.cfg ~shards ~clients ~queue_depth ~drain_batch ~rate ~duration
         ~key_range:keys ~contains_pct ~crashes_per_shard:crashes ~stall_rate
         ~stall_delay_ns:(int_of_float (stall_delay_ms *. 1e6))
+        ~stall_reader
+        ~stall_reader_watermark:(if quick then 16 else 128)
         ~recovery_p99_bound_ns:(int_of_float (p99_bound_ms *. 1e6))
         ~seed:(Int64.of_int seed) ()
     with Invalid_argument msg ->
@@ -369,10 +380,11 @@ let chaos name shards clients queue_depth drain_batch rate duration keys
   in
   Printf.printf
     "chaos on %s: %d shards, %d clients, %.0f ops/s for %.1fs, %d forced \
-     crash(es) per shard, stall rate %g, sanitize=%b lockdep=%b call_rcu=%b\n\
+     crash(es) per shard, stall rate %g, stall-reader=%b, sanitize=%b \
+     lockdep=%b call_rcu=%b\n\
      %!"
     D.name shards clients c.Chaos.rate c.Chaos.duration c.Chaos.crashes_per_shard
-    stall_rate sanitize lockdep call_rcu;
+    stall_rate stall_reader sanitize lockdep call_rcu;
   if sanitize then Repro_sanitizer.Sanitizer.arm ();
   if lockdep then Repro_lockdep.Lockdep.arm ();
   let r =
@@ -419,6 +431,11 @@ let chaos name shards clients queue_depth drain_batch rate duration keys
     (match r.Chaos.shutdown with
     | Shard_router.Drained -> "drained"
     | Shard_router.Forced _ -> "FORCED");
+  if stall_reader then
+    Printf.printf
+      "stall-reader: %d breaker trip(s), max reclamation pressure %.2f \
+       (watermark %d)\n"
+      r.Chaos.breaker_trips r.Chaos.max_pressure c.Chaos.stall_reader_watermark;
   (match json_file with
   | None -> ()
   | Some file -> (
@@ -430,8 +447,13 @@ let chaos name shards clients queue_depth drain_batch rate duration keys
   match r.Chaos.failures @ validator_failures with
   | [] ->
       print_endline
-        "chaos: OK (zero accepted-write loss across forced crashes, \
-         recovery within bound, clean drain)"
+        (if stall_reader then
+           "chaos: OK (zero accepted-write loss across forced crashes and a \
+            parked reader; pressure latched and bounded, breakers opened, \
+            recovery within bound, clean drain)"
+         else
+           "chaos: OK (zero accepted-write loss across forced crashes, \
+            recovery within bound, clean drain)")
   | failures ->
       List.iter (fun f -> Printf.eprintf "chaos: FAILED — %s\n" f) failures;
       exit 1
@@ -528,36 +550,70 @@ let torture flavour seed fault_specs stall_ms stall_mode readers writers
 let mutants seed attempts skip_controls lockdep chaos_suite =
   let module Mutation = Repro_citrus.Mutation in
   if chaos_suite then begin
-    (* The chaos mutation is deterministic (crash armed to land with a
-       full un-applied batch): no seeds or attempt budgets. *)
+    (* The chaos mutations are deterministic (crashes armed to land at
+       known batch positions, deadlines pre-expired by construction): no
+       seeds or attempt budgets. Each mutant must be caught and its
+       control must stay silent on the identical schedule. *)
     Printf.printf "chaos mutation suite:\n%!";
-    let m = Chaos.mutation ~mutate:true (module Dict.Citrus_epoch) in
-    Printf.printf
-      "  forget-backlog-on-restart: expected %d, final %d, lost %d -> %s\n%!"
-      m.Chaos.expected m.Chaos.final_size m.Chaos.lost
-      (if m.Chaos.caught then "caught" else "ESCAPED");
-    if not m.Chaos.caught then begin
-      Printf.eprintf
-        "mutants: FAILED — the backlog-forgetting supervisor lost no \
-         accepted write\n";
-      exit 1
-    end;
-    if not skip_controls then begin
-      let ctl = Chaos.mutation ~mutate:false (module Dict.Citrus_epoch) in
+    let failed = ref false in
+    let verdict ~mutant caught =
+      if mutant then
+        if caught then "caught"
+        else begin
+          failed := true;
+          "ESCAPED"
+        end
+      else if caught then begin
+        failed := true;
+        "TRIPPED"
+      end
+      else "silent"
+    in
+    let backlog mutant =
+      let m = Chaos.mutation ~mutate:mutant (module Dict.Citrus_epoch) in
       Printf.printf
-        "  control (adopting supervisor): expected %d, final %d, lost %d -> \
+        "  forget-backlog-on-restart%s: expected %d, final %d, lost %d -> \
          %s\n\
          %!"
-        ctl.Chaos.expected ctl.Chaos.final_size ctl.Chaos.lost
-        (if ctl.Chaos.caught then "TRIPPED" else "silent");
-      if ctl.Chaos.caught then begin
-        Printf.eprintf
-          "mutants: FAILED — the correct supervisor lost accepted writes \
-           on the same crash schedule\n";
-        exit 1
-      end
+        (if mutant then "" else " (control)")
+        m.Chaos.expected m.Chaos.final_size m.Chaos.lost
+        (verdict ~mutant m.Chaos.caught)
+    in
+    let breaker mutant =
+      let m = Chaos.mutation_breaker ~mutate:mutant (module Dict.Citrus_epoch) in
+      Printf.printf
+        "  breaker-never-opens%s: crash=%b tripped=%b rejected=%b -> %s\n%!"
+        (if mutant then "" else " (control)")
+        m.Chaos.crash_seen m.Chaos.tripped m.Chaos.rejected
+        (verdict ~mutant m.Chaos.caught)
+    in
+    let deadline mutant =
+      let m =
+        Chaos.mutation_deadline ~mutate:mutant (module Dict.Citrus_epoch)
+      in
+      Printf.printf
+        "  drain-skips-deadline%s: queued %d, applied %d -> %s\n%!"
+        (if mutant then "" else " (control)")
+        m.Chaos.queued m.Chaos.applied
+        (verdict ~mutant m.Chaos.caught)
+    in
+    backlog true;
+    breaker true;
+    deadline true;
+    if not skip_controls then begin
+      backlog false;
+      breaker false;
+      deadline false
     end;
-    print_endline "mutants: OK (backlog loss detected, control clean)";
+    if !failed then begin
+      Printf.eprintf
+        "mutants: FAILED — a seeded serving-layer bug escaped or a control \
+         tripped (see above)\n";
+      exit 1
+    end;
+    print_endline
+      "mutants: OK (backlog loss, silent breaker, and skipped deadlines all \
+       detected; controls clean)";
     exit 0
   end;
   let results, controls =
@@ -916,6 +972,18 @@ let chaos_cmd =
       & info [ "stall-delay-ms" ]
           ~doc:"Drain-wedge duration per firing, milliseconds.")
   in
+  let stall_reader =
+    Arg.(
+      value & flag
+      & info [ "stall-reader" ]
+          ~doc:
+            "Park an RCU reader mid-section on shard 0 for ~40% of the run \
+             under a narrowed reclaimer watermark, and additionally assert \
+             graceful degradation: reclamation pressure crosses the latch \
+             threshold but stays bounded, and at least one circuit breaker \
+             opens. Implies $(b,--call-rcu) (pressure needs a reclaimer) \
+             and narrows the key range for delete density.")
+  in
   let p99_bound_ms =
     Arg.(
       value & opt float 250.0
@@ -974,8 +1042,8 @@ let chaos_cmd =
     Term.(
       const chaos $ structure $ shards $ clients $ queue_depth $ drain_batch
       $ rate $ duration $ keys $ contains $ crashes $ stall_rate
-      $ stall_delay_ms $ p99_bound_ms $ seed $ sanitize $ lockdep $ call_rcu
-      $ quick $ json)
+      $ stall_delay_ms $ stall_reader $ p99_bound_ms $ seed $ sanitize
+      $ lockdep $ call_rcu $ quick $ json)
 
 let torture_cmd =
   let flavour =

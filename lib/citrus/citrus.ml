@@ -742,6 +742,17 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
   let shutdown t =
     match t.reclaimer with Some rc -> Rec.stop rc | None -> ()
 
+  let reclaim_pressure t =
+    match t.reclaimer with None -> 0.0 | Some rc -> Rec.pressure rc
+
+  (* Hold one read-side critical section open around [f] — the
+     stall-injection seam the chaos harness uses to park a reader
+     mid-section and watch the retired backlog respond. Not a hot path,
+     so Fun.protect's closures are fine here. *)
+  let with_reader h f =
+    R.read_lock h.rt;
+    Fun.protect ~finally:(fun () -> R.read_unlock h.rt) f
+
   (* --- Maintenance rebalancing (the paper's first future-work item) ---
 
      Citrus is unbalanced; these relativistic rotations restore balance

@@ -138,6 +138,21 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) : sig
       its reclaimer's counters (reclaim_batches, reclaimer_crashes,
       reclaim_backpressure, reclaim_pending). *)
 
+  val reclaim_pressure : 'v t -> float
+  (** Backlog pressure of the tree's call_rcu reclaimer
+      ([Repro_rcu.Reclaimer.Make.pressure]): 0.0 without a reclaimer or
+      when idle, 1.0 when the fullest retired bag reaches its watermark.
+      Racy snapshot, safe to poll concurrently — the serving layer's
+      admission control reads it per drain batch (SERVING.md). *)
+
+  val with_reader : 'v handle -> (unit -> 'a) -> 'a
+  (** Run [f] inside one read-side critical section on [h]'s slot —
+      every grace period started while [f] runs waits for it to return.
+      The chaos harness's stall-injection seam ([citrus_tool chaos
+      --stall-reader]); [f] must not call operations on the same handle
+      that wait for a grace period. The section is exited even when [f]
+      raises. *)
+
   (** {2 Maintenance rebalancing}
 
       The paper's first future-work item ("extend Citrus to a balanced

@@ -23,6 +23,8 @@ module Citrus_adapter
   let insert = T.insert
   let delete = T.delete
   let shutdown = T.shutdown
+  let reclaim_pressure = T.reclaim_pressure
+  let with_reader = T.with_reader
   let size = T.size
   let to_list = T.to_list
   let check = T.check_invariants
@@ -58,6 +60,8 @@ module Rb : DICT = struct
   let insert = T.insert
   let delete = T.delete
   let shutdown _ = ()
+  let reclaim_pressure _ = 0.0
+  let with_reader _ f = f ()
   let size = T.size
   let to_list = T.to_list
   let check = T.check_invariants
@@ -79,6 +83,8 @@ module Bonsai : DICT = struct
   let insert = B.Bonsai.insert
   let delete = B.Bonsai.delete
   let shutdown _ = ()
+  let reclaim_pressure _ = 0.0
+  let with_reader _ f = f ()
   let size = B.Bonsai.size
   let to_list = B.Bonsai.to_list
   let check = B.Bonsai.check_invariants
@@ -100,6 +106,8 @@ module Avl : DICT = struct
   let insert = B.Avl.insert
   let delete = B.Avl.delete
   let shutdown _ = ()
+  let reclaim_pressure _ = 0.0
+  let with_reader _ f = f ()
   let size = B.Avl.size
   let to_list = B.Avl.to_list
   let check = B.Avl.check_invariants
@@ -121,6 +129,8 @@ module Nm : DICT = struct
   let insert = B.Nm_bst.insert
   let delete = B.Nm_bst.delete
   let shutdown _ = ()
+  let reclaim_pressure _ = 0.0
+  let with_reader _ f = f ()
   let size = B.Nm_bst.size
   let to_list = B.Nm_bst.to_list
   let check = B.Nm_bst.check_invariants
@@ -142,6 +152,8 @@ module Skiplist : DICT = struct
   let insert = B.Skiplist.insert
   let delete = B.Skiplist.delete
   let shutdown _ = ()
+  let reclaim_pressure _ = 0.0
+  let with_reader _ f = f ()
   let size = B.Skiplist.size
   let to_list = B.Skiplist.to_list
   let check = B.Skiplist.check_invariants
@@ -163,6 +175,8 @@ module Ellen : DICT = struct
   let insert = B.Ellen_bst.insert
   let delete = B.Ellen_bst.delete
   let shutdown _ = ()
+  let reclaim_pressure _ = 0.0
+  let with_reader _ f = f ()
   let size = B.Ellen_bst.size
   let to_list = B.Ellen_bst.to_list
   let check = B.Ellen_bst.check_invariants
@@ -184,6 +198,8 @@ module Lazy_list : DICT = struct
   let insert = B.Lazy_list.insert
   let delete = B.Lazy_list.delete
   let shutdown _ = ()
+  let reclaim_pressure _ = 0.0
+  let with_reader _ f = f ()
   let size = B.Lazy_list.size
   let to_list = B.Lazy_list.to_list
   let check = B.Lazy_list.check_invariants
@@ -205,6 +221,8 @@ module Cf : DICT = struct
   let insert = B.Cf_tree.insert
   let delete = B.Cf_tree.delete
   let shutdown _ = ()
+  let reclaim_pressure _ = 0.0
+  let with_reader _ f = f ()
   let size = B.Cf_tree.size
   let to_list = B.Cf_tree.to_list
   let check = B.Cf_tree.check_invariants
@@ -226,6 +244,8 @@ module Rcu_hash : DICT = struct
   let insert = B.Rcu_hash.insert
   let delete = B.Rcu_hash.delete
   let shutdown _ = ()
+  let reclaim_pressure _ = 0.0
+  let with_reader _ f = f ()
   let size = B.Rcu_hash.size
   let to_list = B.Rcu_hash.to_list
   let check = B.Rcu_hash.check_invariants
@@ -247,6 +267,8 @@ module Coarse : DICT = struct
   let insert = B.Coarse_bst.insert
   let delete = B.Coarse_bst.delete
   let shutdown _ = ()
+  let reclaim_pressure _ = 0.0
+  let with_reader _ f = f ()
   let size = B.Coarse_bst.size
   let to_list = B.Coarse_bst.to_list
   let check = B.Coarse_bst.check_invariants

@@ -34,6 +34,22 @@ module type DICT = sig
       structures with asynchronous reclamation, and before the process
       exits. Idempotent. *)
 
+  val reclaim_pressure : t -> float
+  (** Deferred-reclamation backlog pressure: 0.0 for structures that
+      reclaim synchronously (or have no reclaimer), rising to 1.0 as a
+      call_rcu tree's retired backlog approaches its watermark. Racy
+      snapshot, safe to poll concurrently; the serving layer's
+      admission control reads it (SERVING.md, "Reclamation-aware
+      admission"). *)
+
+  val with_reader : handle -> (unit -> unit) -> unit
+  (** Run the thunk inside one read-side critical section where the
+      structure has one (RCU trees: every grace period started while it
+      runs must wait for it), plainly otherwise. The chaos harness's
+      reader-stall injection seam ([citrus_tool chaos --stall-reader]);
+      the thunk must not perform operations that wait for a grace
+      period. *)
+
   (** {2 Quiescent-state helpers} *)
 
   val size : t -> int

@@ -66,6 +66,23 @@ let set_watermark n =
 
 let watermark () = Atomic.get default_watermark
 
+(* How long one grace-period wait may run before [pressure] reports the
+   instance saturated. Bag depth alone cannot see a stalled reader: the
+   first blocked unlink continuation holds its node locks, updaters
+   convoy on those locks and stop retiring, and the bags sit nearly
+   empty while reclamation is wedged — the chaos stall-reader scenario.
+   A healthy grace period is microseconds to low milliseconds, so 10 ms
+   of blocking means readers have stopped completing, not that the
+   reclaimer is merely busy. *)
+let default_gp_stall_ns = Atomic.make 10_000_000
+
+let set_gp_stall_ns n =
+  if n <= 0 then
+    invalid_arg "Reclaimer.set_gp_stall_ns: threshold must be positive";
+  Atomic.set default_gp_stall_ns n
+
+let gp_stall_ns () = Atomic.get default_gp_stall_ns
+
 (* Test-only seeded mutant: a reclaimer that frees without waiting for the
    retired pointer's grace period — the early-free bug class the whole
    cookie discipline exists to prevent. Set only by the mutation suite
@@ -117,6 +134,12 @@ module Make (R : Rcu_intf.S) = struct
     batches : int Atomic.t;
     crashes : int Atomic.t;
     backpressure : int Atomic.t; (* full-bag producer waits *)
+    (* Timestamp (ns) of the oldest in-flight grace-period wait, 0 when
+       none is blocked. Set by whichever domain (reclaimer or an
+       inline-freeing producer) first blocks in [cond_synchronize];
+       [pressure] reads it to detect a stalled grace period that bag
+       depth cannot show. *)
+    blocked_since : int Atomic.t;
     (* The batch gathered out of the bags and how far freeing progressed —
        the crash-holdover protocol of the shard updater: an incarnation
        that dies mid-batch leaves exactly the unfreed remainder here for
@@ -151,6 +174,50 @@ module Make (R : Rcu_intf.S) = struct
       (Array.length (Atomic.get t.pending) - Atomic.get t.pending_at)
       (Atomic.get t.producers)
 
+  let capacity t = t.capacity
+
+  (* Backlog pressure for admission control: the fullest bag's fill
+     fraction (the bag about to engage producer backpressure), plus the
+     held-over batch — not the bag-count-diluted total, which would hide
+     one wedged producer behind many idle ones — plus 1.0 whenever a
+     grace-period wait has been blocked past [gp_stall_ns]. The stall
+     term is what makes a parked reader visible: its first blocked
+     unlink continuation holds node locks, updaters convoy on them and
+     stop retiring, so the bags stay nearly empty exactly when
+     reclamation is most wedged. Racy snapshot; > 1.0 means saturated
+     (a stalled grace period, or a held-over batch on a full bag). *)
+  let pressure t =
+    let hot =
+      List.fold_left (fun acc p -> max acc (bag_depth p)) 0
+        (Atomic.get t.producers)
+    in
+    let held =
+      Array.length (Atomic.get t.pending) - Atomic.get t.pending_at
+    in
+    let base =
+      float_of_int (max 0 hot + max 0 held) /. float_of_int t.capacity
+    in
+    let since = Atomic.get t.blocked_since in
+    if since > 0 && Metrics.now_ns () - since > gp_stall_ns () then
+      base +. 1.0
+    else base
+
+  (* Grace-period wait with stall bookkeeping: the first domain to block
+     claims [blocked_since] (CAS from 0) and clears it when the wait
+     returns — including by exception ([Stall.Stalled] in fail mode, a
+     lockdep violation). Concurrent waiters past the first don't extend
+     the window; good enough for a monitoring signal. *)
+  let timed_synchronize t cookie =
+    if not (R.poll t.rcu cookie) then begin
+      let claimed =
+        Atomic.compare_and_set t.blocked_since 0 (Metrics.now_ns ())
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          if claimed then Atomic.set t.blocked_since 0)
+        (fun () -> R.cond_synchronize t.rcu cookie)
+    end
+
   (* Consumer side; single-threaded (the reclaimer domain, or [stop] after
      the join). *)
   let take p =
@@ -171,7 +238,7 @@ module Make (R : Rcu_intf.S) = struct
        item's grace period, so after one real wait the rest are satisfied
        [poll]s. The seeded early-free mutant skips the wait — that free
        races pre-existing readers, which is what the sanitizer catches. *)
-    if not (Atomic.get early_free_bug) then R.cond_synchronize t.rcu it.cookie;
+    if not (Atomic.get early_free_bug) then timed_synchronize t it.cookie;
     it.run ()
 
   (* Free the held-over batch, advancing the cursor only after each item
@@ -270,6 +337,7 @@ module Make (R : Rcu_intf.S) = struct
         batches = Atomic.make 0;
         crashes = Atomic.make 0;
         backpressure = Atomic.make 0;
+        blocked_since = Atomic.make 0;
         pending = Atomic.make [||];
         pending_at = Atomic.make 0;
         domain_id = Atomic.make (-1);
@@ -280,7 +348,7 @@ module Make (R : Rcu_intf.S) = struct
     t
 
   let inline_free t it =
-    R.cond_synchronize t.rcu it.cookie;
+    timed_synchronize t it.cookie;
     it.run ()
 
   (* [shadow] threading mirrors [Defer.defer]: Deferred at enqueue (so a

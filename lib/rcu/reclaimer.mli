@@ -54,6 +54,18 @@ val set_watermark : int -> unit
 
 val watermark : unit -> int
 
+val set_gp_stall_ns : int -> unit
+(** How long one grace-period wait may block before {!Make.pressure}
+    reports the instance saturated (default 10 ms). A healthy grace
+    period completes in microseconds to low milliseconds; a wait past
+    this threshold means readers have stopped completing — a parked or
+    wedged reader — which bag depth alone cannot show (the blocked
+    unlink continuation holds node locks, updaters convoy on them, and
+    retirement stops while the bags sit nearly empty). Raises
+    [Invalid_argument] if not positive. *)
+
+val gp_stall_ns : unit -> int
+
 (** Test-only seeded mutant (mutation suite, [citrus_tool mutants]): a
     reclaimer that frees retired pointers without waiting for their
     grace-period cookies — the early-free bug the cookie discipline
@@ -108,6 +120,19 @@ module Make (R : Rcu_intf.S) : sig
 
   val pending : t -> int
   (** Retired pointers not yet freed (racy snapshot). *)
+
+  val capacity : t -> int
+  (** The per-bag watermark this reclaimer was created with. *)
+
+  val pressure : t -> float
+  (** Backlog pressure: the fullest retired bag's fill fraction against
+      the watermark, plus any held-over batch — 0.0 idle, 1.0 at the
+      watermark (producer backpressure about to engage) — plus 1.0
+      whenever a grace-period wait has been blocked longer than
+      {!gp_stall_ns} (a stalled reader: the saturation case bag depth
+      cannot see). Values above 1.0 mean saturated. Racy snapshot; the
+      serving layer polls it for reclamation-aware admission
+      (SERVING.md). *)
 
   val batches : t -> int
   (** Reclaim passes that freed at least one pointer. *)

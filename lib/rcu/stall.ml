@@ -91,7 +91,25 @@ let report ~flavour ~slot ~nesting ~phase ~elapsed_ns ~grace_periods =
     trace_tail = tail_of_trace ();
   }
 
+(* Stall recency, consumed by the serving layer's admission control
+   (Health): a grace period that recently stalled means reclamation is
+   (or was moments ago) wedged behind a parked reader, so backlog
+   pressure should be treated as rising even before the retired bags
+   fill. Monotonic-clock timestamps, process-global like the watchdog
+   itself. *)
+let last_stall = Atomic.make 0
+let stall_total = Atomic.make 0
+
+let last_stall_ns () = Atomic.get last_stall
+let stall_count () = Atomic.get stall_total
+
+let recently_stalled ~within_ns =
+  let t = Atomic.get last_stall in
+  t > 0 && Trace.now_ns () - t <= within_ns
+
 let note r =
+  Atomic.set last_stall (Trace.now_ns ());
+  Atomic.incr stall_total;
   if Metrics.enabled () then Stats.incr Metrics.rcu_stalls (Metrics.slot ());
   Trace.record Stall r.slot;
   (Atomic.get handler) r;

@@ -78,4 +78,23 @@ val report :
 
 val note : report -> unit
 (** Emit: bump [rcu_stalls], record the [Stall] trace event, invoke the
-    handler, and raise {!Stalled} in [Fail] mode. *)
+    handler, and raise {!Stalled} in [Fail] mode. Also stamps the
+    process-global stall-recency clock read by {!recently_stalled}. *)
+
+(** {2 Stall recency}
+
+    Process-global, watchdog-wide signals for admission control: the
+    serving layer treats a recent grace-period stall as rising
+    reclamation pressure even before the retired bags fill
+    (SERVING.md, "Reclamation-aware admission"). *)
+
+val last_stall_ns : unit -> int
+(** Monotonic timestamp of the most recent {!note} (0 if none ever). *)
+
+val stall_count : unit -> int
+(** Total stall reports noted since process start (unlike the
+    [rcu_stalls] metric, never reset). *)
+
+val recently_stalled : within_ns:int -> bool
+(** True when a stall was noted within the last [within_ns]
+    nanoseconds. *)

@@ -3,11 +3,12 @@ module Open_loop = Repro_workload.Open_loop
 module Json = Repro_obs.Json
 module Metrics = Repro_sync.Metrics
 module Fault = Repro_fault.Fault
+module Reclaimer = Repro_rcu.Reclaimer
 
 (* Chaos harness for the serving layer: drive the sharded service with
    open-loop load while repeatedly crashing updater domains (and
-   optionally stalling drains), then prove end to end that no accepted
-   write was lost.
+   optionally stalling drains or parking an RCU reader mid-section),
+   then prove end to end that no accepted write was lost.
 
    The proof is a per-client ledger. Each client owns a private slice of
    the key space (key = harness_key * clients + client_index), so every
@@ -31,6 +32,8 @@ type cfg = {
   crashes_per_shard : int;
   stall_rate : float;
   stall_delay_ns : int;
+  stall_reader : bool;
+  stall_reader_watermark : int;
   recovery_p99_bound_ns : int;
   seed : int64;
 }
@@ -38,7 +41,8 @@ type cfg = {
 let cfg ?(shards = 4) ?(clients = 4) ?(queue_depth = 1024) ?(drain_batch = 64)
     ?(rate = 20_000.0) ?(duration = 2.0) ?(key_range = 8_192)
     ?(contains_pct = 20) ?(crashes_per_shard = 3) ?(stall_rate = 0.0)
-    ?(stall_delay_ns = 2_000_000) ?(recovery_p99_bound_ns = 250_000_000)
+    ?(stall_delay_ns = 2_000_000) ?(stall_reader = false)
+    ?(stall_reader_watermark = 128) ?(recovery_p99_bound_ns = 250_000_000)
     ?(seed = 42L) () =
   if crashes_per_shard < 0 then
     invalid_arg "Chaos.cfg: crashes_per_shard must be >= 0";
@@ -46,6 +50,8 @@ let cfg ?(shards = 4) ?(clients = 4) ?(queue_depth = 1024) ?(drain_batch = 64)
     invalid_arg "Chaos.cfg: contains_pct must be in [0, 100]";
   if stall_rate < 0.0 || stall_rate > 1.0 then
     invalid_arg "Chaos.cfg: stall_rate must be in [0, 1]";
+  if stall_reader_watermark <= 0 then
+    invalid_arg "Chaos.cfg: stall_reader_watermark must be positive";
   {
     shards;
     clients;
@@ -58,6 +64,8 @@ let cfg ?(shards = 4) ?(clients = 4) ?(queue_depth = 1024) ?(drain_batch = 64)
     crashes_per_shard;
     stall_rate;
     stall_delay_ns;
+    stall_reader;
+    stall_reader_watermark;
     recovery_p99_bound_ns;
     seed;
   }
@@ -72,6 +80,8 @@ type result = {
   recovery_samples : int;
   recovery_p99_ns : int; (* 0 when no restart happened *)
   health : Health.state array;
+  breaker_trips : int; (* total Open transitions across shards *)
+  max_pressure : float; (* worst reclamation pressure observed (stall-reader) *)
   shutdown : Shard_router.shutdown_result;
   failures : string list; (* empty = the run proves the claims *)
 }
@@ -105,11 +115,23 @@ let run (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
       reset_after_ns = 500_000_000;
     }
   in
+  (* Stall-reader runs narrow the reclaimer watermark so the retired
+     backlog crosses the pressure thresholds within a short run (the
+     watermark is read at table creation; restore it right after). They
+     also arm the mod-queue staleness watchdog: a bag-full updater
+     blocks in the inline-free grace period, and the producers are the
+     side that must notice. *)
+  let saved_watermark = Reclaimer.watermark () in
+  if c.stall_reader then Reclaimer.set_watermark c.stall_reader_watermark;
   let t =
     S.create ~shards:c.shards ~queue_depth:c.queue_depth
       ~drain_batch:c.drain_batch ~max_clients:(c.clients + 2)
-      ~supervisor:policy ()
+      ~supervisor:policy ~seed:c.seed ()
   in
+  if c.stall_reader then Reclaimer.set_watermark saved_watermark;
+  let saved_stall_thr = Mod_queue.stall_threshold_ns () in
+  if c.stall_reader && saved_stall_thr = 0 then
+    Mod_queue.set_stall_threshold_ns 50_000_000;
   S.start t;
   if c.stall_rate > 0.0 then
     Fault.set "server.drain.stall" ~rate:c.stall_rate
@@ -129,9 +151,24 @@ let run (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
   let make_client i =
     let h = S.register t in
     let ledger = ledgers.(i) in
+    (* The ledger needs "accepted implies applied", so chaos writes carry
+       no deadline — an expired entry is accepted-then-unapplied by
+       design, which would poison the audit. Breaker rejects are
+       backpressure that clears ([Busy]); [Expired] cannot occur with
+       deadline 0 but maps terminal for totality. *)
+    let write_outcome = function
+      | Error
+          ( Shard_router.Full | Shard_router.Overload
+          | Shard_router.Breaker_open ) ->
+          Open_loop.Busy
+      | Error Shard_router.Expired -> Open_loop.Expired
+      | Error (Shard_router.Failed | Shard_router.Shutdown) ->
+          Open_loop.Dropped
+      | Ok () -> assert false (* accepted writes are handled inline *)
+    in
     {
       Open_loop.run_op =
-        (fun op k ->
+        (fun op k _deadline ->
           (* Private key slice: k mod clients = i, so nobody else ever
              writes this key. *)
           let key = (k * c.clients) + i in
@@ -143,18 +180,14 @@ let run (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
                   Hashtbl.replace ledger key (Some key);
                   accepted.(i) <- accepted.(i) + 1;
                   Open_loop.Applied true
-              | Error (Shard_router.Full | Shard_router.Overload) ->
-                  Open_loop.Busy
-              | Error _ -> Open_loop.Dropped)
+              | Error _ as e -> write_outcome e)
           | W.Delete -> (
               match S.delete h key with
               | Ok () ->
                   Hashtbl.replace ledger key None;
                   accepted.(i) <- accepted.(i) + 1;
                   Open_loop.Applied true
-              | Error (Shard_router.Full | Shard_router.Overload) ->
-                  Open_loop.Busy
-              | Error _ -> Open_loop.Dropped));
+              | Error _ as e -> write_outcome e));
       finish = (fun () -> S.unregister h);
     }
   in
@@ -200,10 +233,53 @@ let run (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
         in
         round 1)
   in
+  (* Reader parker: after a quarter of the run, hold an RCU read section
+     open on shard 0 for ~40% of the run, sampling every shard's
+     reclamation pressure while parked. Grace periods on that shard
+     cannot complete; the first blocked unlink continuation holds its
+     node locks, the updater convoys on them, and the pressure signal's
+     grace-period-stall term saturates (>= 1.0) while the retired bags
+     stay small — which is itself the boundedness evidence: lock
+     inheritance throttles retirement, and the stall term is what makes
+     the wedge visible to admission control. *)
+  let max_pressure = Atomic.make 0.0 in
+  let sample_pressure () =
+    Array.iter
+      (fun p ->
+        let rec bump () =
+          let cur = Atomic.get max_pressure in
+          if p > cur && not (Atomic.compare_and_set max_pressure cur p) then
+            bump ()
+        in
+        bump ())
+      (S.reclaim_pressures t)
+  in
+  let parker =
+    if not c.stall_reader then None
+    else
+      Some
+        (Domain.spawn (fun () ->
+             Unix.sleepf (c.duration *. 0.25);
+             if not (Atomic.get stop_driver) then
+               S.with_shard_reader t 0 (fun () ->
+                   let until =
+                     now_ns () + int_of_float (c.duration *. 0.4e9)
+                   in
+                   while
+                     now_ns () < until && not (Atomic.get stop_driver)
+                   do
+                     sample_pressure ();
+                     Unix.sleepf 0.002
+                   done)))
+  in
   let load = Open_loop.run spec make_client in
   Atomic.set stop_driver true;
   Domain.join driver;
+  (match parker with Some d -> Domain.join d | None -> ());
+  if c.stall_reader && saved_stall_thr = 0 then
+    Mod_queue.set_stall_threshold_ns 0;
   if c.stall_rate > 0.0 then Fault.set "server.drain.stall" ~rate:0.0;
+  let breaker_trips = S.breaker_trips t in
   let crashes = S.crashes t in
   let restarts = S.restarts t in
   let shutdown = S.shutdown ~deadline_ns:10_000_000_000 t in
@@ -220,11 +296,32 @@ let run (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
     (fun i st ->
       if st = Health.Failed then fail "shard %d failed (budget exhausted)" i)
     health;
+  (* A parked reader can wedge shard 0's updater in an inline-free grace
+     period, delaying crash-flag consumption past the driver's bounded
+     wait — so the stall-reader scenario only requires each shard to
+     have crashed at all, not the full round count. *)
+  let wanted_crashes =
+    if c.stall_reader then min 1 c.crashes_per_shard else c.crashes_per_shard
+  in
   Array.iteri
     (fun i n ->
-      if n < c.crashes_per_shard then
-        fail "shard %d crashed %d times, wanted >= %d" i n c.crashes_per_shard)
+      if n < wanted_crashes then
+        fail "shard %d crashed %d times, wanted >= %d" i n wanted_crashes)
     crashes;
+  if c.stall_reader then begin
+    (* The graceful-degradation claims: the pressure signal crossed the
+       latch threshold, it stayed bounded (the ring caps the bag at the
+       watermark and [pending] holds at most one spliced bag, so > 2.5x
+       means the accounting broke), and the breakers actually opened —
+       overload feedback reached admission control. *)
+    let p = Atomic.get max_pressure in
+    if p < 0.75 then
+      fail "stall-reader: max reclamation pressure %.2f never crossed 0.75" p;
+    if p > 2.5 then
+      fail "stall-reader: reclamation pressure %.2f not bounded (> 2.5)" p;
+    if breaker_trips = 0 then
+      fail "stall-reader: no breaker ever opened under reclamation overload"
+  end;
   let recovery_p99_ns = percentile_ns recovery 99.0 in
   if recovery_p99_ns > c.recovery_p99_bound_ns then
     fail "recovery p99 %d ns exceeds bound %d ns" recovery_p99_ns
@@ -271,6 +368,8 @@ let run (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
     recovery_samples = List.length recovery;
     recovery_p99_ns;
     health;
+    breaker_trips;
+    max_pressure = Atomic.get max_pressure;
     shutdown;
     failures = List.rev !failures;
   }
@@ -287,6 +386,7 @@ let json (c : cfg) (r : result) =
       ("duration_s", Json.Float c.duration);
       ("crashes_per_shard", Json.Int c.crashes_per_shard);
       ("stall_rate", Json.Float c.stall_rate);
+      ("stall_reader", Json.Bool c.stall_reader);
       ( "ops",
         Json.Obj
           [
@@ -304,6 +404,8 @@ let json (c : cfg) (r : result) =
       );
       ("recovery_samples", Json.Int r.recovery_samples);
       ("recovery_p99_ns", Json.Int r.recovery_p99_ns);
+      ("breaker_trips", Json.Int r.breaker_trips);
+      ("max_reclaim_pressure", Json.Float r.max_pressure);
       ( "health",
         Json.List
           (Array.to_list
@@ -371,3 +473,131 @@ let mutation ?(mutate = true) (dict : (module Repro_dict.Dict.DICT)) =
   | Shard_router.Forced _ ->
       invalid_arg "Chaos.mutation: shutdown unexpectedly forced");
   { expected = n; final_size = final; lost = n - final; caught = final <> n }
+
+(* --- breaker mutation ---
+
+   An updater crash must open the shard's circuit breaker (the
+   [Supervisor.on_crash] hook), and an open breaker must reject the next
+   write. [mutate_breaker_never_opens] turns trips into no-ops; the
+   mutant is caught when either half of that chain is missing.
+
+   Determinism: a single shard, a single armed crash consumed by a
+   single write, and an open interval configured long enough (>= 1 s
+   after jitter) that the post-trip write always lands inside it. The
+   control trips at crash time and rejects; the mutant never trips, the
+   trip poll times out, and the write is admitted. *)
+
+type breaker_mutation_result = {
+  crash_seen : bool;  (** the armed updater crash fired *)
+  tripped : bool;  (** the breaker recorded an Open transition *)
+  rejected : bool;  (** the post-crash write got [Breaker_open] *)
+  caught : bool;  (** the crash-to-breaker feedback chain is broken *)
+}
+
+let mutation_breaker ?(mutate = true) (dict : (module Repro_dict.Dict.DICT)) =
+  let module D = (val dict) in
+  let module S = Shard_router.Make (D) in
+  let policy =
+    {
+      Supervisor.max_restarts = 4;
+      backoff_base_ns = 100_000;
+      backoff_max_ns = 1_000_000;
+      reset_after_ns = 1_000_000_000;
+    }
+  in
+  (* Open long enough that jitter (>= 0.5x nominal) keeps the breaker
+     open across the post-trip write, however slowly the test host
+     schedules the intervening domains. *)
+  let breaker =
+    {
+      Breaker.default_config with
+      Breaker.open_base_ns = 2_000_000_000;
+      open_max_ns = 4_000_000_000;
+    }
+  in
+  let t =
+    S.create ~shards:1 ~queue_depth:256 ~drain_batch:64 ~max_clients:4
+      ~supervisor:policy ~breaker ~mutate_breaker_never_opens:mutate ()
+  in
+  let h = S.register t in
+  S.start t;
+  S.crash_updater t 0;
+  (* One write to consume the armed crash flag at its application. *)
+  (match S.insert h 0 0 with
+  | Ok () -> ()
+  | Error _ -> invalid_arg "Chaos.mutation_breaker: trigger write rejected");
+  let poll deadline_s cond =
+    let deadline = now_ns () + int_of_float (deadline_s *. 1e9) in
+    let rec go () =
+      if cond () then true
+      else if now_ns () >= deadline then false
+      else begin
+        Unix.sleepf 0.001;
+        go ()
+      end
+    in
+    go ()
+  in
+  let crash_seen = poll 2.0 (fun () -> (S.crashes t).(0) >= 1) in
+  (* The control trips synchronously inside the crash handler, so this
+     poll is only ever slow for the mutant (which times out). *)
+  let tripped = poll 0.5 (fun () -> S.breaker_trips t > 0) in
+  let rejected =
+    match S.insert h 1 1 with
+    | Error Shard_router.Breaker_open -> true
+    | _ -> false
+  in
+  (match S.shutdown ~deadline_ns:5_000_000_000 t with
+  | Shard_router.Drained -> ()
+  | Shard_router.Forced _ ->
+      invalid_arg "Chaos.mutation_breaker: shutdown unexpectedly forced");
+  S.check t;
+  S.unregister h;
+  { crash_seen; tripped; rejected; caught = not (tripped && rejected) }
+
+(* --- deadline mutation ---
+
+   The updater's drain must expire queued entries whose deadline has
+   passed instead of applying them. [mutate_skip_deadline] removes the
+   drain-side check; the mutant is caught when already-dead work still
+   reaches the tree.
+
+   Determinism: the writes are enqueued *before* [start] with a deadline
+   comfortably in the future (so dead-on-arrival admission cannot expire
+   them), then the harness sleeps past that deadline before starting the
+   updater. Every queued entry is therefore expired by the time the
+   first drain runs: the control applies none, the mutant applies all. *)
+
+type deadline_mutation_result = {
+  queued : int;  (** writes accepted into the queue before [start] *)
+  applied : int;  (** keys in the tree after shutdown *)
+  caught : bool;  (** expired work reached the tree *)
+}
+
+let mutation_deadline ?(mutate = true) (dict : (module Repro_dict.Dict.DICT)) =
+  let module D = (val dict) in
+  let module S = Shard_router.Make (D) in
+  let t =
+    S.create ~shards:1 ~queue_depth:256 ~drain_batch:64 ~max_clients:4
+      ~mutate_skip_deadline:mutate ()
+  in
+  let h = S.register t in
+  let n = 50 in
+  let deadline_ns = now_ns () + 20_000_000 in
+  for k = 0 to n - 1 do
+    match S.insert h ~deadline_ns k k with
+    | Ok () -> ()
+    | Error _ ->
+        invalid_arg "Chaos.mutation_deadline: enqueue rejected before start"
+  done;
+  (* Sleep past every queued deadline, then let the updater drain. *)
+  Unix.sleepf 0.06;
+  S.start t;
+  (match S.shutdown ~deadline_ns:5_000_000_000 t with
+  | Shard_router.Drained -> ()
+  | Shard_router.Forced _ ->
+      invalid_arg "Chaos.mutation_deadline: shutdown unexpectedly forced");
+  let applied = S.size t in
+  S.check t;
+  S.unregister h;
+  { queued = n; applied; caught = applied > 0 }

@@ -16,6 +16,14 @@ type t = {
   s : int Atomic.t; (* 0 = healthy, 1 = degraded, 2 = failed *)
   high : int; (* queue depth at/above which Healthy -> Degraded *)
   low : int; (* queue depth at/below which Degraded -> Healthy *)
+  p_high : float; (* reclaim pressure at/above which the latch sets *)
+  p_low : float; (* reclaim pressure at/below which the latch clears *)
+  pressure_latch : bool Atomic.t;
+      (* Reclamation fell behind (retired backlog near its watermark or
+         a grace-period stall): degrade, and keep the shard from healing
+         on queue depth alone — a shed queue drains fast precisely
+         because writes are being shed, while the retired backlog only
+         shrinks once readers let grace periods complete. *)
 }
 
 let code = function Healthy -> 0 | Degraded -> 1 | Failed -> 2
@@ -27,19 +35,29 @@ let state_name = function
 
 let of_code = function 0 -> Healthy | 1 -> Degraded | _ -> Failed
 
-let create ?(high_frac = 0.75) ?(low_frac = 0.25) ~shard ~capacity () =
+let create ?(high_frac = 0.75) ?(low_frac = 0.25) ?(pressure_high = 0.75)
+    ?(pressure_low = 0.25) ~shard ~capacity () =
   if capacity <= 0 then invalid_arg "Health.create: capacity must be positive";
   if
     (not (Float.is_finite high_frac))
     || (not (Float.is_finite low_frac))
     || low_frac < 0.0 || high_frac <= low_frac || high_frac > 1.0
   then invalid_arg "Health.create: want 0 <= low_frac < high_frac <= 1";
+  if
+    (not (Float.is_finite pressure_high))
+    || (not (Float.is_finite pressure_low))
+    || pressure_low < 0.0
+    || pressure_high <= pressure_low
+  then invalid_arg "Health.create: want 0 <= pressure_low < pressure_high";
   {
     shard;
     s = Atomic.make 0;
     (* max 1: a tiny queue still degrades before it is full. *)
     high = max 1 (int_of_float (high_frac *. float_of_int capacity));
     low = int_of_float (low_frac *. float_of_int capacity);
+    p_high = pressure_high;
+    p_low = pressure_low;
+    pressure_latch = Atomic.make false;
   }
 
 let shard t = t.shard
@@ -52,15 +70,36 @@ let trace_change t st = Trace.record Trace.Shard_state ((t.shard * 4) + code st)
 let observe_depth t depth =
   (* Hysteresis: degrade at the high watermark, recover only once the
      queue has drained down to the low one — a queue hovering at the
-     boundary does not flap between shedding and admitting. *)
+     boundary does not flap between shedding and admitting. A set
+     pressure latch blocks the recovery arm: shed queues drain quickly
+     (that is what shedding is for), but the shard is only actually
+     well once reclamation has caught up too. *)
   match Atomic.get t.s with
   | 0 ->
       if depth >= t.high && Atomic.compare_and_set t.s 0 1 then
         trace_change t Degraded
   | 1 ->
-      if depth <= t.low && Atomic.compare_and_set t.s 1 0 then
-        trace_change t Healthy
+      if
+        depth <= t.low
+        && (not (Atomic.get t.pressure_latch))
+        && Atomic.compare_and_set t.s 1 0
+      then trace_change t Healthy
   | _ -> ()
+
+let pressure_latched t = Atomic.get t.pressure_latch
+
+let observe_reclaim_pressure t p =
+  (* Hysteretic like depth: latch at p_high, clear at p_low. Setting the
+     latch also degrades a healthy shard — reclamation debt is overload
+     even with an empty queue, because every applied write adds to a
+     backlog nothing is draining. Clearing only releases the latch;
+     healing stays depth-driven so the two signals compose. *)
+  if p >= t.p_high then begin
+    if Atomic.compare_and_set t.pressure_latch false true then
+      if Atomic.get t.s = 0 && Atomic.compare_and_set t.s 0 1 then
+        trace_change t Degraded
+  end
+  else if p <= t.p_low then ignore (Atomic.compare_and_set t.pressure_latch true false)
 
 let note_stall t =
   (* A stale queue is overload even at modest depth: the updater is not

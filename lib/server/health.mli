@@ -5,13 +5,15 @@
 
     - [Healthy] — everything admitted.
     - [Degraded] — the shard is falling behind (queue depth crossed the
-      high watermark, or the staleness watchdog fired). Fire-and-forget
-      writes are shed first — they carry no waiter to slow down, and
-      shedding them is what lets the queue drain — while
+      high watermark, the staleness watchdog fired, or reclamation
+      pressure latched — see {!observe_reclaim_pressure}).
+      Fire-and-forget writes are shed first — they carry no waiter to
+      slow down, and shedding them is what lets the queue drain — while
       completion-waited writes are still admitted (their waiters are the
       natural backpressure). Recovery is hysteretic: the shard heals only
-      once depth falls to the low watermark, so it does not flap at the
-      boundary.
+      once depth falls to the low watermark {e and} the pressure latch is
+      clear, so it does not flap at the boundary and cannot heal while
+      reclamation debt is still accumulating.
     - [Failed] — terminal; entered by {!mark_failed} when the shard's
       supervisor exhausts its restart budget ({!Supervisor}). Reads keep
       working (the tree is intact); writes are rejected with
@@ -25,10 +27,21 @@ type state = Healthy | Degraded | Failed
 type t
 
 val create :
-  ?high_frac:float -> ?low_frac:float -> shard:int -> capacity:int -> unit -> t
-(** Watermarks as fractions of the owning queue's [capacity]; defaults
-    0.75 / 0.25. @raise Invalid_argument unless
-    [0 <= low_frac < high_frac <= 1] and [capacity > 0]. *)
+  ?high_frac:float ->
+  ?low_frac:float ->
+  ?pressure_high:float ->
+  ?pressure_low:float ->
+  shard:int ->
+  capacity:int ->
+  unit ->
+  t
+(** Depth watermarks as fractions of the owning queue's [capacity]
+    (defaults 0.75 / 0.25); reclamation-pressure latch thresholds in
+    {!Repro_citrus.Citrus.reclaim_pressure} units — fraction of the
+    reclaimer's retired-bag watermark (defaults 0.75 / 0.25, and note
+    pressure may transiently exceed 1.0).
+    @raise Invalid_argument unless [0 <= low_frac < high_frac <= 1],
+      [0 <= pressure_low < pressure_high] and [capacity > 0]. *)
 
 val shard : t -> int
 val state : t -> state
@@ -46,6 +59,20 @@ val observe_depth : t -> int -> unit
 val note_stall : t -> unit
 (** Degrade because the staleness watchdog fired — the updater is not
     draining regardless of depth. *)
+
+val observe_reclaim_pressure : t -> float -> unit
+(** Feed the shard's reclamation pressure (the updater polls
+    [reclaim_pressure] each drain cycle — see {!Shard_router}). At or
+    above [pressure_high] the latch sets and a healthy shard degrades:
+    reclamation debt is overload even with an empty queue, since every
+    applied write retires memory nothing is freeing. While latched,
+    {!observe_depth} cannot heal the shard — shedding empties the queue
+    quickly, but the retired backlog shrinks only when grace periods
+    complete. At or below [pressure_low] the latch clears and recovery
+    returns to depth-driven hysteresis. *)
+
+val pressure_latched : t -> bool
+(** The reclamation-pressure latch is set (monitoring). *)
 
 val mark_failed : t -> bool
 (** Terminal. [true] for the caller that performed the transition (it

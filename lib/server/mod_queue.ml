@@ -15,15 +15,21 @@ module Lockdep = Repro_lockdep.Lockdep
 
 type op = Insert of int * int | Delete of int
 
-(* 0 = pending, 1 = completed false, 2 = completed true, 3 = aborted.
-   A completion is write-once (complete / abort) and spin-read (await);
-   no lock, so a waiter costs the updater nothing. Abort only wins from
-   the pending state — a resolved completion stays resolved, so a purge
-   racing the updater's completion store never un-resolves a result a
-   waiter may already have read. *)
+(* 0 = pending, 1 = completed false, 2 = completed true, 3 = aborted,
+   4 = expired, 5 = replayed false, 6 = replayed true.
+   A completion is write-once (complete / abort / expire / replay) and
+   spin-read (await); no lock, so a waiter costs the updater nothing.
+   Every resolver only wins from the pending state — a resolved
+   completion stays resolved, so a purge racing the updater's completion
+   store never un-resolves a result a waiter may already have read. *)
 type completion = int Atomic.t
 
-type status = Pending | Done of bool | Aborted
+type status =
+  | Pending
+  | Done of bool
+  | Aborted
+  | Expired
+  | Replayed of bool
 
 let completion () = Atomic.make 0
 
@@ -31,12 +37,21 @@ let complete c result = ignore (Atomic.compare_and_set c 0 (if result then 2 els
 
 let abort c = ignore (Atomic.compare_and_set c 0 3)
 
-let peek c =
-  match Atomic.get c with
+let expire c = ignore (Atomic.compare_and_set c 0 4)
+
+let complete_replayed c result =
+  ignore (Atomic.compare_and_set c 0 (if result then 6 else 5))
+
+let status_of_code = function
   | 0 -> Pending
   | 1 -> Done false
   | 2 -> Done true
+  | 4 -> Expired
+  | 5 -> Replayed false
+  | 6 -> Replayed true
   | _ -> Aborted
+
+let peek c = status_of_code (Atomic.get c)
 
 let await c =
   let b = Backoff.create () in
@@ -45,15 +60,26 @@ let await c =
     | 0 ->
         Backoff.once b;
         go ()
-    | 1 -> Some false
-    | 2 -> Some true
-    | _ -> None
+    | code -> status_of_code code
   in
   go ()
 
-type entry = { op : op; completion : completion option; enqueued_at : int }
+type entry = {
+  op : op;
+  completion : completion option;
+  enqueued_at : int;
+  deadline_ns : int;
+  probe : bool;
+}
 
-let dummy = { op = Delete 0; completion = None; enqueued_at = 0 }
+let dummy =
+  {
+    op = Delete 0;
+    completion = None;
+    enqueued_at = 0;
+    deadline_ns = 0;
+    probe = false;
+  }
 
 type t = {
   id : int;
@@ -170,7 +196,7 @@ let check_stall t =
 
 type admit = Admitted | Admit_full | Admit_closed
 
-let enqueue t ?completion op =
+let enqueue t ?completion ?(deadline_ns = 0) ?(probe = false) op =
   (* Fault point fires before the lock so a [Raise] action unwinds with
      the queue untouched. *)
   if Fault.enabled () then Fault.inject fp_enqueue;
@@ -192,7 +218,8 @@ let enqueue t ?completion op =
     Admit_full
   end
   else begin
-    t.buf.((t.head + t.len) mod t.depth) <- { op; completion; enqueued_at };
+    t.buf.((t.head + t.len) mod t.depth)
+    <- { op; completion; enqueued_at; deadline_ns; probe };
     t.len <- t.len + 1;
     if t.len > t.max_depth then t.max_depth <- t.len;
     t.enqueued <- t.enqueued + 1;
@@ -203,7 +230,8 @@ let enqueue t ?completion op =
     Admitted
   end
 
-let try_enqueue t ?completion op = enqueue t ?completion op = Admitted
+let try_enqueue t ?completion ?deadline_ns ?probe op =
+  enqueue t ?completion ?deadline_ns ?probe op = Admitted
 
 let close t =
   Spinlock.acquire t.lock;

@@ -35,26 +35,46 @@ type status =
       (** the accepted write was discarded before application — its shard
           failed past the restart budget or shutdown was forced past the
           drain deadline (see {!purge}) *)
+  | Expired
+      (** the write's end-to-end deadline elapsed before the updater
+          applied it; the drain discarded it unapplied (see {!drain} and
+          SERVING.md, "Deadline propagation") *)
+  | Replayed of bool
+      (** applied by a replacement updater replaying a crashed
+          predecessor's adopted batch; the bool is the operation's
+          observed result {e on replay} — an [Insert] the dead updater
+          may already have applied legitimately reports [false] here, so
+          the honest answer is "applied at least once, result as of the
+          last application" (see SERVING.md, "Crash recovery") *)
 
 val completion : unit -> completion
 (** A fresh pending cell. *)
 
 val complete : completion -> bool -> unit
 (** Resolve the cell with the operation's result (updater side). No-op if
-    the cell was already aborted. *)
+    the cell was already resolved. *)
 
 val abort : completion -> unit
 (** Resolve the cell as abandoned (purge side). No-op if the cell was
     already completed — a resolved result is never un-resolved. *)
 
+val expire : completion -> unit
+(** Resolve the cell as deadline-expired (drain side). No-op if already
+    resolved. *)
+
+val complete_replayed : completion -> bool -> unit
+(** Resolve the cell as applied-by-replay (replacement-updater side),
+    carrying the result of the replayed application. No-op if already
+    resolved. *)
+
 val peek : completion -> status
 
-val await : completion -> bool option
+val await : completion -> status
 (** Spin (with {!Repro_sync.Backoff}, so the wait escalates to naps and
     never starves the updater on one core) until the cell resolves;
-    [Some result] once applied, [None] if the write was aborted. Only
-    terminates if an updater is draining — or a purge abandons — the
-    queue the operation was accepted into. *)
+    returns the resolved status (never [Pending]). Only terminates if an
+    updater is draining — or a purge abandons — the queue the operation
+    was accepted into. *)
 
 (** {2 The queue} *)
 
@@ -62,6 +82,16 @@ type entry = {
   op : op;
   completion : completion option;
   enqueued_at : int;  (** [Metrics.now_ns] at enqueue; 0 if metrics off *)
+  deadline_ns : int;
+      (** absolute completion deadline on the monotonic clock, carried
+          from the client through the router; 0 = none. The updater's
+          drain checks it {e before} applying and resolves expired
+          entries with {!status.Expired} instead of burning time on
+          abandoned work. *)
+  probe : bool;
+      (** the entry was admitted as a {!Breaker} probe ([Half_open]);
+          the updater reports its outcome with [~probe:true] so the
+          breaker can decide close vs re-open *)
 }
 
 type t
@@ -96,15 +126,18 @@ type admit =
       (** {!close} was called — permanent; nothing was queued and an
           attached [completion] never resolves *)
 
-val enqueue : t -> ?completion:completion -> op -> admit
-(** Append an operation. Safe from any domain. Runs the staleness
-    watchdog check when armed (see {!set_stall_threshold_ns}). On
-    [Admit_full]/[Admit_closed] the operation is NOT queued and any
-    [completion] never resolves. *)
+val enqueue :
+  t -> ?completion:completion -> ?deadline_ns:int -> ?probe:bool -> op -> admit
+(** Append an operation, optionally carrying its absolute deadline
+    (default 0 = none) and its breaker-probe flag (default false). Safe
+    from any domain. Runs the staleness watchdog check when armed (see
+    {!set_stall_threshold_ns}). On [Admit_full]/[Admit_closed] the
+    operation is NOT queued and any [completion] never resolves. *)
 
-val try_enqueue : t -> ?completion:completion -> op -> bool
-(** [enqueue t ?completion op = Admitted] — for callers indifferent to
-    the rejection cause. *)
+val try_enqueue :
+  t -> ?completion:completion -> ?deadline_ns:int -> ?probe:bool -> op -> bool
+(** [enqueue t ?completion ?deadline_ns ?probe op = Admitted] — for
+    callers indifferent to the rejection cause. *)
 
 val close : t -> unit
 (** Permanently stop admitting entries ({!enqueue} returns

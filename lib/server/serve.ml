@@ -66,6 +66,9 @@ type result = {
   queues : Mod_queue.stats array;
   rejects_by_reason : (Shard_router.reject * int) list;
   health : Health.state array;
+  breakers : Breaker.state array;
+  breaker_trips : int;
+  breaker_rejects : int;
   shutdown : Shard_router.shutdown_result;
   final_size : int;
   metrics : (string * float) list;
@@ -75,22 +78,28 @@ let all_rejects =
   [
     Shard_router.Full;
     Shard_router.Overload;
+    Shard_router.Breaker_open;
+    Shard_router.Expired;
     Shard_router.Failed;
     Shard_router.Shutdown;
   ]
 
+let n_rejects = List.length all_rejects
+
 let reject_index = function
   | Shard_router.Full -> 0
   | Shard_router.Overload -> 1
-  | Shard_router.Failed -> 2
-  | Shard_router.Shutdown -> 3
+  | Shard_router.Breaker_open -> 2
+  | Shard_router.Expired -> 3
+  | Shard_router.Failed -> 4
+  | Shard_router.Shutdown -> 5
 
 let run ?(observe = false) (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
   let module D = (val dict) in
   let module S = Shard_router.Make (D) in
   let t =
     S.create ~shards:c.shards ~queue_depth:c.queue_depth
-      ~drain_batch:c.drain_batch ~max_clients:(c.clients + 2) ()
+      ~drain_batch:c.drain_batch ~max_clients:(c.clients + 2) ~seed:c.seed ()
   in
   (* Prefill directly (queue-bypassing) before the updaters start, as the
      closed-loop runner does before its clock starts. *)
@@ -114,36 +123,50 @@ let run ?(observe = false) (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
   (* Per-client reject tallies, indexed by [reject_index]; each sub-array
      is written only by its owning client domain and read after
      [Open_loop.run] joins them. *)
-  let reject_tab = Array.init c.clients (fun _ -> Array.make 4 0) in
+  let reject_tab = Array.init c.clients (fun _ -> Array.make n_rejects 0) in
   let make_client i =
     let h = S.register t in
     let rejects = reject_tab.(i) in
-    (* Full/Overload are backpressure the queue can drain — retryable;
-       Failed/Shutdown never heal — terminal. *)
+    (* Full/Overload/Breaker_open are backpressure that clears — the
+       queue drains, the breaker re-offers — so they map to retryable
+       [Busy]; Expired is the service's honest deadline verdict —
+       terminal, retrying known-late work only feeds the spiral;
+       Failed/Shutdown never heal — terminal drops. *)
     let write_outcome = function
       | Ok applied -> Open_loop.Applied applied
       | Error r -> (
           rejects.(reject_index r) <- rejects.(reject_index r) + 1;
           match r with
-          | Shard_router.Full | Shard_router.Overload -> Open_loop.Busy
+          | Shard_router.Full | Shard_router.Overload
+          | Shard_router.Breaker_open ->
+              Open_loop.Busy
+          | Shard_router.Expired -> Open_loop.Expired
           | Shard_router.Failed | Shard_router.Shutdown -> Open_loop.Dropped)
     in
+    let waited r = Result.map Shard_router.write_result_value r in
     {
       Open_loop.run_op =
-        (fun op k ->
+        (fun op k deadline ->
           match op with
           | W.Contains -> Open_loop.Applied (S.mem h k)
           | W.Insert -> (
               match c.write_mode with
-              | Wait -> write_outcome (S.insert_wait h k k)
+              | Wait ->
+                  write_outcome (waited (S.insert_wait h ~deadline_ns:deadline k k))
               | Async ->
                   write_outcome
-                    (Result.map (fun () -> true) (S.insert h k k)))
+                    (Result.map
+                       (fun () -> true)
+                       (S.insert h ~deadline_ns:deadline k k)))
           | W.Delete -> (
               match c.write_mode with
-              | Wait -> write_outcome (S.delete_wait h k)
+              | Wait ->
+                  write_outcome (waited (S.delete_wait h ~deadline_ns:deadline k))
               | Async ->
-                  write_outcome (Result.map (fun () -> true) (S.delete h k))));
+                  write_outcome
+                    (Result.map
+                       (fun () -> true)
+                       (S.delete h ~deadline_ns:deadline k))));
       finish = (fun () -> S.unregister h);
     }
   in
@@ -152,6 +175,9 @@ let run ?(observe = false) (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
      [shutdown] belongs to [drained_total], not the measured interval. *)
   let drained = S.drained t in
   let metrics = if observe then Metrics.snapshot () else [] in
+  let breakers = S.breaker_states t in
+  let breaker_trips = S.breaker_trips t in
+  let breaker_rejects = S.breaker_rejects t in
   let shutdown = S.shutdown ~deadline_ns:c.shutdown_deadline_ns t in
   let drained_total = S.drained t in
   let final_size = S.size t in
@@ -177,6 +203,9 @@ let run ?(observe = false) (dict : (module Repro_dict.Dict.DICT)) (c : cfg) =
     queues = S.queue_stats t;
     rejects_by_reason;
     health = S.health t;
+    breakers;
+    breaker_trips;
+    breaker_rejects;
     shutdown;
     final_size;
     metrics;
@@ -215,6 +244,7 @@ let point_json (r : result) =
             ("dropped", Json.Int l.Open_loop.dropped);
             ("retries", Json.Int l.Open_loop.retries);
             ("deadline_exhausted", Json.Int l.Open_loop.exhausted);
+            ("expired", Json.Int l.Open_loop.expired);
             ("drained", Json.Int r.drained);
             ("drained_total", Json.Int r.drained_total);
           ] );
@@ -259,6 +289,18 @@ let point_json (r : result) =
              (Array.map
                 (fun s -> Json.String (Health.state_name s))
                 r.health)) );
+      ( "breakers",
+        Json.Obj
+          [
+            ("trips", Json.Int r.breaker_trips);
+            ("rejects", Json.Int r.breaker_rejects);
+            ( "final_states",
+              Json.List
+                (Array.to_list
+                   (Array.map
+                      (fun s -> Json.String (Breaker.state_name s))
+                      r.breakers)) );
+          ] );
       ( "shutdown",
         Json.Obj
           (( "mode",

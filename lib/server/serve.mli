@@ -9,10 +9,15 @@
     [citrus_tool serve] and [bench/main.exe -- serve]. See SERVING.md.
 
     Client-side resilience: typed rejects from the router are mapped to
-    the open-loop retry machinery — [Full]/[Overload] are retryable
-    ([Busy], retried with jittered exponential backoff under the per-op
-    deadline budget), [Failed]/[Shutdown] terminal ([Dropped]) — and
-    every reject is also counted by reason in the report. *)
+    the open-loop retry machinery — [Full]/[Overload]/[Breaker_open]
+    are retryable ([Busy], retried with jittered exponential backoff
+    under the per-op deadline budget), [Expired] is the service's
+    deadline verdict (terminal [Expired] — retrying known-late work
+    only feeds the spiral), [Failed]/[Shutdown] terminal ([Dropped]) —
+    and every reject is also counted by reason in the report. When
+    [cfg.deadline_ns] is set, each operation's absolute deadline is
+    propagated through the router into the queue entry, so the
+    updater's drain expires dead work instead of applying it. *)
 
 type write_mode =
   | Async
@@ -88,6 +93,11 @@ type result = {
       (** typed write rejects summed across clients; omits reasons that
           never occurred *)
   health : Health.state array;  (** per-shard, after shutdown *)
+  breakers : Breaker.state array;
+      (** per-shard circuit-breaker states at the end of the measured
+          window (before shutdown) *)
+  breaker_trips : int;  (** total breaker Open transitions, all shards *)
+  breaker_rejects : int;  (** total breaker-rejected writes, all shards *)
   shutdown : Shard_router.shutdown_result;
   final_size : int;  (** total keys across shards after shutdown *)
   metrics : (string * float) list;
@@ -107,10 +117,11 @@ val run : ?observe:bool -> (module Repro_dict.Dict.DICT) -> cfg -> result
 val point_json : result -> Repro_obs.Json.t
 (** One schema-v1 data point: sharding/queue/retry configuration, op
     counts (issued/completed/dropped/retries/deadline_exhausted/
-    drained), rejects by reason, achieved and write throughput, per-op
-    [latency_ns] percentile summaries and drop counts, per-shard queue
-    statistics and health states, the shutdown mode (with per-shard
-    forced-drain reports when forced), and the metrics snapshot. *)
+    expired/drained), rejects by reason, achieved and write throughput,
+    per-op [latency_ns] percentile summaries and drop counts, per-shard
+    queue statistics and health states, breaker trip/reject totals and
+    final states, the shutdown mode (with per-shard forced-drain
+    reports when forced), and the metrics snapshot. *)
 
 val report : ?name:string -> result list -> Repro_obs.Json.t
 (** A full schema-v1 document with the given points as one experiment —

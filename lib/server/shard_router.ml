@@ -2,6 +2,7 @@ module Backoff = Repro_sync.Backoff
 module Metrics = Repro_sync.Metrics
 module Stats = Repro_sync.Stats
 module Fault = Repro_fault.Fault
+module Stall = Repro_rcu.Stall
 
 (* A sharded dictionary service: keys are hashed across [shards]
    independent trees, each with its own RCU domain registration, lock
@@ -26,14 +27,26 @@ module Fault = Repro_fault.Fault
 type reject =
   | Full (* queue at capacity — retryable backpressure *)
   | Overload (* shed by a Degraded shard — retryable *)
+  | Breaker_open (* shard's circuit breaker rejected — retryable *)
+  | Expired (* the write's deadline elapsed before application *)
   | Failed (* shard past its restart budget — permanent *)
   | Shutdown (* router stopping — permanent *)
 
 let reject_name = function
   | Full -> "full"
   | Overload -> "overload"
+  | Breaker_open -> "breaker_open"
+  | Expired -> "expired"
   | Failed -> "failed"
   | Shutdown -> "shutdown"
+
+(* The resolved result of a waited write, distinguishing a normal
+   application from one replayed by a replacement updater after a crash
+   (whose boolean is only "as of the last application" — see
+   [Mod_queue.status]). *)
+type write_result = Applied of bool | Replayed of bool
+
+let write_result_value = function Applied r -> r | Replayed r -> r
 
 (* One report per shard that could not shut down cleanly. *)
 type drain_report = {
@@ -54,6 +67,7 @@ module Make (D : Repro_dict.Dict.DICT) = struct
     table : D.t;
     queue : Mod_queue.t;
     health : Health.t;
+    breaker : Breaker.t;
     crash_flag : bool Atomic.t;
     (* The batch most recently spliced out of [queue], and how far into
        it application has progressed. Written only by the shard's single
@@ -71,7 +85,9 @@ module Make (D : Repro_dict.Dict.DICT) = struct
     shards : shard array;
     drain_batch : int;
     policy : Supervisor.policy;
+    seed : int64;
     mutate_forget_backlog : bool;
+    mutate_skip_deadline : bool;
     stop : bool Atomic.t;
     abandon : bool Atomic.t; (* forced shutdown: exit without draining *)
     mutable supervisors : Supervisor.t array; (* [||] until start *)
@@ -80,9 +96,18 @@ module Make (D : Repro_dict.Dict.DICT) = struct
 
   type handle = { router : t; handles : D.handle array }
 
+  (* Decorrelate per-shard deterministic streams (breaker jitter,
+     supervisor backoff jitter) from one run seed: golden-ratio salt per
+     shard, as in [hash_key]. *)
+  let shard_seed seed i =
+    Int64.logxor seed (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L)
+
   let create ?(shards = 4) ?(queue_depth = 1024) ?(drain_batch = 64)
       ?(max_clients = 64) ?(supervisor = Supervisor.default_policy)
-      ?high_frac ?low_frac ?(mutate_forget_backlog = false) () =
+      ?high_frac ?low_frac ?pressure_high ?pressure_low ?breaker
+      ?(seed = 42L) ?(mutate_forget_backlog = false)
+      ?(mutate_breaker_never_opens = false) ?(mutate_skip_deadline = false)
+      () =
     if shards <= 0 then
       invalid_arg "Shard_router.create: shards must be positive";
     if drain_batch <= 0 then
@@ -98,15 +123,20 @@ module Make (D : Repro_dict.Dict.DICT) = struct
               table = D.create ~max_threads:(max_clients + 2) ();
               queue = Mod_queue.create ~id:i ~depth:queue_depth ();
               health =
-                Health.create ?high_frac ?low_frac ~shard:i
-                  ~capacity:queue_depth ();
+                Health.create ?high_frac ?low_frac ?pressure_high
+                  ?pressure_low ~shard:i ~capacity:queue_depth ();
+              breaker =
+                Breaker.create ?config:breaker ~seed:(shard_seed seed i)
+                  ~mutate_never_open:mutate_breaker_never_opens ~shard:i ();
               crash_flag = Atomic.make false;
               pending = Atomic.make [||];
               pending_at = Atomic.make 0;
             });
       drain_batch;
       policy = supervisor;
+      seed;
       mutate_forget_backlog;
+      mutate_skip_deadline;
       stop = Atomic.make false;
       abandon = Atomic.make false;
       supervisors = [||];
@@ -153,33 +183,96 @@ module Make (D : Repro_dict.Dict.DICT) = struct
     | Some c -> Mod_queue.complete c result
     | None -> ()
 
+  (* A shard whose grace periods stalled within this window reports full
+     reclamation pressure regardless of bag depth: the backlog is about
+     to grow and nothing will shrink it until the stalled reader moves. *)
+  let stall_recent_ns = 200_000_000
+
+  (* Throttle for the updater's pressure poll: walking the reclaimer's
+     producer bags on every idle spin would be pure overhead. *)
+  let pressure_poll_ns = 1_000_000
+
   (* Updater body, one incarnation: adopt whatever batch the previous
      incarnation left unapplied, then splice-apply-resolve until [stop]
      (drain first) or [abandon] (exit at the next batch boundary). An
      exception — injected or real — escapes to the supervisor after
      [Fun.protect] frees the RCU slot; [pending]/[pending_at] then hold
-     exactly the unapplied remainder for the successor. *)
+     exactly the unapplied remainder for the successor.
+
+     The drain checks each entry's deadline *before* applying it: under
+     overload the queue holds work whose clients have already given up,
+     and burning updater time on it is the head-of-line death spiral —
+     the backlog only ever gets older, so every write waits behind dead
+     ones and expires in turn. Expired entries resolve [Expired] without
+     touching the tree. Each applied/expired entry also feeds the
+     shard's breaker, and the updater is the shard's reclamation-
+     pressure observer: it polls the table's retired-backlog pressure
+     (maxed to 1.0 while grace periods are recently stalled) into
+     [Health] and the [reclaim_pressure] gauge. *)
   let updater t shard () =
     let h = D.register shard.table in
     let idle = Backoff.create () in
-    let apply_entry e =
-      maybe_crash shard;
-      apply_with h e
+    let last_pressure_poll = ref 0 in
+    let observe_pressure () =
+      let now = Metrics.now_ns () in
+      if now - !last_pressure_poll > pressure_poll_ns then begin
+        last_pressure_poll := now;
+        let p = D.reclaim_pressure shard.table in
+        let p =
+          if Stall.recently_stalled ~within_ns:stall_recent_ns then
+            Float.max p 1.0
+          else p
+        in
+        Health.observe_reclaim_pressure shard.health p;
+        if Metrics.enabled () then
+          Stats.Timer.record Metrics.reclaim_pressure (Metrics.slot ())
+            (int_of_float (p *. 1000.0))
+      end
     in
-    let apply_pending () =
+    let apply_entry ~replayed (e : Mod_queue.entry) =
+      maybe_crash shard;
+      let now = Metrics.now_ns () in
+      if
+        e.deadline_ns > 0 && now > e.deadline_ns
+        && not t.mutate_skip_deadline
+      then begin
+        (* Expired in the queue: complete as [Expired] without applying.
+           The client (if waiting) unblocks with the honest verdict, and
+           the expiry feeds the breaker window — a queue full of dead
+           work is exactly the overload the breaker exists to shed. *)
+        (match e.completion with Some c -> Mod_queue.expire c | None -> ());
+        if Metrics.enabled () then
+          Stats.incr Metrics.writes_expired (Metrics.slot ());
+        Breaker.on_failure shard.breaker ~now_ns:now ~probe:e.probe
+      end
+      else begin
+        let result =
+          match e.op with
+          | Mod_queue.Insert (k, v) -> D.insert h k v
+          | Mod_queue.Delete k -> D.delete h k
+        in
+        (match e.completion with
+        | Some c ->
+            if replayed then Mod_queue.complete_replayed c result
+            else Mod_queue.complete c result
+        | None -> ());
+        Breaker.on_success shard.breaker ~now_ns:(Metrics.now_ns ())
+          ~probe:e.probe
+      end
+    in
+    let apply_pending ~replayed =
       let arr = Atomic.get shard.pending in
       while Atomic.get shard.pending_at < Array.length arr do
         let i = Atomic.get shard.pending_at in
-        apply_entry arr.(i);
+        apply_entry ~replayed arr.(i);
         (* Advance only after the entry applied: a crash between the
            apply and this store re-applies that entry, which is
            idempotent at the dictionary level (insert/delete of the same
            key converge) — the loss direction is the one that matters.
-           One caveat, documented on [insert_wait]: a crash landing
-           inside the dictionary operation after it linearized makes the
-           replay return the no-op answer, so the waiter can see
-           [Ok false] for a write that took effect. The completion store
-           sits before the cursor advance, so a crash after it re-delivers
+           A replayed entry resolves [Replayed], the honest status: the
+           predecessor may already have applied it, so its boolean is
+           only "as of the last application". The completion store sits
+           before the cursor advance, so a crash after it re-delivers
            the original result ([complete] never overwrites). *)
         Atomic.set shard.pending_at (i + 1)
       done;
@@ -191,12 +284,15 @@ module Make (D : Repro_dict.Dict.DICT) = struct
       Atomic.set shard.pending_at 0
     in
     let run () =
-      apply_pending ();
+      (* A non-empty [pending] here is a crashed predecessor's adopted
+         batch: every remaining entry resolves [Replayed]. *)
+      apply_pending ~replayed:true;
       let rec loop () =
         if not (Atomic.get t.abandon) then begin
           let batch = Mod_queue.drain shard.queue ~max:t.drain_batch in
           if Array.length batch = 0 then begin
             if not (Atomic.get t.stop) then begin
+              observe_pressure ();
               Backoff.once idle;
               loop ()
             end
@@ -205,8 +301,9 @@ module Make (D : Repro_dict.Dict.DICT) = struct
             Backoff.reset idle;
             Atomic.set shard.pending_at 0;
             Atomic.set shard.pending batch;
-            apply_pending ();
+            apply_pending ~replayed:false;
             Health.observe_depth shard.health (Mod_queue.length shard.queue);
+            observe_pressure ();
             loop ()
           end
         end
@@ -272,6 +369,13 @@ module Make (D : Repro_dict.Dict.DICT) = struct
         Array.mapi
           (fun i s ->
             Supervisor.start ~policy:t.policy
+              ~jitter_seed:(shard_seed t.seed (i + Array.length t.shards))
+              ~on_crash:(fun _ ->
+                (* Every crash trips the breaker: the replacement updater
+                   must be re-offered load on the breaker's probe
+                   schedule, not swamped the instant it adopts the
+                   backlog. *)
+                Breaker.on_crash s.breaker ~now_ns:(Metrics.now_ns ()))
               ?forget_backlog:
                 (if t.mutate_forget_backlog then
                    Some
@@ -422,45 +526,82 @@ module Make (D : Repro_dict.Dict.DICT) = struct
   let get h k = D.contains h.handles.(shard_of h.router k) k
   let mem h k = D.mem h.handles.(shard_of h.router k) k
 
-  (* Admission: shutdown and failure are permanent rejects; a Degraded
-     shard sheds fire-and-forget writes (nobody is waiting — dropping
-     them is what lets the queue drain) while admitting waited ones
-     (their waiter is the natural backpressure); the queue bound rejects
-     the rest. The health observations happen on this path because the
-     producers are the domains still alive when an updater wedges. *)
-  let enqueue h k ~waited ?completion op =
+  (* Admission: shutdown and failure are permanent rejects; a write
+     already past its deadline is refused dead-on-arrival; the breaker
+     gates what is left (its probe verdicts ride into the queue on the
+     entry); a Degraded shard sheds fire-and-forget writes (nobody is
+     waiting — dropping them is what lets the queue drain) while
+     admitting waited ones (their waiter is the natural backpressure)
+     and probes (the breaker cannot close without them); the queue
+     bound rejects the rest. Sheds, full-queue rejects and expiries all
+     feed the breaker's failure window — persistent per-request
+     backpressure is what converts into an open breaker. The health
+     observations happen on this path because the producers are the
+     domains still alive when an updater wedges. *)
+  let enqueue h k ~waited ?completion ?(deadline_ns = 0) op =
     let t = h.router in
     if Atomic.get t.stop then Error Shutdown
     else begin
       let s = t.shards.(shard_of t k) in
       let depth = Mod_queue.length s.queue in
       Health.observe_depth s.health depth;
+      let now = Metrics.now_ns () in
       let thr = Mod_queue.stall_threshold_ns () in
-      if
-        thr > 0 && depth > 0
-        && Metrics.now_ns () - Mod_queue.last_drain_ns s.queue > thr
+      if thr > 0 && depth > 0 && now - Mod_queue.last_drain_ns s.queue > thr
       then Health.note_stall s.health;
       match Health.state s.health with
       | Health.Failed -> Error Failed
-      | Health.Degraded when not waited ->
-          if Metrics.enabled () then
-            Stats.incr Metrics.writes_shed (Metrics.slot ());
-          Error Overload
-      | Health.Degraded | Health.Healthy -> (
-          match Mod_queue.enqueue s.queue ?completion op with
-          | Mod_queue.Admitted -> Ok ()
-          | Mod_queue.Admit_full -> Error Full
-          | Mod_queue.Admit_closed ->
-              (* A failure path or shutdown closed the queue after our
-                 stop/Health checks passed ([close] is taken under the
-                 queue lock, so this entry provably did not land).
-                 Report the cause, not backpressure. *)
-              if Health.state s.health = Health.Failed then Error Failed
-              else Error Shutdown)
+      | (Health.Degraded | Health.Healthy) as hs ->
+          if deadline_ns > 0 && now > deadline_ns then begin
+            (* Dead on arrival — the deadline passed before admission
+               (typically backed-off retries under overload). Refusing
+               here is free; admitting would make the updater drain
+               work no one wants. *)
+            if Metrics.enabled () then
+              Stats.incr Metrics.writes_expired (Metrics.slot ());
+            Breaker.on_failure s.breaker ~now_ns:now ~probe:false;
+            Error Expired
+          end
+          else begin
+            match Breaker.admit s.breaker ~now_ns:now with
+            | Breaker.Reject -> Error Breaker_open
+            | verdict -> (
+                let probe = verdict = Breaker.Probe in
+                if hs = Health.Degraded && (not waited) && not probe then begin
+                  if Metrics.enabled () then
+                    Stats.incr Metrics.writes_shed (Metrics.slot ());
+                  Breaker.on_failure s.breaker ~now_ns:now ~probe:false;
+                  Error Overload
+                end
+                else
+                  match
+                    Mod_queue.enqueue s.queue ?completion ~deadline_ns ~probe
+                      op
+                  with
+                  | Mod_queue.Admitted -> Ok ()
+                  | Mod_queue.Admit_full ->
+                      Breaker.on_failure s.breaker ~now_ns:now ~probe;
+                      Error Full
+                  | Mod_queue.Admit_closed ->
+                      (* A failure path or shutdown closed the queue after
+                         our stop/Health checks passed ([close] is taken
+                         under the queue lock, so this entry provably did
+                         not land). Report the cause, not backpressure. A
+                         claimed probe slot is released as a failure so it
+                         cannot leak the Half_open episode. *)
+                      if probe then
+                        Breaker.on_failure s.breaker ~now_ns:now ~probe;
+                      if Health.state s.health = Health.Failed then
+                        Error Failed
+                      else Error Shutdown)
+          end
     end
 
-  let insert h k v = enqueue h k ~waited:false (Mod_queue.Insert (k, v))
-  let delete h k = enqueue h k ~waited:false (Mod_queue.Delete k)
+  let insert h ?deadline_ns k v =
+    enqueue h k ~waited:false ?deadline_ns (Mod_queue.Insert (k, v))
+
+  let delete h ?deadline_ns k =
+    enqueue h k ~waited:false ?deadline_ns (Mod_queue.Delete k)
 
   (* A waited write whose completion aborts was accepted and then
      discarded by a failure path; report it as the reject that caused
@@ -470,29 +611,62 @@ module Make (D : Repro_dict.Dict.DICT) = struct
     if Health.state s.health = Health.Failed then Error Failed
     else Error Shutdown
 
-  let insert_wait h k v =
-    let c = Mod_queue.completion () in
-    match enqueue h k ~waited:true ~completion:c (Mod_queue.Insert (k, v)) with
-    | Error _ as e -> e
-    | Ok () -> (
-        match Mod_queue.await c with
-        | Some r -> Ok r
-        | None -> aborted_reject h k)
+  let await_result h k c =
+    match Mod_queue.await c with
+    | Mod_queue.Done r -> Ok (Applied r)
+    | Mod_queue.Replayed r -> Ok (Replayed r)
+    | Mod_queue.Expired -> Error Expired
+    | Mod_queue.Aborted | Mod_queue.Pending -> aborted_reject h k
 
-  let delete_wait h k =
+  let insert_wait h ?deadline_ns k v =
     let c = Mod_queue.completion () in
-    match enqueue h k ~waited:true ~completion:c (Mod_queue.Delete k) with
+    match
+      enqueue h k ~waited:true ~completion:c ?deadline_ns
+        (Mod_queue.Insert (k, v))
+    with
     | Error _ as e -> e
-    | Ok () -> (
-        match Mod_queue.await c with
-        | Some r -> Ok r
-        | None -> aborted_reject h k)
+    | Ok () -> await_result h k c
+
+  let delete_wait h ?deadline_ns k =
+    let c = Mod_queue.completion () in
+    match
+      enqueue h k ~waited:true ~completion:c ?deadline_ns (Mod_queue.Delete k)
+    with
+    | Error _ as e -> e
+    | Ok () -> await_result h k c
 
   let load h k v = D.insert h.handles.(shard_of h.router k) k v
 
   let queue_stats t = Array.map (fun s -> Mod_queue.stats s.queue) t.shards
 
   let health t = Array.map (fun s -> Health.state s.health) t.shards
+
+  let breaker_states t = Array.map (fun s -> Breaker.state s.breaker) t.shards
+
+  let breaker_trips t =
+    Array.fold_left (fun acc s -> acc + Breaker.trips s.breaker) 0 t.shards
+
+  let breaker_rejects t =
+    Array.fold_left (fun acc s -> acc + Breaker.rejects s.breaker) 0 t.shards
+
+  let reclaim_pressures t =
+    Array.map (fun s -> D.reclaim_pressure s.table) t.shards
+
+  let pressure_latched t =
+    Array.map (fun s -> Health.pressure_latched s.health) t.shards
+
+  (* Chaos seam: hold an RCU read section open on shard [i]'s table for
+     the duration of [f] — from the calling domain, via a throwaway
+     registration. While [f] runs, no grace period on that shard can
+     complete, so its retired backlog only grows: the stall-reader chaos
+     scenario drives admission control with exactly the pathology the
+     reclamation-pressure path exists for. *)
+  let with_shard_reader t i f =
+    let s = t.shards.(i) in
+    let h = D.register s.table in
+    Fun.protect
+      ~finally:(fun () -> D.unregister h)
+      (fun () -> D.with_reader h f)
 
   let crashes t = Array.map Supervisor.crashes t.supervisors
 

@@ -31,20 +31,41 @@
     domain. *)
 
 (** Why a write was not admitted (or, for waited writes, was admitted
-    and then discarded by a failure path). [Full] and [Overload] are
-    retryable — the backlog can drain; [Failed] and [Shutdown] are
-    permanent for the shard/router respectively. *)
+    and then discarded or expired by a failure path). [Full], [Overload]
+    and [Breaker_open] are retryable — the backlog can drain and the
+    breaker re-offers; [Expired] is terminal for the operation (its
+    deadline is gone); [Failed] and [Shutdown] are permanent for the
+    shard/router respectively. *)
 type reject =
   | Full  (** owning shard's queue at capacity (backpressure) *)
   | Overload
       (** shed: the owning shard is [Degraded] and the write carried no
           completion to wait on *)
+  | Breaker_open
+      (** the owning shard's circuit {!Breaker} rejected the write —
+          the shard recently crashed or its failure rate tripped; admit
+          resumes on the breaker's jittered probe schedule *)
+  | Expired
+      (** the write's end-to-end deadline elapsed — either before
+          admission (dead on arrival) or in the queue (the updater's
+          drain expired it unapplied); counts [writes_expired] *)
   | Failed  (** owning shard exhausted its restart budget *)
   | Shutdown  (** the router is stopping *)
 
 val reject_name : reject -> string
-(** ["full" | "overload" | "failed" | "shutdown"] — the JSON-report
-    spelling. *)
+(** ["full" | "overload" | "breaker_open" | "expired" | "failed" |
+    "shutdown"] — the JSON-report spelling. *)
+
+(** The resolved result of a waited write. [Replayed] is the honest
+    post-crash status: the entry was part of a crashed updater's adopted
+    batch and was (re-)applied by the replacement, so the predecessor
+    may already have applied it once — the boolean is the result {e as
+    of the last application} (an [Insert] already applied before the
+    crash replays as [Replayed false] even though it took effect). *)
+type write_result = Applied of bool | Replayed of bool
+
+val write_result_value : write_result -> bool
+(** The tree-level boolean, for callers indifferent to replay. *)
 
 type drain_report = {
   shard : int;
@@ -74,16 +95,30 @@ module Make (D : Repro_dict.Dict.DICT) : sig
     ?supervisor:Supervisor.policy ->
     ?high_frac:float ->
     ?low_frac:float ->
+    ?pressure_high:float ->
+    ?pressure_low:float ->
+    ?breaker:Breaker.config ->
+    ?seed:int64 ->
     ?mutate_forget_backlog:bool ->
+    ?mutate_breaker_never_opens:bool ->
+    ?mutate_skip_deadline:bool ->
     unit ->
     t
   (** Defaults: 4 shards, queue depth 1024, drain batch 64, 64 clients,
-      {!Supervisor.default_policy}, health watermarks 0.75/0.25 of the
-      queue depth. [max_clients] sizes each shard's registry ([D.create
-      ~max_threads:(max_clients + 2)] — clients plus the updater and one
-      setup registration). [mutate_forget_backlog] seeds the chaos
-      mutation (the supervisor drops the pending batch on restart) — for
-      the mutation harness only, see {!Chaos}. No domains are spawned;
+      {!Supervisor.default_policy}, health depth watermarks 0.75/0.25 of
+      the queue depth, reclamation-pressure latch thresholds 0.75/0.25
+      of the reclaimer watermark ({!Health.create}),
+      {!Breaker.default_config}, seed 42. [max_clients] sizes each
+      shard's registry ([D.create ~max_threads:(max_clients + 2)] —
+      clients plus the updater and one setup registration). [seed]
+      derives every shard's deterministic jitter streams (breaker open
+      intervals, supervisor restart backoff) via per-shard golden-ratio
+      salts, so a run is reproducible end to end while shards stay
+      decorrelated. [mutate_forget_backlog] (supervisor drops the
+      pending batch on restart), [mutate_breaker_never_opens] (breaker
+      trips become no-ops) and [mutate_skip_deadline] (the drain applies
+      expired entries anyway) seed the chaos mutations — for the
+      mutation harness only, see {!Chaos}. No domains are spawned;
       writes enqueued before {!start} sit in the queues.
       @raise Invalid_argument on non-positive parameters. *)
 
@@ -133,32 +168,43 @@ module Make (D : Repro_dict.Dict.DICT) : sig
 
   val mem : handle -> int -> bool
 
-  val insert : handle -> int -> int -> (unit, reject) result
+  val insert : handle -> ?deadline_ns:int -> int -> int -> (unit, reject) result
   (** Fire-and-forget: [Ok ()] = accepted into the owning shard's queue
       (it will be applied in FIFO order, surviving updater crashes),
-      [Error r] = rejected with the typed reason. The tree-level result
-      is unobservable; use {!insert_wait} to learn it. *)
+      [Error r] = rejected with the typed reason. [deadline_ns] is the
+      operation's absolute deadline on the monotonic clock (0/absent =
+      none): it rides the queue entry, and the updater's drain resolves
+      entries whose deadline has passed as expired {e without} applying
+      them — so under overload the backlog sheds its dead work instead
+      of serving every live write behind it (SERVING.md, "Deadline
+      propagation"). The tree-level result is unobservable; use
+      {!insert_wait} to learn it. *)
 
-  val delete : handle -> int -> (unit, reject) result
+  val delete : handle -> ?deadline_ns:int -> int -> (unit, reject) result
 
-  val insert_wait : handle -> int -> int -> (bool, reject) result
-  (** Enqueue with a completion cell and spin until the updater applies
-      the operation: [Ok result] is the tree-level result ([insert]'s
-      "was absent"). [Error] before acceptance is a typed reject (waited
-      writes are still admitted on a [Degraded] shard — the waiter is
-      the backpressure); [Error Failed]/[Error Shutdown] after
-      acceptance means the accepted write was discarded by a failure
-      path (shard failed, or shutdown forced past its drain deadline).
-      Only call while updaters run (between {!start} and {!shutdown});
-      the wait includes the operation's whole queueing delay.
+  val insert_wait :
+    handle -> ?deadline_ns:int -> int -> int -> (write_result, reject) result
+  (** Enqueue with a completion cell and spin until the updater resolves
+      the operation: [Ok (Applied r)] is the tree-level result
+      ([insert]'s "was absent"); [Ok (Replayed r)] the post-crash replay
+      status (see {!type-write_result}). [Error] before acceptance is a
+      typed reject (waited writes are still admitted on a [Degraded]
+      shard — the waiter is the backpressure); after acceptance,
+      [Error Expired] means the updater expired the queued write at its
+      deadline, and [Error Failed]/[Error Shutdown] mean it was
+      discarded by a failure path (shard failed, or shutdown forced past
+      its drain deadline). Only call while updaters run (between
+      {!start} and {!shutdown}); the wait includes the operation's whole
+      queueing delay.
 
       Post-crash caveat: if an updater crash lands {e inside} the
       dictionary operation after it linearized, the restarted updater's
-      idempotent replay returns the no-op answer — the waiter can see
-      [Ok false] for a write that took effect. The write itself is never
-      lost; only the boolean is weaker across that exact window. *)
+      idempotent replay returns the no-op answer — [Replayed] makes the
+      window visible, but the boolean is still only "as of the last
+      application". The write itself is never lost. *)
 
-  val delete_wait : handle -> int -> (bool, reject) result
+  val delete_wait :
+    handle -> ?deadline_ns:int -> int -> (write_result, reject) result
 
   val load : handle -> int -> int -> bool
   (** Direct, queue-bypassing insert into the owning shard — for initial
@@ -182,6 +228,31 @@ module Make (D : Repro_dict.Dict.DICT) : sig
 
   val health : t -> Health.state array
   (** Per-shard health states (index = shard). *)
+
+  val breaker_states : t -> Breaker.state array
+  (** Per-shard circuit-breaker states (index = shard). *)
+
+  val breaker_trips : t -> int
+  (** Total breaker Open transitions across all shards. *)
+
+  val breaker_rejects : t -> int
+  (** Total writes rejected by breakers across all shards. *)
+
+  val reclaim_pressures : t -> float array
+  (** Per-shard reclamation pressure ({!Repro_citrus.Citrus.reclaim_pressure}
+      units: fraction of the retired-bag watermark; 0 for dictionaries
+      without a background reclaimer). Racy snapshot. *)
+
+  val pressure_latched : t -> bool array
+  (** Per-shard reclamation-pressure latches ({!Health.pressure_latched}). *)
+
+  val with_shard_reader : t -> int -> (unit -> unit) -> unit
+  (** Chaos seam: hold an RCU read section open on shard [i]'s table
+      (via a throwaway registration on the calling domain) for the
+      duration of the callback. While it runs, no grace period on that
+      shard completes and its retired backlog only grows — the
+      stall-reader scenario ({!Chaos}). Do not call from a domain
+      already registered with the shard. *)
 
   val crashes : t -> int array
   (** Per-shard updater crash counts ([[||]] before {!start}). *)

@@ -1,6 +1,7 @@
 module Metrics = Repro_sync.Metrics
 module Stats = Repro_sync.Stats
 module Trace = Repro_sync.Trace
+module Rng = Repro_sync.Rng
 
 (* Supervision for a shard's updater domain: run the updater body, and
    when it dies with an exception, restart it — rate-limited by
@@ -58,7 +59,9 @@ type t = {
   run : unit -> unit;
   abort : unit -> bool;
   on_failed : exn -> unit;
+  on_crash : (exn -> unit) option; (* fires on every crash, before backoff *)
   forget_backlog : (unit -> unit) option; (* seeded chaos mutation *)
+  jitter : Rng.t option; (* chain-private: only incarnations draw from it *)
   done_ : bool Atomic.t;
   failed_ : bool Atomic.t;
   crashes : int Atomic.t;
@@ -103,6 +106,9 @@ let rec incarnation t ~adopted_at () =
       if Metrics.enabled () then
         Stats.incr Metrics.updater_crashes (Metrics.slot ());
       Trace.record Trace.Updater_crash t.shard;
+      (match t.on_crash with
+      | Some f -> ( try f e with _ -> ())
+      | None -> ());
       let now = now_ns () in
       if t.last_crash_ns > 0 && now - t.last_crash_ns > t.policy.reset_after_ns
       then t.window_crashes <- 0;
@@ -116,8 +122,23 @@ let rec incarnation t ~adopted_at () =
       else if t.abort () then Atomic.set t.done_ true
       else begin
         let shift = min 20 (t.window_crashes - 1) in
-        sleep_backoff t
-          (min t.policy.backoff_max_ns (t.policy.backoff_base_ns lsl shift));
+        let nominal =
+          min t.policy.backoff_max_ns (t.policy.backoff_base_ns lsl shift)
+        in
+        (* Jitter the backoff into [0.5, 1.0) of nominal when the chain
+           was seeded: shards crashed by the same fault then respawn
+           decorrelated instead of stampeding back in lockstep, and the
+           whole schedule replays under the same seed. The stream is
+           chain-private mutable state like the crash window — only the
+           (single logical) chain thread draws from it. *)
+        let backoff =
+          match t.jitter with
+          | None -> nominal
+          | Some rng ->
+              int_of_float
+                (float_of_int nominal *. (0.5 +. (0.5 *. Rng.float rng)))
+        in
+        sleep_backoff t backoff;
         if t.abort () then Atomic.set t.done_ true
         else begin
           (match t.forget_backlog with Some f -> f () | None -> ());
@@ -150,8 +171,8 @@ and spawn_next t ~adopted_at =
   Atomic.set t.latest (Some d);
   Atomic.set ready true
 
-let start ?(policy = default_policy) ?forget_backlog ~shard ~abort ~on_failed
-    run =
+let start ?(policy = default_policy) ?jitter_seed ?on_crash ?forget_backlog
+    ~shard ~abort ~on_failed run =
   if policy.max_restarts < 0 then
     invalid_arg "Supervisor.start: max_restarts must be >= 0";
   if policy.backoff_base_ns <= 0 || policy.backoff_max_ns < policy.backoff_base_ns
@@ -163,7 +184,9 @@ let start ?(policy = default_policy) ?forget_backlog ~shard ~abort ~on_failed
       run;
       abort;
       on_failed;
+      on_crash;
       forget_backlog;
+      jitter = Option.map Rng.create jitter_seed;
       done_ = Atomic.make false;
       failed_ = Atomic.make false;
       crashes = Atomic.make 0;

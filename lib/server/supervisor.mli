@@ -2,9 +2,10 @@
 
     [start] spawns a domain running [run] and keeps it running across
     crashes: an exception escaping [run] is caught, counted
-    ([updater_crashes] metric, [Updater_crash] trace), and — after a
-    jitter-free exponential backoff, rate-limited by a windowed restart
-    budget — a fresh domain is spawned to run [run] again
+    ([updater_crashes] metric, [Updater_crash] trace), and — after an
+    exponential backoff (seeded-jittered when [jitter_seed] is given),
+    rate-limited by a windowed restart budget — a fresh domain is
+    spawned to run [run] again
     ([updater_restarts] metric, [Updater_restart] trace, crash-to-running
     latency sampled into [updater_restart_ns]). Backlog adoption is
     [run]'s own job (the restarted updater re-reads the surviving
@@ -42,6 +43,8 @@ type t
 
 val start :
   ?policy:policy ->
+  ?jitter_seed:int64 ->
+  ?on_crash:(exn -> unit) ->
   ?forget_backlog:(unit -> unit) ->
   shard:int ->
   abort:(unit -> bool) ->
@@ -52,9 +55,17 @@ val start :
     backoff sleeps and before every respawn — once it returns true the
     chain exits instead of restarting (forced shutdown). [on_failed]
     runs exactly once, from the dying incarnation, when the budget is
-    exhausted. [forget_backlog] is a seeded chaos mutation hook (run
-    just before each respawn); production callers leave it unset — see
-    {!Chaos.mutation}. [shard] labels traces and metrics.
+    exhausted. [on_crash] fires on {e every} crash, before the backoff
+    sleep (the router trips the shard's {!Breaker} here); exceptions it
+    raises are swallowed. [jitter_seed] arms backoff jitter: each sleep
+    is scaled into [0.5, 1.0) of nominal by a chain-private
+    deterministic stream, so shards felled by one fault respawn
+    decorrelated yet reproducibly — give each shard
+    [logxor run_seed shard_salt]. Unset = jitter-free (exact doubling),
+    preserving old behaviour. [forget_backlog] is a seeded chaos
+    mutation hook (run just before each respawn); production callers
+    leave it unset — see {!Chaos.mutation}. [shard] labels traces and
+    metrics.
     @raise Invalid_argument on a nonsensical policy. *)
 
 val shard : t -> int

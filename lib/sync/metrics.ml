@@ -52,6 +52,15 @@ let updater_restart_ns = Stats.Timer.create "updater_restart_ns"
 let shards_failed = Stats.create "shards_failed"
 let writes_shed = Stats.create "writes_shed"
 let writes_lost = Stats.create "writes_lost"
+let writes_expired = Stats.create "writes_expired"
+let breaker_open = Stats.create "breaker_open"
+let breaker_rejects = Stats.create "breaker_rejects"
+
+(* Sampled like [reclaim_backlog]: admission-path polls record the
+   observed reclamation pressure (pending retired pointers as parts per
+   thousand of the watermark) so snapshots expose mean and peak pressure
+   without a dedicated gauge type. *)
+let reclaim_pressure = Stats.Timer.create "reclaim_pressure"
 
 let reset () =
   Stats.reset rcu_read_sections;
@@ -81,6 +90,10 @@ let reset () =
   Stats.reset shards_failed;
   Stats.reset writes_shed;
   Stats.reset writes_lost;
+  Stats.reset writes_expired;
+  Stats.reset breaker_open;
+  Stats.reset breaker_rejects;
+  Stats.Timer.reset reclaim_pressure;
   Repro_lockdep.Lockdep.reset_counters ()
 
 let snapshot () =
@@ -123,6 +136,12 @@ let snapshot () =
     ("shards_failed", float_of_int (Stats.read shards_failed));
     ("writes_shed", float_of_int (Stats.read writes_shed));
     ("writes_lost", float_of_int (Stats.read writes_lost));
+    ("writes_expired", float_of_int (Stats.read writes_expired));
+    ("breaker_open", float_of_int (Stats.read breaker_open));
+    ("breaker_rejects", float_of_int (Stats.read breaker_rejects));
+    ("reclaim_pressure_mean", Stats.Timer.mean_ns reclaim_pressure);
+    ( "reclaim_pressure_max",
+      float_of_int (Stats.Timer.max_ns reclaim_pressure) );
     (* Lockdep keeps its own process-global counters (it sits below this
        module in the dependency stack); snapshotting reads them directly
        so the JSON reports cover the validator like every other debug

@@ -142,6 +142,29 @@ val writes_lost : Stats.t
     budget or shutdown was forced past the drain deadline — the only two
     paths that may drop an accepted write, both loudly accounted. *)
 
+val writes_expired : Stats.t
+(** Queued writes whose end-to-end deadline elapsed before the updater
+    applied them; the drain completes them with [Expired] instead of
+    burning updater time on abandoned work (see SERVING.md,
+    "Deadline propagation"). Expiry is not loss: the client was told. *)
+
+val breaker_open : Stats.t
+(** Per-shard circuit-breaker trips (Closed/Half_open → Open transitions,
+    [Repro_server.Breaker]). Each trip starts a jittered open interval
+    during which the shard's writes are rejected without touching the
+    queue. *)
+
+val breaker_rejects : Stats.t
+(** Write admissions refused by an open circuit breaker — cheap typed
+    rejects that never reach the modification queue. *)
+
+val reclaim_pressure : Stats.Timer.t
+(** One sample per admission-path pressure poll, valued at the observed
+    reclamation backlog pressure in parts per thousand of the watermark
+    (1000 = retired backlog at the bag watermark) — a gauge through the
+    Timer machinery like {!reclaim_backlog}, so snapshots report mean
+    and peak pressure. *)
+
 (** The [lockdep_checks] / [lockdep_violations] rows of {!snapshot} are
     read directly from [Repro_lockdep.Lockdep.checks]/[violations]
     (lockdep sits below this module and keeps its own counters); both

@@ -38,6 +38,7 @@ type kind =
   | Updater_restart
   | Shard_state
   | Reclaim
+  | Breaker_state
 
 let kind_to_string = function
   | Read_enter -> "read_enter"
@@ -59,6 +60,7 @@ let kind_to_string = function
   | Updater_restart -> "updater_restart"
   | Shard_state -> "shard_state"
   | Reclaim -> "reclaim"
+  | Breaker_state -> "breaker_state"
 
 let kind_index = function
   | Read_enter -> 0
@@ -80,6 +82,7 @@ let kind_index = function
   | Updater_restart -> 16
   | Shard_state -> 17
   | Reclaim -> 18
+  | Breaker_state -> 19
 
 let kind_of_index = function
   | 0 -> Read_enter
@@ -100,6 +103,7 @@ let kind_of_index = function
   | 16 -> Updater_restart
   | 17 -> Shard_state
   | 18 -> Reclaim
+  | 19 -> Breaker_state
   | _ -> Stall
 
 type event = {

@@ -74,6 +74,11 @@ type kind =
       (** the background reclaimer domain freed one batch of retired
           pointers after their grace periods elapsed
           ([Repro_rcu.Reclaimer]); arg = batch size (callbacks run) *)
+  | Breaker_state
+      (** a shard's circuit breaker changed state
+          ([Repro_server.Breaker]); arg = [shard_id * 4 + state] with
+          state 0 = closed, 1 = open, 2 = half-open — same packing as
+          [Shard_state] *)
 
 val kind_to_string : kind -> string
 

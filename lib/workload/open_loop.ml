@@ -16,10 +16,10 @@ module Barrier = Repro_sync.Barrier
    schedule-to-completion latency, and an operation whose deadline
    passes is accounted [exhausted], separately from terminal drops. *)
 
-type outcome = Applied of bool | Busy | Dropped
+type outcome = Applied of bool | Busy | Dropped | Expired
 
 type client = {
-  run_op : Workload.op -> int -> outcome;
+  run_op : Workload.op -> int -> int -> outcome;
   finish : unit -> unit;
 }
 
@@ -72,6 +72,7 @@ type result = {
   dropped : int;
   retries : int;
   exhausted : int;
+  expired : int;
   wall : float;
   offered : float;
   achieved : float;
@@ -86,6 +87,7 @@ type tally = {
   mutable t_completed : int;
   mutable t_retries : int;
   mutable t_exhausted : int;
+  mutable t_expired : int;
   mutable t_max_lag : int;
   drops : int array; (* indexed by op *)
   hists : Latency.histogram array; (* indexed by op *)
@@ -132,6 +134,7 @@ let run (s : spec) make_client =
           t_completed = 0;
           t_retries = 0;
           t_exhausted = 0;
+          t_expired = 0;
           t_max_lag = 0;
           drops = Array.make 3 0;
           hists = Array.init 3 (fun _ -> Latency.histogram ());
@@ -164,13 +167,23 @@ let run (s : spec) make_client =
         let scheduled = ref (now_ns ()) in
         (* One scheduled arrival, through its retry budget. Every issued
            operation reaches exactly one terminal account: completed,
-           dropped, or exhausted. *)
+           dropped, exhausted, or expired. The absolute deadline rides
+           with every attempt so the service can expire queued work the
+           client has already abandoned. *)
         let rec attempt op k oi attempts =
-          match client.run_op op k with
+          let deadline =
+            if s.deadline_ns = 0 then 0 else !scheduled + s.deadline_ns
+          in
+          match client.run_op op k deadline with
           | Applied _ ->
               Latency.record tally.hists.(oi) (now_ns () - !scheduled);
               tally.t_completed <- tally.t_completed + 1
           | Dropped -> tally.drops.(oi) <- tally.drops.(oi) + 1
+          | Expired ->
+              (* The service accepted the write but its deadline elapsed
+                 before the updater applied it — terminal; retrying a
+                 known-late op would only feed the spiral. *)
+              tally.t_expired <- tally.t_expired + 1
           | Busy ->
               if attempts >= s.max_retries then
                 tally.drops.(oi) <- tally.drops.(oi) + 1
@@ -262,6 +275,7 @@ let run (s : spec) make_client =
     dropped;
     retries = sum (fun t -> t.t_retries);
     exhausted = sum (fun t -> t.t_exhausted);
+    expired = sum (fun t -> t.t_expired);
     wall;
     offered = s.rate;
     achieved = float_of_int completed /. wall;

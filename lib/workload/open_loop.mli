@@ -27,16 +27,26 @@ type outcome =
       (** the service executed the operation; the bool is its result
           ([contains]/[insert]/[delete] success), unused by the harness *)
   | Busy
-      (** retryable reject (queue full, shard degraded) — retried with
-          backoff while the attempt and deadline budgets allow *)
+      (** retryable reject (queue full, shard degraded, breaker open) —
+          retried with backoff while the attempt and deadline budgets
+          allow *)
   | Dropped
       (** terminal reject (shard failed, service shutting down) — never
           retried *)
+  | Expired
+      (** the service accepted the operation but its end-to-end deadline
+          elapsed before it was applied (the updater's drain expired it,
+          see SERVING.md "Deadline propagation") — terminal: retrying a
+          known-late operation only feeds the overload spiral *)
 
 type client = {
-  run_op : Workload.op -> int -> outcome;
-      (** execute one operation on the service; called only from the
-          client's own domain *)
+  run_op : Workload.op -> int -> int -> outcome;
+      (** [run_op op key deadline] executes one operation on the
+          service; [deadline] is the operation's absolute completion
+          deadline on the monotonic clock (scheduled arrival +
+          [spec.deadline_ns]; 0 = none), which the service may propagate
+          to expire queued work. Called only from the client's own
+          domain *)
   finish : unit -> unit;
       (** release per-domain state (unregister handles); called once,
           after the run, on the client's domain *)
@@ -92,7 +102,12 @@ type result = {
   exhausted : int;
       (** operations abandoned because the next retry would land past
           the per-op deadline (or the run ended mid-backoff) — the
-          deadline-miss count, distinct from [dropped] *)
+          client-side deadline-miss count, distinct from [dropped] *)
+  expired : int;
+      (** operations the service accepted but expired server-side: the
+          queued write's deadline elapsed before the updater applied it
+          ([Expired] outcome) — distinct from [exhausted] (the client
+          never re-offered) and [dropped] (the service refused) *)
   wall : float;  (** measured wall-clock seconds *)
   offered : float;  (** the configured offered load (ops/s) *)
   achieved : float;  (** completed / wall — under saturation < offered *)
@@ -107,7 +122,7 @@ type result = {
   dropped_by_op : (Workload.op * int) list;
       (** terminal drops per op type; omits op types never dropped *)
 }
-(** Conservation: [issued = completed + dropped + exhausted]. *)
+(** Conservation: [issued = completed + dropped + exhausted + expired]. *)
 
 val run : spec -> (int -> client) -> result
 (** [run spec make_client] spawns [spec.clients] domains; each calls

@@ -74,6 +74,63 @@ module Behaviour (R : Repro_rcu.Rcu.S) = struct
     Rec.stop rc;
     checki "nothing lost past the watermark" 32 (Atomic.get freed)
 
+  (* Stall-aware pressure: a parked reader blocks the reclaimer inside
+     one grace-period wait; once that wait exceeds the stall threshold,
+     [pressure] must report saturation (>= 1.0) even though the bag is
+     nearly empty — the lock-convoy blind spot the chaos stall-reader
+     scenario exposed — and fall back below 1.0 once the reader leaves
+     and the backlog drains. *)
+  let test_stall_pressure () =
+    let saved = Reclaimer.gp_stall_ns () in
+    Reclaimer.set_gp_stall_ns 2_000_000;
+    Fun.protect
+      ~finally:(fun () -> Reclaimer.set_gp_stall_ns saved)
+      (fun () ->
+        let r = R.create () in
+        let rc = Rec.create ~watermark:64 ~batch:8 r in
+        let p = Rec.new_producer rc in
+        let freed = Atomic.make 0 in
+        let parked = Atomic.make false in
+        let release = Atomic.make false in
+        let reader =
+          Domain.spawn (fun () ->
+              let th = R.register r in
+              R.read_lock th;
+              Atomic.set parked true;
+              while not (Atomic.get release) do
+                Unix.sleepf 0.001
+              done;
+              R.read_unlock th;
+              R.unregister th)
+        in
+        while not (Atomic.get parked) do
+          Domain.cpu_relax ()
+        done;
+        for _ = 1 to 4 do
+          Rec.call_rcu rc p (fun () -> Atomic.incr freed)
+        done;
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        while Rec.pressure rc < 1.0 && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.001
+        done;
+        checkb "pressure saturates on a stalled grace period" true
+          (Rec.pressure rc >= 1.0);
+        checkb "the bag itself is nowhere near the watermark" true
+          (Rec.pending rc <= 4);
+        Atomic.set release true;
+        Domain.join reader;
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        while Atomic.get freed < 4 && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.001
+        done;
+        checki "backlog drains once the reader leaves" 4 (Atomic.get freed);
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        while Rec.pressure rc >= 1.0 && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.001
+        done;
+        checkb "pressure clears after the stall" true (Rec.pressure rc < 1.0);
+        Rec.stop rc)
+
   (* Crash recovery: arm the reclaimer's crash fault point, retire a
      batch, and require (a) at least one supervised crash, (b) the
      restarted incarnation still alive, and (c) every retired pointer
@@ -110,6 +167,8 @@ module Behaviour (R : Repro_rcu.Rcu.S) = struct
         test_stop_drains;
       Alcotest.test_case (name ^ ": backpressure watermark") `Quick
         test_backpressure;
+      Alcotest.test_case (name ^ ": stall-aware pressure") `Quick
+        test_stall_pressure;
       Alcotest.test_case (name ^ ": crash recovery") `Quick
         test_crash_recovery;
     ]

@@ -13,6 +13,7 @@ module Mod_queue = Repro_server.Mod_queue
 module Shard_router = Repro_server.Shard_router
 module Supervisor = Repro_server.Supervisor
 module Health = Repro_server.Health
+module Breaker = Repro_server.Breaker
 module Chaos = Repro_server.Chaos
 module Serve = Repro_server.Serve
 module Open_loop = Repro_workload.Open_loop
@@ -99,7 +100,8 @@ let test_fifo_per_shard_through_router () =
     | Ok _ -> ()
     | Error _ -> Alcotest.fail "insert rejected");
     match Router.delete_wait h 7 with
-    | Ok deleted -> checkb "delete saw the insert" true deleted
+    | Ok r ->
+        checkb "delete saw the insert" true (Shard_router.write_result_value r)
     | Error _ -> Alcotest.fail "delete rejected"
   done;
   checkb "absent at end" false (Router.mem h 7);
@@ -151,7 +153,9 @@ let test_typed_rejects () =
   List.iter
     (fun d ->
       match Domain.join d with
-      | Ok fresh -> checkb "waited write applied" true fresh
+      | Ok wr ->
+          checkb "waited write applied" true
+            (Shard_router.write_result_value wr)
       | Error r ->
           Alcotest.fail ("waited write lost: " ^ Shard_router.reject_name r))
     waiters;
@@ -165,7 +169,8 @@ let test_rejected_after_shutdown () =
   let t = Router.create ~shards:2 ~max_clients:2 () in
   let h = Router.register t in
   Router.start t;
-  checkb "accepted while running" true (Router.insert_wait h 1 1 = Ok true);
+  checkb "accepted while running" true
+    (Router.insert_wait h 1 1 = Ok (Shard_router.Applied true));
   ignore (Router.shutdown t);
   checkb "rejected after shutdown" true
     (Router.insert h 2 2 = Error Shard_router.Shutdown);
@@ -182,7 +187,7 @@ let test_completion_wakeup () =
   let waiter = Domain.spawn (fun () -> Mod_queue.await c) in
   Unix.sleepf 0.02;
   Mod_queue.complete c true;
-  checkb "woke with result" true (Domain.join waiter = Some true);
+  checkb "woke with result" true (Domain.join waiter = Mod_queue.Done true);
   checkb "peek after" true (Mod_queue.peek c = Mod_queue.Done true)
 
 let test_completion_abort () =
@@ -190,7 +195,8 @@ let test_completion_abort () =
   let waiter = Domain.spawn (fun () -> Mod_queue.await c) in
   Unix.sleepf 0.02;
   Mod_queue.abort c;
-  checkb "waiter unblocked with None" true (Domain.join waiter = None);
+  checkb "waiter unblocked as aborted" true
+    (Domain.join waiter = Mod_queue.Aborted);
   checkb "peek aborted" true (Mod_queue.peek c = Mod_queue.Aborted);
   (* A resolved result is never un-resolved, in either direction. *)
   Mod_queue.complete c true;
@@ -206,11 +212,15 @@ let test_completion_through_updater () =
   let t = Router.create ~shards:2 ~max_clients:2 () in
   Router.start t;
   let h = Router.register t in
-  checkb "fresh insert" true (Router.insert_wait h 5 50 = Ok true);
-  checkb "duplicate insert" true (Router.insert_wait h 5 51 = Ok false);
+  checkb "fresh insert" true
+    (Router.insert_wait h 5 50 = Ok (Shard_router.Applied true));
+  checkb "duplicate insert" true
+    (Router.insert_wait h 5 51 = Ok (Shard_router.Applied false));
   checkb "read sees it" true (Router.get h 5 = Some 50);
-  checkb "delete" true (Router.delete_wait h 5 = Ok true);
-  checkb "double delete" true (Router.delete_wait h 5 = Ok false);
+  checkb "delete" true
+    (Router.delete_wait h 5 = Ok (Shard_router.Applied true));
+  checkb "double delete" true
+    (Router.delete_wait h 5 = Ok (Shard_router.Applied false));
   Router.unregister h;
   ignore (Router.shutdown t)
 
@@ -228,7 +238,8 @@ let test_purge_aborts_completions () =
   checki "purged count" 5 (Mod_queue.purge q);
   checki "queue empty" 0 (Mod_queue.length q);
   List.iter
-    (fun c -> checkb "completion aborted" true (Mod_queue.await c = None))
+    (fun c ->
+      checkb "completion aborted" true (Mod_queue.await c = Mod_queue.Aborted))
     cs;
   checki "writes_lost counted" (lost_before + 5)
     (Stats.read Metrics.writes_lost);
@@ -288,7 +299,9 @@ let test_shutdown_applies_pre_start_backlog () =
   checkb "drained without updaters" true
     (Router.shutdown t = Shard_router.Drained);
   (match Domain.join waiter with
-  | Ok fresh -> checkb "waiter resolved by the sweep" true fresh
+  | Ok wr ->
+      checkb "waiter resolved by the sweep" true
+        (Shard_router.write_result_value wr)
   | Error r ->
       Alcotest.fail ("waited write lost: " ^ Shard_router.reject_name r));
   checki "every accepted write applied" (!accepted + 1) (Router.size t);
@@ -392,6 +405,154 @@ let test_health_state_machine () =
   Health.observe_depth hl 0;
   checkb "failed is terminal" true (Health.state hl = Health.Failed)
 
+let test_health_pressure_latch () =
+  (* Reclamation pressure is a latch, not an edge: while it is set,
+     depth-based healing is blocked — a drained queue does not make a
+     shard healthy while its retired backlog is still behind. *)
+  let hl = Health.create ~shard:0 ~capacity:100 () in
+  Health.observe_reclaim_pressure hl 0.5;
+  checkb "below high threshold: healthy" true (Health.state hl = Health.Healthy);
+  checkb "not latched" false (Health.pressure_latched hl);
+  Health.observe_reclaim_pressure hl 0.8;
+  checkb "high pressure degrades" true (Health.state hl = Health.Degraded);
+  checkb "latched" true (Health.pressure_latched hl);
+  Health.observe_depth hl 0;
+  checkb "depth healing blocked while latched" true
+    (Health.state hl = Health.Degraded);
+  Health.observe_reclaim_pressure hl 0.5;
+  checkb "hysteresis holds between thresholds" true
+    (Health.pressure_latched hl);
+  Health.observe_reclaim_pressure hl 0.2;
+  checkb "latch clears at low threshold" false (Health.pressure_latched hl);
+  Health.observe_depth hl 0;
+  checkb "heals once the latch is clear" true (Health.state hl = Health.Healthy)
+
+(* --- Breaker: pure state machine, driven without sleeping --- *)
+
+let breaker_cfg =
+  {
+    Breaker.window_ns = 1_000_000_000;
+    min_samples = 4;
+    failure_pct = 50;
+    open_base_ns = 1_000;
+    open_max_ns = 1_000_000;
+    probes = 2;
+  }
+
+let test_breaker_trip_probe_close () =
+  let b = Breaker.create ~config:breaker_cfg ~shard:0 () in
+  checkb "starts closed" true (Breaker.state b = Breaker.Closed);
+  checkb "closed admits" true (Breaker.admit b ~now_ns:0 = Breaker.Admit);
+  (* One success, one failure: 50% but below min_samples — no trip. *)
+  Breaker.on_success b ~now_ns:0 ~probe:false;
+  Breaker.on_failure b ~now_ns:0 ~probe:false;
+  checkb "below min_samples stays closed" true
+    (Breaker.state b = Breaker.Closed);
+  (* Two more failures reach 4 samples at 75% >= 50%: trip. *)
+  Breaker.on_failure b ~now_ns:0 ~probe:false;
+  Breaker.on_failure b ~now_ns:0 ~probe:false;
+  checkb "tripped open" true (Breaker.state b = Breaker.Open);
+  checki "one trip" 1 (Breaker.trips b);
+  let d1 = Breaker.open_until_ns b in
+  checkb "first interval jittered into [base/2, base)" true
+    (d1 >= 500 && d1 < 1_000);
+  checkb "open rejects" true (Breaker.admit b ~now_ns:0 = Breaker.Reject);
+  checki "reject counted" 1 (Breaker.rejects b);
+  (* Interval over: half-open, two probe slots, then reject. *)
+  checkb "first probe slot" true (Breaker.admit b ~now_ns:d1 = Breaker.Probe);
+  checkb "half-open" true (Breaker.state b = Breaker.Half_open);
+  checkb "second probe slot" true (Breaker.admit b ~now_ns:d1 = Breaker.Probe);
+  checkb "slots exhausted reject" true
+    (Breaker.admit b ~now_ns:d1 = Breaker.Reject);
+  (* Ordinary failures cannot re-trip a probing breaker. *)
+  Breaker.on_failure b ~now_ns:d1 ~probe:false;
+  checkb "straggler failure ignored while half-open" true
+    (Breaker.state b = Breaker.Half_open);
+  (* A probe failure re-opens with the doubled interval. *)
+  Breaker.on_failure b ~now_ns:d1 ~probe:true;
+  checkb "probe failure re-opens" true (Breaker.state b = Breaker.Open);
+  checki "second trip" 2 (Breaker.trips b);
+  let d2 = Breaker.open_until_ns b in
+  checkb "second interval doubled" true (d2 - d1 >= 1_000 && d2 - d1 < 2_000);
+  (* All probes succeeding closes the breaker and resets the backoff. *)
+  checkb "probe after interval" true (Breaker.admit b ~now_ns:d2 = Breaker.Probe);
+  Breaker.on_success b ~now_ns:d2 ~probe:true;
+  checkb "one probe success is not enough" true
+    (Breaker.state b = Breaker.Half_open);
+  checkb "second probe" true (Breaker.admit b ~now_ns:d2 = Breaker.Probe);
+  Breaker.on_success b ~now_ns:d2 ~probe:true;
+  checkb "all probes succeed: closed" true (Breaker.state b = Breaker.Closed);
+  checkb "window reset on close" true (Breaker.window b = (0, 0));
+  (* Backoff reset: the next trip is back at the base interval. *)
+  Breaker.on_crash b ~now_ns:d2;
+  checki "crash trips unconditionally" 3 (Breaker.trips b);
+  let d3 = Breaker.open_until_ns b in
+  checkb "backoff reset after close" true (d3 - d2 >= 500 && d3 - d2 < 1_000)
+
+let test_breaker_window_rotation () =
+  let b = Breaker.create ~config:breaker_cfg ~shard:0 () in
+  (* Three failures in one window: still below min_samples. *)
+  for _ = 1 to 3 do
+    Breaker.on_failure b ~now_ns:0 ~probe:false
+  done;
+  checkb "still closed" true (Breaker.state b = Breaker.Closed);
+  (* A failure in the next window rotates first: the old samples are
+     gone, so the count restarts and nothing trips. *)
+  Breaker.on_failure b ~now_ns:(breaker_cfg.Breaker.window_ns + 1) ~probe:false;
+  checkb "rotated window" true (Breaker.window b = (0, 1));
+  checkb "no trip across windows" true (Breaker.state b = Breaker.Closed)
+
+let test_breaker_jitter_deterministic () =
+  let trip_interval seed =
+    let b = Breaker.create ~config:breaker_cfg ~seed ~shard:0 () in
+    Breaker.on_crash b ~now_ns:0;
+    Breaker.open_until_ns b
+  in
+  checki "same seed, same schedule" (trip_interval 7L) (trip_interval 7L);
+  checkb "different seeds decorrelate" true
+    (trip_interval 1L <> trip_interval 2L)
+
+let test_breaker_never_open_mutant () =
+  let b = Breaker.create ~config:breaker_cfg ~mutate_never_open:true ~shard:0 () in
+  Breaker.on_crash b ~now_ns:0;
+  for _ = 1 to 10 do
+    Breaker.on_failure b ~now_ns:0 ~probe:false
+  done;
+  checkb "mutant never opens" true (Breaker.state b = Breaker.Closed);
+  checki "no trips" 0 (Breaker.trips b);
+  checkb "mutant admits everything" true
+    (Breaker.admit b ~now_ns:0 = Breaker.Admit)
+
+let test_breaker_config_validation () =
+  let bad cfg =
+    match Breaker.create ~config:cfg ~shard:0 () with
+    | _ -> Alcotest.fail "invalid config accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  bad { breaker_cfg with Breaker.failure_pct = 0 };
+  bad { breaker_cfg with Breaker.failure_pct = 101 };
+  bad { breaker_cfg with Breaker.probes = 0 };
+  bad { breaker_cfg with Breaker.open_max_ns = 1 }
+
+(* --- deadline propagation: dead-on-arrival admission --- *)
+
+let test_deadline_dead_on_arrival () =
+  let t = Router.create ~shards:1 ~max_clients:2 () in
+  let h = Router.register t in
+  Router.start t;
+  checkb "DOA write rejected expired" true
+    (Router.insert h ~deadline_ns:1 1 1 = Error Shard_router.Expired);
+  checkb "waited DOA rejected expired" true
+    (Router.insert_wait h ~deadline_ns:1 2 2 = Error Shard_router.Expired);
+  checkb "live deadline admits and applies" true
+    (Router.insert_wait h
+       ~deadline_ns:(Metrics.now_ns () + 1_000_000_000)
+       3 3
+    = Ok (Shard_router.Applied true));
+  checkb "expired writes never reached the tree" false (Router.mem h 1);
+  Router.unregister h;
+  ignore (Router.shutdown t)
+
 (* --- Supervisor: crash restart with both validators armed --- *)
 
 let test_supervisor_restart_armed () =
@@ -402,7 +563,14 @@ let test_supervisor_restart_armed () =
       Repro_lockdep.Lockdep.disarm ();
       Repro_sanitizer.Sanitizer.disarm ())
     (fun () ->
-      let t = Router.create ~shards:2 ~max_clients:4 () in
+      (* Each crash trips the shard's breaker; a 1 ns open interval makes
+         the re-offer immediate, so the next round's waited write is
+         admitted (as a probe) without a retry loop — the property under
+         test is crash survival, not the re-offer schedule. *)
+      let breaker =
+        { Breaker.default_config with Breaker.open_base_ns = 1; probes = 16 }
+      in
+      let t = Router.create ~shards:2 ~max_clients:4 ~breaker () in
       Router.start t;
       let h = Router.register t in
       (* Keys landing on each shard, found via the router's own hash. *)
@@ -419,10 +587,17 @@ let test_supervisor_restart_armed () =
           (* The waited write rides through the crash: the one-shot flag
              fires before this very entry applies, the supervisor
              restarts the updater, and the successor adopts the pending
-             batch — so the completion must still resolve [Ok]. *)
+             batch — so the completion must resolve, and honestly: this
+             entry is deterministically part of the adopted batch, so its
+             status is [Replayed], never plain [Applied]. The key is
+             fresh, so the replay observes [true]. *)
           let k = key_on shard (1000 * (round + 1)) in
           match Router.insert_wait h k k with
-          | Ok fresh -> checkb "write survived the crash" true fresh
+          | Ok (Shard_router.Replayed fresh) ->
+              checkb "write survived the crash" true fresh
+          | Ok (Shard_router.Applied _) ->
+              Alcotest.fail
+                "adopted-batch write reported Applied, expected Replayed"
           | Error r ->
               Alcotest.fail
                 ("write lost to crash: " ^ Shard_router.reject_name r)
@@ -534,9 +709,15 @@ let test_shutdown_drain_deadline () =
       reset_after_ns = 60_000_000_000;
     }
   in
+  (* The crash trips the breaker; an immediate re-offer with generous
+     probe slots keeps the post-crash writes admissible — this test is
+     about the drain deadline, not the breaker schedule. *)
+  let breaker =
+    { Breaker.default_config with Breaker.open_base_ns = 1; probes = 16 }
+  in
   let t =
     Router.create ~shards:1 ~queue_depth:64 ~max_clients:4 ~supervisor:policy
-      ()
+      ~breaker ()
   in
   let h = Router.register t in
   checkb "prefilled" true (Router.load h 1 1);
@@ -629,7 +810,7 @@ let test_open_loop_accounting () =
     Open_loop.run spec (fun _ ->
         {
           Open_loop.run_op =
-            (fun op _ ->
+            (fun op _ _ ->
               match op with
               | W.Delete -> Open_loop.Dropped
               | _ -> Open_loop.Applied true);
@@ -638,7 +819,8 @@ let test_open_loop_accounting () =
   in
   checkb "issued some" true (r.Open_loop.issued > 50);
   checki "conservation" r.Open_loop.issued
-    (r.Open_loop.completed + r.Open_loop.dropped + r.Open_loop.exhausted);
+    (r.Open_loop.completed + r.Open_loop.dropped + r.Open_loop.exhausted
+   + r.Open_loop.expired);
   checki "no retries without Busy" 0 r.Open_loop.retries;
   checkb "all drops are deletes" true
     (match r.Open_loop.dropped_by_op with
@@ -664,7 +846,7 @@ let test_open_loop_retries () =
         let busy_next = ref true in
         {
           Open_loop.run_op =
-            (fun _ _ ->
+            (fun _ _ _ ->
               if !busy_next then begin
                 busy_next := false;
                 Open_loop.Busy
@@ -678,7 +860,8 @@ let test_open_loop_retries () =
   in
   checkb "issued some" true (r.Open_loop.issued > 50);
   checki "conservation" r.Open_loop.issued
-    (r.Open_loop.completed + r.Open_loop.dropped + r.Open_loop.exhausted);
+    (r.Open_loop.completed + r.Open_loop.dropped + r.Open_loop.exhausted
+   + r.Open_loop.expired);
   checki "nothing dropped" 0 r.Open_loop.dropped;
   (* One retry per completed op; ops cut off mid-backoff by the end of
      the run also counted their retry before going exhausted. *)
@@ -694,11 +877,12 @@ let test_open_loop_retry_budget_drops () =
   in
   let r =
     Open_loop.run spec (fun _ ->
-        { Open_loop.run_op = (fun _ _ -> Open_loop.Busy); finish = ignore })
+        { Open_loop.run_op = (fun _ _ _ -> Open_loop.Busy); finish = ignore })
   in
   checkb "issued some" true (r.Open_loop.issued > 20);
   checki "conservation" r.Open_loop.issued
-    (r.Open_loop.completed + r.Open_loop.dropped + r.Open_loop.exhausted);
+    (r.Open_loop.completed + r.Open_loop.dropped + r.Open_loop.exhausted
+   + r.Open_loop.expired);
   checki "nothing completed" 0 r.Open_loop.completed;
   checkb "budget exhaustion drops" true (r.Open_loop.dropped > 0);
   (* Every terminal drop burned its full budget of 2 retries; ops cut
@@ -716,7 +900,7 @@ let test_open_loop_deadline_exhausts () =
   in
   let r =
     Open_loop.run spec (fun _ ->
-        { Open_loop.run_op = (fun _ _ -> Open_loop.Busy); finish = ignore })
+        { Open_loop.run_op = (fun _ _ _ -> Open_loop.Busy); finish = ignore })
   in
   checkb "issued some" true (r.Open_loop.issued > 20);
   checki "every op exhausted its deadline" r.Open_loop.issued
@@ -732,7 +916,7 @@ let test_open_loop_paces () =
   let r =
     Open_loop.run spec (fun _ ->
         {
-          Open_loop.run_op = (fun _ _ -> Open_loop.Applied true);
+          Open_loop.run_op = (fun _ _ _ -> Open_loop.Applied true);
           finish = ignore;
         })
   in
@@ -742,6 +926,34 @@ let test_open_loop_paces () =
     true
     (float_of_int r.Open_loop.issued > 0.5 *. expected
     && float_of_int r.Open_loop.issued < 1.5 *. expected)
+
+let test_open_loop_expired_accounting () =
+  (* A service that expires every third operation: [Expired] is terminal
+     (never retried) and accounted separately, and the four-way
+     conservation invariant holds exactly. *)
+  let spec =
+    Open_loop.spec ~clients:2 ~rate:4000.0 ~duration:0.2 ~max_retries:3
+      ~retry_base_ns:10_000 ()
+  in
+  let r =
+    Open_loop.run spec (fun _ ->
+        let n = ref 0 in
+        {
+          Open_loop.run_op =
+            (fun _ _ _ ->
+              incr n;
+              if !n mod 3 = 0 then Open_loop.Expired
+              else Open_loop.Applied true);
+          finish = ignore;
+        })
+  in
+  checkb "issued some" true (r.Open_loop.issued > 50);
+  checkb "expirations observed" true (r.Open_loop.expired > 0);
+  checki "conservation" r.Open_loop.issued
+    (r.Open_loop.completed + r.Open_loop.dropped + r.Open_loop.exhausted
+   + r.Open_loop.expired);
+  checki "expired is terminal: no retries" 0 r.Open_loop.retries;
+  checki "expired is not dropped" 0 r.Open_loop.dropped
 
 (* --- chaos: the seeded backlog-loss mutation --- *)
 
@@ -755,6 +967,32 @@ let test_chaos_control_silent () =
   checkb "control silent" false m.Chaos.caught;
   checki "nothing lost" 0 m.Chaos.lost;
   checki "every write applied" m.Chaos.expected m.Chaos.final_size
+
+(* --- chaos: the seeded breaker and deadline mutations --- *)
+
+let test_chaos_breaker_mutation_caught () =
+  let m = Chaos.mutation_breaker ~mutate:true (module Dict.Citrus_epoch) in
+  checkb "crash fired" true m.Chaos.crash_seen;
+  checkb "mutant never tripped" false m.Chaos.tripped;
+  checkb "mutant admitted the post-crash write" false m.Chaos.rejected;
+  checkb "mutant caught" true m.Chaos.caught
+
+let test_chaos_breaker_control_silent () =
+  let m = Chaos.mutation_breaker ~mutate:false (module Dict.Citrus_epoch) in
+  checkb "crash fired" true m.Chaos.crash_seen;
+  checkb "control tripped at crash" true m.Chaos.tripped;
+  checkb "control rejected the post-crash write" true m.Chaos.rejected;
+  checkb "control silent" false m.Chaos.caught
+
+let test_chaos_deadline_mutation_caught () =
+  let m = Chaos.mutation_deadline ~mutate:true (module Dict.Citrus_epoch) in
+  checkb "mutant caught" true m.Chaos.caught;
+  checki "every expired write applied anyway" m.Chaos.queued m.Chaos.applied
+
+let test_chaos_deadline_control_silent () =
+  let m = Chaos.mutation_deadline ~mutate:false (module Dict.Citrus_epoch) in
+  checkb "control silent" false m.Chaos.caught;
+  checki "no expired write applied" 0 m.Chaos.applied
 
 (* --- chaos: quick end-to-end run with both validators armed --- *)
 
@@ -883,11 +1121,28 @@ let () =
             test_shutdown_applies_pre_start_backlog;
           Alcotest.test_case "shutdown drain deadline forces" `Quick
             test_shutdown_drain_deadline;
+          Alcotest.test_case "deadline dead on arrival" `Quick
+            test_deadline_dead_on_arrival;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trip, probe, close" `Quick
+            test_breaker_trip_probe_close;
+          Alcotest.test_case "window rotation" `Quick
+            test_breaker_window_rotation;
+          Alcotest.test_case "jitter deterministic" `Quick
+            test_breaker_jitter_deterministic;
+          Alcotest.test_case "never-open mutant" `Quick
+            test_breaker_never_open_mutant;
+          Alcotest.test_case "config validation" `Quick
+            test_breaker_config_validation;
         ] );
       ( "supervision",
         [
           Alcotest.test_case "health state machine" `Quick
             test_health_state_machine;
+          Alcotest.test_case "health pressure latch" `Quick
+            test_health_pressure_latch;
           Alcotest.test_case "crash restart, validators armed" `Quick
             test_supervisor_restart_armed;
           Alcotest.test_case "budget exhaustion fails shard" `Quick
@@ -922,12 +1177,22 @@ let () =
             test_open_loop_deadline_exhausts;
           Alcotest.test_case "paces to offered load" `Quick
             test_open_loop_paces;
+          Alcotest.test_case "expired accounting" `Quick
+            test_open_loop_expired_accounting;
         ] );
       ( "chaos",
         [
           Alcotest.test_case "backlog-loss mutation caught" `Quick
             test_chaos_mutation_caught;
           Alcotest.test_case "control silent" `Quick test_chaos_control_silent;
+          Alcotest.test_case "breaker mutation caught" `Quick
+            test_chaos_breaker_mutation_caught;
+          Alcotest.test_case "breaker control silent" `Quick
+            test_chaos_breaker_control_silent;
+          Alcotest.test_case "deadline mutation caught" `Quick
+            test_chaos_deadline_mutation_caught;
+          Alcotest.test_case "deadline control silent" `Quick
+            test_chaos_deadline_control_silent;
           Alcotest.test_case "quick run, validators armed" `Quick
             test_chaos_quick_armed;
         ] );
