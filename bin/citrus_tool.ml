@@ -544,11 +544,142 @@ let torture flavour seed fault_specs stall_ms stall_mode readers writers
   end
   else print_endline "torture: OK"
 
+(* Systematic-interleaving model checking (CORRECTNESS.md): exhaustively
+   explore the protocol models' schedules with the DPOR engine. Exit 1 on
+   any property violation or on a budget-truncated (non-exhaustive)
+   exploration — a verdict from a partial search is not a verdict. *)
+let model scenario_name max_states no_dpor quick json_file =
+  let module Engine = Repro_modelcheck.Engine in
+  let module Models = Repro_modelcheck.Models in
+  let scenarios =
+    match scenario_name with
+    | None -> Models.controls
+    | Some n -> (
+        match Models.find n with
+        | Some sc -> [ sc ]
+        | None ->
+            Printf.eprintf "unknown scenario %S; choices: %s\n" n
+              (String.concat ", "
+                 (List.map (fun (s : Engine.scenario) -> s.name) Models.all));
+            exit 2)
+  in
+  let max_states =
+    match max_states with Some n -> n | None -> if quick then 3_000_000 else 20_000_000
+  in
+  let results =
+    List.map
+      (fun (sc : Engine.scenario) ->
+        let r = Engine.explore ~dpor:(not no_dpor) ~max_states sc in
+        Format.printf "%a@." Engine.pp_result r;
+        (sc, r))
+      scenarios
+  in
+  (match json_file with
+  | None -> ()
+  | Some file -> (
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\n  \"scenarios\": [\n";
+      List.iteri
+        (fun i ((sc : Engine.scenario), (r : Engine.result)) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    {\"name\": %S, \"descr\": %S, \"dpor\": %b, \"traces\": \
+                %d, \"pruned\": %d, \"states\": %d, \"deepest\": %d, \
+                \"exhausted\": %b, \"violation\": %s}%s\n"
+               sc.name sc.descr r.dpor r.stats.traces r.stats.pruned
+               r.stats.steps_total r.stats.deepest r.stats.exhausted
+               (match r.counterexample with
+               | None -> "null"
+               | Some cx -> Printf.sprintf "%S" cx.error)
+               (if i < List.length results - 1 then "," else "")))
+        results;
+      Buffer.add_string buf "  ]\n}\n";
+      match
+        let oc = open_out file in
+        output_string oc (Buffer.contents buf);
+        close_out oc
+      with
+      | () -> Printf.printf "wrote JSON report: %s\n" file
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write JSON report: %s\n" msg;
+          exit 1));
+  let violated =
+    List.filter (fun (_, (r : Engine.result)) -> r.counterexample <> None) results
+  in
+  let truncated =
+    List.filter (fun (_, (r : Engine.result)) -> not r.stats.exhausted) results
+  in
+  if violated <> [] then begin
+    Printf.eprintf "model: FAILED — property violation(s) in: %s\n"
+      (String.concat ", "
+         (List.map (fun ((sc : Engine.scenario), _) -> sc.name) violated));
+    exit 1
+  end;
+  if truncated <> [] then begin
+    Printf.eprintf
+      "model: FAILED — state budget exceeded before exhaustion in: %s \
+       (raise --max-states)\n"
+      (String.concat ", "
+         (List.map (fun ((sc : Engine.scenario), _) -> sc.name) truncated));
+    exit 1
+  end;
+  Printf.printf "model: OK (%d scenario(s) exhaustively explored, no \
+                 violations)\n"
+    (List.length results)
+
+(* Model-checker mutation suite: every seeded protocol bug must produce a
+   replayable counterexample under exhaustive exploration, and every
+   control model must stay silent. *)
+let model_mutants skip_controls =
+  let module Engine = Repro_modelcheck.Engine in
+  let module Models = Repro_modelcheck.Models in
+  Printf.printf "model-checker mutation suite:\n%!";
+  let failed = ref false in
+  List.iter
+    (fun (sc : Engine.scenario) ->
+      let r = Engine.explore ~max_states:3_000_000 sc in
+      match r.counterexample with
+      | Some cx ->
+          Printf.printf "  %-28s caught in %d trace(s):\n%!" sc.name
+            r.stats.traces;
+          Format.printf "%a@." Engine.pp_counterexample cx
+      | None ->
+          failed := true;
+          Printf.printf "  %-28s ESCAPED (%d traces, exhausted=%b)\n%!"
+            sc.name r.stats.traces r.stats.exhausted)
+    Models.mutants;
+  if not skip_controls then
+    List.iter
+      (fun (sc : Engine.scenario) ->
+        let r = Engine.explore ~max_states:3_000_000 sc in
+        match r.counterexample with
+        | None when r.stats.exhausted ->
+            Printf.printf "  %-28s (control) silent, %d trace(s)\n%!" sc.name
+              r.stats.traces
+        | None ->
+            failed := true;
+            Printf.printf "  %-28s (control) BUDGET-EXCEEDED\n%!" sc.name
+        | Some cx ->
+            failed := true;
+            Printf.printf "  %-28s (control) TRIPPED: %s\n%!" sc.name cx.error)
+      Models.controls;
+  if !failed then begin
+    Printf.eprintf
+      "mutants: FAILED — a seeded protocol bug escaped the model checker \
+       or a control model tripped (see above)\n";
+    exit 1
+  end;
+  print_endline
+    "mutants: OK (every seeded protocol bug yields a replayable \
+     counterexample; controls exhaustively clean)";
+  exit 0
+
 (* Mutation suite (ROBUSTNESS.md): each seeded grace-period bug must trip
    the reclamation sanitizer; the matching clean configurations must not.
    Any escape or control trip exits 1. *)
-let mutants seed attempts skip_controls lockdep chaos_suite =
+let mutants seed attempts skip_controls lockdep chaos_suite model_suite =
   let module Mutation = Repro_citrus.Mutation in
+  if model_suite then model_mutants skip_controls;
   if chaos_suite then begin
     (* The chaos mutations are deterministic (crashes armed to land at
        known batch positions, deadlines pre-expired by construction): no
@@ -1210,6 +1341,17 @@ let mutants_cmd =
              adopting supervisor must stay silent on the identical crash \
              schedule.")
   in
+  let model_suite =
+    Arg.(
+      value & flag
+      & info [ "model" ]
+          ~doc:
+            "Run the model-checker mutation suite instead: each seeded \
+             protocol bug (skipped urcu flip, publish-before-init, stale \
+             reclaimer cookie, ...) must produce a replayable \
+             counterexample under exhaustive DPOR exploration, and every \
+             control model must stay silent.")
+  in
   Cmd.v
     (Cmd.info "mutants"
        ~doc:
@@ -1218,8 +1360,63 @@ let mutants_cmd =
           section) and stays quiet on the clean controls; with \
           $(b,--lockdep), prove the same for the lockdep validator; with \
           $(b,--chaos), prove the serving layer's crash-recovery audit \
-          catches a backlog-losing supervisor.")
-    Term.(const mutants $ seed $ attempts $ skip_controls $ lockdep $ chaos_suite)
+          catches a backlog-losing supervisor; with $(b,--model), prove \
+          the systematic-interleaving model checker catches seeded \
+          protocol bugs.")
+    Term.(
+      const mutants $ seed $ attempts $ skip_controls $ lockdep $ chaos_suite
+      $ model_suite)
+
+let model_cmd =
+  let scenario =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Explore one scenario by name (control or mutant, e.g. \
+             $(b,epoch) or $(b,urcu!single-flip)); default: the \
+             store-buffering litmus and every control model.")
+  in
+  let max_states =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:
+            "Executed-step budget across all interleavings; exceeding it \
+             fails the run as non-exhaustive.")
+  in
+  let no_dpor =
+    Arg.(
+      value & flag
+      & info [ "no-dpor" ]
+          ~doc:
+            "Disable partial-order reduction and enumerate every \
+             interleaving naively (for cross-checking the reduction).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Cap the state budget at 3M (CI smoke runs).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write per-scenario exploration stats and verdicts as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:
+         "Exhaustively model-check the RCU flavours' and Citrus's racy \
+          windows: every interleaving of each protocol model is explored \
+          (with DPOR pruning commuted permutations), and any property \
+          violation prints a replayable counterexample (see \
+          CORRECTNESS.md).")
+    Term.(const model $ scenario $ max_states $ no_dpor $ quick $ json)
 
 let main =
   Cmd.group
@@ -1227,6 +1424,7 @@ let main =
     [
       list_command;
       stress_cmd;
+      model_cmd;
       serve_cmd;
       chaos_cmd;
       stats_cmd;

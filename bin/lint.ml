@@ -20,6 +20,16 @@
    4. Every .ml under lib/ has a matching .mli, so representation
       invariants stay sealed; module-type-only *_intf.ml files are
       exempt (an .mli would duplicate them token for token).
+   5. No [Random] and no wall-clock-fed [Rng.create] seeding under
+      lib/server/ or lib/workload/: every run in those layers must be
+      replayable from the config's explicit seed (chaos schedules,
+      mutation verdicts, and latency reports all depend on it).
+   6. No get-then-set read-modify-write on the protocol counters
+      ([gp_seq], [gp_completed], [gp_started], [scanning], [serving],
+      [tags]): an [Atomic.set] whose value nests an [Atomic.get] of the
+      same field loses concurrent updates — use [fetch_and_add] or
+      [compare_and_set]. Reader slot words and the lock-held [gp_ctr]
+      flip are exempt: their get-then-set is single-writer by protocol.
 
    Exits 1 with file:line diagnostics on any violation, silently 0
    otherwise. *)
@@ -50,6 +60,26 @@ let protected_fields =
 let atomic_write_fns =
   [ "set"; "exchange"; "compare_and_set"; "fetch_and_add"; "incr"; "decr" ]
 
+(* Layers that must replay deterministically from their config seed. *)
+let deterministic_dirs = [ "lib/server/"; "lib/workload/" ]
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let in_deterministic_dir file =
+  List.exists (contains_sub file) deterministic_dirs
+
+(* Idents that smuggle wall-clock time into an Rng seed. *)
+let wall_clock_idents = [ "gettimeofday"; "time"; "now_ns"; "now" ]
+
+(* Fields whose writers race: a get-then-set RMW on them is a lost-update
+   bug. Reader slot words ([slot]) and [gp_ctr] are deliberately absent —
+   their get-then-set is single-writer (own slot, or under gp_lock). *)
+let rmw_fields =
+  [ "gp_seq"; "gp_completed"; "gp_started"; "scanning"; "serving"; "tags" ]
+
 (* --- parsetree rules --- *)
 
 (* Module components of a dotted path: all but the final value/type name
@@ -67,7 +97,12 @@ let check_modules ~file ~all (lid : Longident.t Location.loc) =
         err ~file ~line:(line_of lid.loc)
           "use of %s: blocking primitives are reserved for lib/rcu/gp.ml \
            (Gp.Waitq); use Spinlock/Ticket_lock so lockdep sees the lock"
-          m)
+          m;
+      if m = "Random" && in_deterministic_dir file then
+        err ~file ~line:(line_of lid.loc)
+          "use of Random: the serving and workload layers must replay \
+           deterministically — thread a Repro_sync.Rng seeded from the \
+           config instead")
     modules;
   match comps with
   | [ "Obj"; "magic" ] | [ "Stdlib"; "Obj"; "magic" ] ->
@@ -99,6 +134,90 @@ let check_protected_args ~file ~call_line e =
   in
   it.expr it e
 
+(* Wall-clock idents anywhere inside [e] (the arguments of an Rng.create
+   call in a deterministic layer): each one is a seeding violation. *)
+let check_seed_args ~file ~call_line e =
+  let rec it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun _ ex ->
+          (match ex.pexp_desc with
+          | Pexp_ident lid ->
+              let name = Longident.last lid.txt in
+              if List.mem name wall_clock_idents then
+                err ~file ~line:call_line
+                  "Rng.create seeded from the wall clock (%s): the serving \
+                   and workload layers must replay deterministically from \
+                   the config's explicit seed"
+                  name
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it ex);
+    }
+  in
+  it.expr it e
+
+(* Every record field name accessed anywhere inside [e]. *)
+let fields_in e =
+  let acc = ref [] in
+  let rec it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun _ ex ->
+          (match ex.pexp_desc with
+          | Pexp_field (_, fld) -> acc := Longident.last fld.txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it ex);
+    }
+  in
+  it.expr it e;
+  !acc
+
+(* Does [e] contain an [Atomic.get] whose argument touches field
+   [fname]?  The witness of a get-then-set RMW when [e] is the value
+   being [Atomic.set] into that same field. *)
+let gets_field ~fname e =
+  let found = ref false in
+  let rec it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun _ ex ->
+          (match ex.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident fn; _ }, args) -> (
+              match Longident.flatten fn.txt with
+              | [ "Atomic"; "get" ] | [ "Stdlib"; "Atomic"; "get" ] ->
+                  List.iter
+                    (fun (_, a) ->
+                      if List.mem fname (fields_in a) then found := true)
+                    args
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it ex);
+    }
+  in
+  it.expr it e;
+  !found
+
+let check_rmw ~file ~call_line args =
+  match args with
+  | (_, target) :: value_args ->
+      List.iter
+        (fun fname ->
+          if
+            List.mem fname rmw_fields
+            && List.exists (fun (_, v) -> gets_field ~fname v) value_args
+          then
+            err ~file ~line:call_line
+              "get-then-set read-modify-write on %S: a concurrent writer \
+               between the Atomic.get and the Atomic.set is silently \
+               overwritten — use Atomic.fetch_and_add or a \
+               compare_and_set loop"
+              fname)
+        (fields_in target)
+  | [] -> ()
+
 let check_file file =
   let str =
     let ic = open_in file in
@@ -125,15 +244,25 @@ let check_file file =
               | Pexp_new lid -> check_modules ~file ~all:false lid
               | Pexp_apply
                   ({ pexp_desc = Pexp_ident fn; pexp_loc; _ }, args) -> (
+                  let call_line = line_of pexp_loc in
                   match Longident.flatten fn.txt with
                   | [ "Atomic"; w ] | [ "Stdlib"; "Atomic"; w ]
                     when List.mem w atomic_write_fns ->
                       List.iter
                         (fun (_, a) ->
-                          check_protected_args ~file
-                            ~call_line:(line_of pexp_loc) a)
-                        args
-                  | _ -> ())
+                          check_protected_args ~file ~call_line a)
+                        args;
+                      if w = "set" || w = "exchange" then
+                        check_rmw ~file ~call_line args
+                  | comps -> (
+                      match List.rev comps with
+                      | "create" :: "Rng" :: _
+                        when in_deterministic_dir file ->
+                          List.iter
+                            (fun (_, a) ->
+                              check_seed_args ~file ~call_line a)
+                            args
+                      | _ -> ()))
               | _ -> ());
               Ast_iterator.default_iterator.expr it e);
           typ =

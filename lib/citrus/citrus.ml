@@ -48,8 +48,10 @@ end
 
 (* Directions double as indices into the [children]/[tags] arrays, mirroring
    the paper's child[direction]. *)
-let left = 0
-let right = 1
+(* Child indices and the pure traversal/validation fragments live in
+   Citrus_proto, shared with the model checker (lib/modelcheck). *)
+let left = Citrus_proto.left
+let right = Citrus_proto.right
 
 module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
   module Defer = Repro_rcu.Defer.Make (R)
@@ -338,7 +340,7 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
             if cmp = 0 then continue := false
             else begin
               prev := c;
-              direction := if cmp > 0 then left else right;
+              direction := Citrus_proto.dir_of_cmp cmp;
               curr := child c !direction
             end
       done;
@@ -367,11 +369,11 @@ module Make (K : ORDERED) (R : Repro_rcu.Rcu.S) = struct
   (* validate (lines 33-38): purely local checks under the caller-held
      locks. *)
   let validate prev tag curr direction =
-    if prev.marked || not (same_node (child prev direction) curr) then false
-    else
-      match curr with
-      | Some c -> not c.marked
-      | None -> Atomic.get prev.tags.(direction) = tag
+    Citrus_proto.validate ~prev_marked:prev.marked
+      ~child_same:(same_node (child prev direction) curr)
+      ~curr_marked:(match curr with Some c -> Some c.marked | None -> None)
+      ~tag
+      ~tag_now:(fun () -> Atomic.get prev.tags.(direction))
 
   (* incrementTag (lines 39-41): bump the ABA tag when a child slot becomes
      empty. *)

@@ -1,0 +1,468 @@
+(* Stateless model-checking engine (in the style of dscheck / CHESS):
+   scenarios are re-executed from scratch once per explored interleaving,
+   with every Tracedatomic access a scheduling point. Exploration is a
+   DFS over scheduling choices with dynamic partial-order reduction:
+
+   - persistent-set style backtrack points (Flanagan–Godefroid): after
+     each execution, every pair of conflicting, differently-owned,
+     causally-unordered accesses (vector clocks decide "unordered") adds
+     the later proc to the backtrack set of the earlier access's state;
+   - sleep sets: a choice fully explored at a state is propagated into
+     each subsequent state's sleep set while it stays independent of the
+     steps taken, so commuted permutations of the same trace are pruned
+     without executing them.
+
+   Sleep sets only steer the free-run default choice and prune
+   sleep-blocked leaves; they never veto a backtrack point.  With
+   Flanagan–Godefroid backtrack sets the inserted proc is the racing
+   proc itself, not necessarily an initial of the racing suffix, so its
+   exploration relies on recursive race discovery — the sleep-set
+   covering argument does not apply to it, and filtering backtrack
+   candidates through the sleep set loses real schedules (it made a
+   4-proc reclaimer model look exhaustively clean while a violating
+   interleaving existed).
+
+   Everything is deterministic and seedless: cells are numbered in
+   creation order, sets iterate in sorted order, and the only inputs are
+   the scenario and the budgets — so a counterexample's schedule (the
+   list of proc choices) replays exactly. *)
+
+module T = Tracedatomic
+module ISet = Set.Make (Int)
+
+exception Property_violation of string
+
+let require cond msg = if not cond then raise (Property_violation msg)
+
+type scenario = {
+  name : string;
+  descr : string;
+  make : unit -> (string * (unit -> unit)) list * (unit -> unit);
+}
+
+type cx_step = {
+  proc : int;
+  pname : string;
+  op : string;
+  target : string;
+  repr : string;
+}
+
+type counterexample = {
+  schedule : int list;
+  steps : cx_step list;
+  error : string;
+}
+
+type stats = {
+  traces : int;
+  pruned : int;
+  steps_total : int;
+  deepest : int;
+  exhausted : bool;
+}
+
+type result = {
+  scenario : string;
+  dpor : bool;
+  stats : stats;
+  counterexample : counterexample option;
+}
+
+(* ---- cooperative fibers ---- *)
+
+type pending =
+  | Ready of T.access * (unit -> unit)
+  | Waiting of T.access * (unit -> bool) * (unit -> unit)
+  | Finished
+
+type proc = { pname : string; mutable state : pending }
+
+(* Run [body] until its first traced access; every subsequent access
+   parks the fiber back into [p.state] with a closure that performs the
+   access and resumes. The handler is deep, so one [match_with] serves
+   the fiber's whole life. *)
+let start_proc p body =
+  Effect.Deep.match_with body ()
+    {
+      retc = (fun () -> p.state <- Finished);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | T.Step (acc, f) ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  p.state <-
+                    Ready (acc, fun () -> Effect.Deep.continue k (f ())))
+          | T.Await (acc, cond) ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  p.state <-
+                    Waiting (acc, cond, fun () -> Effect.Deep.continue k ()))
+          | _ -> None);
+    }
+
+(* ---- exploration state ---- *)
+
+type node = {
+  mutable choice : int;
+  mutable backtrack : ISet.t;
+  mutable done_ : ISet.t;  (* choices whose subtrees are fully explored *)
+  sleep : ISet.t;
+  (* The rest is refreshed on every execution through this node. *)
+  mutable enabled : ISet.t;
+  mutable pend : T.access option array;  (* per-proc pending access here *)
+  mutable acc : T.access;  (* access performed by [choice] *)
+  mutable pre : int array;  (* chooser's vector clock before the step *)
+  mutable clock : int array;  (* and after *)
+}
+
+let dummy_access : T.access =
+  { aids = []; aname = ""; write = false; op = ""; repr = "" }
+
+let conflict (a : T.access) (b : T.access) =
+  (a.write || b.write) && List.exists (fun i -> List.mem i b.aids) a.aids
+
+type run_end = Completed | Sleep_pruned | Violation of string
+
+let explore ?(dpor = true) ?(max_states = 2_000_000) ?(max_depth = 10_000)
+    scenario =
+  let stack : node option array ref = ref (Array.make 256 None) in
+  let ensure i =
+    let a = !stack in
+    if i >= Array.length a then begin
+      let b = Array.make (2 * (i + 1)) None in
+      Array.blit a 0 b 0 (Array.length a);
+      stack := b
+    end
+  in
+  let traces = ref 0 and pruned = ref 0 and steps_total = ref 0 in
+  let deepest = ref 0 in
+  let exhausted = ref true in
+  let cx = ref None in
+
+  (* One execution: replay the choices of nodes [0..cur_len-1], then
+     free-run picking the smallest enabled non-sleeping proc, pushing a
+     fresh node per step. Returns (steps executed, how it ended, trace). *)
+  let run_one cur_len =
+    T.reset ();
+    let bodies, final = scenario.make () in
+    let nprocs = List.length bodies in
+    let procs =
+      Array.of_list
+        (List.map (fun (pname, _) -> { pname; state = Finished }) bodies)
+    in
+    List.iteri (fun i (_, body) -> start_proc procs.(i) body) bodies;
+    let clocks = Array.init nprocs (fun _ -> Array.make nprocs 0) in
+    let wclock = Hashtbl.create 32 and rclock = Hashtbl.create 32 in
+    let merge dst src =
+      for i = 0 to nprocs - 1 do
+        if src.(i) > dst.(i) then dst.(i) <- src.(i)
+      done
+    in
+    let atomic_clock tbl aid =
+      match Hashtbl.find_opt tbl aid with
+      | Some c -> c
+      | None ->
+          let c = Array.make nprocs 0 in
+          Hashtbl.add tbl aid c;
+          c
+    in
+    let steps = ref [] in
+    let i = ref 0 in
+    let stop = ref None in
+    while !stop = None do
+      let enabled = ref ISet.empty in
+      let pend = Array.make nprocs None in
+      let live = ref false in
+      Array.iteri
+        (fun p pr ->
+          match pr.state with
+          | Finished -> ()
+          | Ready (a, _) ->
+              live := true;
+              pend.(p) <- Some a;
+              enabled := ISet.add p !enabled
+          | Waiting (a, cond, _) ->
+              live := true;
+              pend.(p) <- Some a;
+              if cond () then enabled := ISet.add p !enabled)
+        procs;
+      if not !live then stop := Some Completed
+      else if ISet.is_empty !enabled then
+        stop := Some (Violation "deadlock: every live proc is parked in await")
+      else if !i >= max_depth then
+        stop :=
+          Some (Violation "depth budget exceeded: the model has an unbounded path")
+      else begin
+        let decided =
+          if !i < cur_len then begin
+            match (!stack).(!i) with
+            | Some n ->
+                n.enabled <- !enabled;
+                n.pend <- pend;
+                Some n
+            | None -> assert false
+          end
+          else begin
+            let sleep =
+              if (not dpor) || !i = 0 then ISet.empty
+              else
+                match (!stack).(!i - 1) with
+                | Some parent ->
+                    (* A backtrack point may schedule a proc that is in
+                       its own node's sleep set, so the chosen proc must
+                       always leave the inherited sleep set: it has
+                       moved, and the "already covered" claim was about
+                       its previous pending step. *)
+                    ISet.filter
+                      (fun q ->
+                        q <> parent.choice
+                        &&
+                        match parent.pend.(q) with
+                        | Some aq -> not (conflict aq parent.acc)
+                        | None -> false)
+                      (ISet.union parent.sleep parent.done_)
+                | None -> assert false
+            in
+            let cands = ISet.diff !enabled sleep in
+            if ISet.is_empty cands then None
+            else begin
+              let choice = ISet.min_elt cands in
+              ensure !i;
+              let n =
+                {
+                  choice;
+                  backtrack =
+                    (if dpor then ISet.singleton choice else !enabled);
+                  done_ = ISet.empty;
+                  sleep;
+                  enabled = !enabled;
+                  pend;
+                  acc = dummy_access;
+                  pre = [||];
+                  clock = [||];
+                }
+              in
+              (!stack).(!i) <- Some n;
+              Some n
+            end
+          end
+        in
+        match decided with
+        | None -> stop := Some Sleep_pruned
+        | Some n ->
+            let p = n.choice in
+            if not (ISet.mem p !enabled) then
+              failwith
+                (Printf.sprintf
+                   "modelcheck: scheduled proc %d not enabled at step %d — \
+                    the scenario is not deterministic"
+                   p !i);
+            let pr = procs.(p) in
+            let c = clocks.(p) in
+            c.(p) <- c.(p) + 1;
+            let pre = Array.copy c in
+            let violation = ref None in
+            (match pr.state with
+            | Ready (a, run) ->
+                List.iter
+                  (fun aid ->
+                    merge c (atomic_clock wclock aid);
+                    if a.write then merge c (atomic_clock rclock aid))
+                  a.aids;
+                n.acc <- a;
+                (try run () with Property_violation m -> violation := Some m);
+                List.iter
+                  (fun aid ->
+                    if a.write then merge (atomic_clock wclock aid) c
+                    else merge (atomic_clock rclock aid) c)
+                  a.aids
+            | Waiting (a, _, run) ->
+                (* The successful await is modeled as a read of every
+                   watched cell. *)
+                List.iter (fun aid -> merge c (atomic_clock wclock aid)) a.aids;
+                n.acc <- a;
+                (try run () with Property_violation m -> violation := Some m);
+                List.iter (fun aid -> merge (atomic_clock rclock aid) c) a.aids
+            | Finished -> assert false);
+            n.pre <- pre;
+            n.clock <- Array.copy c;
+            steps :=
+              {
+                proc = p;
+                pname = pr.pname;
+                op = n.acc.op;
+                target = n.acc.aname;
+                repr = n.acc.repr;
+              }
+              :: !steps;
+            incr steps_total;
+            incr i;
+            (match !violation with
+            | Some m -> stop := Some (Violation m)
+            | None -> ())
+      end
+    done;
+    let endk =
+      match !stop with
+      | Some Completed -> (
+          try
+            final ();
+            Completed
+          with Property_violation m -> Violation m)
+      | Some k -> k
+      | None -> assert false
+    in
+    (!i, endk, List.rev !steps)
+  in
+
+  let cur_len = ref 0 in
+  let running = ref true in
+  while !running do
+    if !steps_total >= max_states then begin
+      exhausted := false;
+      running := false
+    end
+    else begin
+      let executed, endk, trace = run_one !cur_len in
+      if executed > !deepest then deepest := executed;
+      (match endk with
+      | Completed -> incr traces
+      | Sleep_pruned -> incr pruned
+      | Violation msg ->
+          incr traces;
+          cx :=
+            Some
+              {
+                schedule = List.map (fun (s : cx_step) -> s.proc) trace;
+                steps = trace;
+                error = msg;
+              };
+          running := false);
+      if !running then begin
+        if dpor then
+          (* Backtrack points: for every racing pair (i, j) — conflicting
+             accesses by different procs, not ordered by happens-before —
+             the later proc (or, if it was not enabled there, every
+             enabled proc) must also be tried at the earlier state. *)
+          for j = 1 to executed - 1 do
+            match (!stack).(j) with
+            | None -> assert false
+            | Some nj ->
+                let q = nj.choice in
+                for i' = j - 1 downto 0 do
+                  match (!stack).(i') with
+                  | None -> assert false
+                  | Some ni ->
+                      if
+                        ni.choice <> q
+                        && conflict ni.acc nj.acc
+                        && nj.pre.(ni.choice) < ni.clock.(ni.choice)
+                      then
+                        if ISet.mem q ni.enabled then
+                          ni.backtrack <- ISet.add q ni.backtrack
+                        else ni.backtrack <- ISet.union ni.backtrack ni.enabled
+                done
+          done;
+        let d = ref executed in
+        let advanced = ref false in
+        while (not !advanced) && !d > 0 do
+          match (!stack).(!d - 1) with
+          | None -> assert false
+          | Some n ->
+              n.done_ <- ISet.add n.choice n.done_;
+              let cands = ISet.diff n.backtrack n.done_ in
+              if ISet.is_empty cands then decr d
+              else begin
+                n.choice <- ISet.min_elt cands;
+                cur_len := !d;
+                advanced := true
+              end
+        done;
+        if not !advanced then running := false
+      end
+    end
+  done;
+  {
+    scenario = scenario.name;
+    dpor;
+    stats =
+      {
+        traces = !traces;
+        pruned = !pruned;
+        steps_total = !steps_total;
+        deepest = !deepest;
+        exhausted = !exhausted;
+      };
+    counterexample = !cx;
+  }
+
+(* ---- counterexample replay ---- *)
+
+exception Replay_stop
+
+let replay scenario schedule =
+  T.reset ();
+  let bodies, final = scenario.make () in
+  let procs =
+    Array.of_list
+      (List.map (fun (pname, _) -> { pname; state = Finished }) bodies)
+  in
+  List.iteri (fun i (_, body) -> start_proc procs.(i) body) bodies;
+  let steps = ref [] in
+  let error = ref None in
+  let step p run (a : T.access) =
+    (try run () with Property_violation m -> error := Some m);
+    steps :=
+      {
+        proc = p;
+        pname = procs.(p).pname;
+        op = a.op;
+        target = a.aname;
+        repr = a.repr;
+      }
+      :: !steps;
+    if !error <> None then raise Replay_stop
+  in
+  (try
+     List.iter
+       (fun p ->
+         match procs.(p).state with
+         | Finished -> failwith "replay: scheduled proc already finished"
+         | Ready (a, run) -> step p run a
+         | Waiting (a, cond, run) ->
+             if not (cond ()) then failwith "replay: scheduled proc is parked";
+             step p run a)
+       schedule
+   with Replay_stop -> ());
+  if !error = None && Array.for_all (fun pr -> pr.state = Finished) procs then (
+    try final () with Property_violation m -> error := Some m);
+  (List.rev !steps, !error)
+
+(* ---- printing ---- *)
+
+let pp_counterexample ppf cx =
+  Format.fprintf ppf "property violated: %s@\n" cx.error;
+  Format.fprintf ppf "replay schedule (proc ids): [%s]@\n"
+    (String.concat "; " (List.map string_of_int cx.schedule));
+  List.iteri
+    (fun k (s : cx_step) ->
+      Format.fprintf ppf "  %3d  %-12s %-6s %-22s %s@\n" (k + 1) s.pname s.op
+        s.target s.repr)
+    cx.steps
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-14s %s traces=%d pruned=%d states=%d depth<=%d %s"
+    r.scenario
+    (if r.dpor then "dpor" else "naive")
+    r.stats.traces r.stats.pruned r.stats.steps_total r.stats.deepest
+    (if not r.stats.exhausted then "BUDGET-EXCEEDED"
+     else
+       match r.counterexample with
+       | None -> "exhaustive, no violation"
+       | Some _ -> "VIOLATION");
+  match r.counterexample with
+  | None -> ()
+  | Some cx -> Format.fprintf ppf "@\n%a" pp_counterexample cx

@@ -1,0 +1,66 @@
+(** Stateless model-checking engine: exhaustive DFS over interleavings
+    of small cooperative scenarios, with dynamic partial-order reduction
+    (vector-clock backtrack points + sleep sets). Deterministic and
+    seedless; counterexamples carry a replayable schedule. *)
+
+exception Property_violation of string
+
+val require : bool -> string -> unit
+(** [require cond msg] raises {!Property_violation} [msg] when [cond]
+    is false. Usable from scenario bodies and final checks. *)
+
+type scenario = {
+  name : string;
+  descr : string;
+  make : unit -> (string * (unit -> unit)) list * (unit -> unit);
+      (** Fresh state per execution: returns the named proc bodies and a
+          final check run after every proc finished. Bodies must be
+          deterministic given the interleaving, touch shared state only
+          through {!Tracedatomic}, and always terminate. *)
+}
+
+type cx_step = {
+  proc : int;
+  pname : string;
+  op : string;
+  target : string;
+  repr : string;
+}
+
+type counterexample = {
+  schedule : int list;  (** proc choice per step — replay token *)
+  steps : cx_step list;
+  error : string;
+}
+
+type stats = {
+  traces : int;  (** complete (or violating) executions *)
+  pruned : int;  (** executions cut short by sleep sets *)
+  steps_total : int;  (** states visited across all executions *)
+  deepest : int;
+  exhausted : bool;  (** false iff the state budget stopped exploration *)
+}
+
+type result = {
+  scenario : string;
+  dpor : bool;
+  stats : stats;
+  counterexample : counterexample option;
+}
+
+val explore :
+  ?dpor:bool -> ?max_states:int -> ?max_depth:int -> scenario -> result
+(** Explore every interleaving (up to the reduction's equivalence) of
+    [scenario]. [dpor:false] disables the reduction — full naive DFS,
+    for measuring the reduction factor. [max_states] bounds total
+    states visited across executions; [max_depth] bounds one
+    execution's length (exceeding it is reported as a violation, since
+    models must be finite). Stops at the first violation. *)
+
+val replay :
+  scenario -> int list -> cx_step list * string option
+(** Re-execute a schedule (e.g. a counterexample's), returning the steps
+    performed and the violation it reproduces, if any. *)
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,116 @@
+(* Traced atomics for the model checker (dscheck-style): the same
+   signature shape as [Atomic], but every access is an effect the
+   scheduler intercepts — a yield point. The cells themselves are plain
+   mutable storage: model "domains" are cooperative fibers multiplexed
+   on one real domain, so there is never a data race on [v]; the
+   *interleavings* of the accesses are what the explorer enumerates.
+
+   Cells are numbered in creation order by a per-run counter the engine
+   resets before each execution, so a scenario that allocates its state
+   deterministically gets identical access ids run after run — the
+   property replay and partial-order reduction both rest on. *)
+
+type access = {
+  aids : int list;  (* cells touched; >1 only for [await] *)
+  aname : string;
+  write : bool;
+  op : string;
+  mutable repr : string;  (* filled in when the access executes *)
+}
+
+type 'a t = { id : int; name : string; mutable v : 'a; show : 'a -> string }
+type watched = W : 'a t -> watched
+
+type _ Effect.t +=
+  | Step : access * (unit -> 'a) -> 'a Effect.t
+  | Await : access * (unit -> bool) -> unit Effect.t
+
+let counter = ref 0
+let reset () = counter := 0
+
+let make ?(show = fun _ -> "_") name v =
+  let id = !counter in
+  incr counter;
+  { id; name; v; show }
+
+let make_int name v = make ~show:string_of_int name v
+
+let acc ?(aids = []) ~write ~op a =
+  { aids = (match aids with [] -> [ a.id ] | l -> l); aname = a.name;
+    write; op; repr = "" }
+
+let get a =
+  let r = acc ~write:false ~op:"get" a in
+  Effect.perform
+    (Step
+       ( r,
+         fun () ->
+           let v = a.v in
+           r.repr <- Printf.sprintf "-> %s" (a.show v);
+           v ))
+
+let set a x =
+  let r = acc ~write:true ~op:"set" a in
+  Effect.perform
+    (Step
+       ( r,
+         fun () ->
+           r.repr <- a.show x;
+           a.v <- x ))
+
+let exchange a x =
+  let r = acc ~write:true ~op:"exchange" a in
+  Effect.perform
+    (Step
+       ( r,
+         fun () ->
+           let old = a.v in
+           a.v <- x;
+           r.repr <- Printf.sprintf "%s -> %s" (a.show old) (a.show x);
+           old ))
+
+let compare_and_set a expect x =
+  let r = acc ~write:true ~op:"cas" a in
+  Effect.perform
+    (Step
+       ( r,
+         fun () ->
+           let ok = a.v == expect in
+           if ok then a.v <- x;
+           r.repr <-
+             Printf.sprintf "%s %s -> %s" (a.show expect)
+               (if ok then "hit" else "miss")
+               (a.show a.v);
+           ok ))
+
+let fetch_and_add (a : int t) n =
+  let r = acc ~write:true ~op:"faa" a in
+  Effect.perform
+    (Step
+       ( r,
+         fun () ->
+           let old = a.v in
+           a.v <- old + n;
+           r.repr <- Printf.sprintf "%d -> %d" old a.v;
+           old ))
+
+let incr a = ignore (fetch_and_add a 1)
+let decr a = ignore (fetch_and_add a (-1))
+
+(* Scheduler-only read: no yield, no trace. For [await] conditions (which
+   the scheduler evaluates while the fiber is parked) and for final-state
+   checks after every fiber finished. Models must not use it to smuggle
+   an untraced read into a racy window. *)
+let peek a = a.v
+
+(* Untraced initializing store, for building a scenario's starting state
+   inside [make] before any fiber runs. *)
+let unsafe_init a x = a.v <- x
+
+let watch a = W a
+
+let await watched cond =
+  let aids = List.map (fun (W a) -> a.id) watched in
+  let names = String.concat "," (List.map (fun (W a) -> a.name) watched) in
+  let r = { aids; aname = names; write = false; op = "await"; repr = "" } in
+  Effect.perform (Await (r, cond))

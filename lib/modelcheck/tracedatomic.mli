@@ -1,0 +1,51 @@
+(** Traced atomics for the model checker: the [Atomic] signature shape,
+    but every access is an effect the engine's cooperative scheduler
+    intercepts as a yield point. Use only inside scenario bodies run by
+    {!Engine.explore}. *)
+
+type access = {
+  aids : int list;  (** cells touched; more than one only for [await] *)
+  aname : string;
+  write : bool;
+  op : string;
+  mutable repr : string;  (** human-readable value, filled at execution *)
+}
+
+type 'a t
+type watched
+
+type _ Effect.t +=
+  | Step : access * (unit -> 'a) -> 'a Effect.t
+  | Await : access * (unit -> bool) -> unit Effect.t
+
+val reset : unit -> unit
+(** Reset the cell-id counter; the engine calls it before every
+    execution so ids are deterministic. *)
+
+val make : ?show:('a -> string) -> string -> 'a -> 'a t
+val make_int : string -> int -> int t
+
+val get : 'a t -> 'a
+val set : 'a t -> 'a -> unit
+val exchange : 'a t -> 'a -> 'a
+val compare_and_set : 'a t -> 'a -> 'a -> bool
+val fetch_and_add : int t -> int -> int
+val incr : int t -> unit
+val decr : int t -> unit
+
+val peek : 'a t -> 'a
+(** Untraced read, no yield: for [await] conditions and final-state
+    checks only. *)
+
+val unsafe_init : 'a t -> 'a -> unit
+(** Untraced initializing store: only for building a scenario's starting
+    state inside [make], before any fiber runs. *)
+
+val watch : 'a t -> watched
+
+val await : watched list -> (unit -> bool) -> unit
+(** [await watched cond] parks the fiber until [cond ()] is true; the
+    proc is disabled meanwhile (if every proc is parked the engine
+    reports a deadlock). [cond] must be pure, read cells only via
+    {!peek}, and depend only on the [watched] cells — the access is
+    modeled as a read of exactly those cells for conflict analysis. *)

@@ -71,7 +71,7 @@ let create ?(max_threads = 128) () =
 let register rcu =
   let index = Registry.acquire rcu.slots in
   let slot = Registry.get rcu.slots index in
-  Atomic.set slot (Atomic.get slot land lnot 1);
+  Atomic.set slot (Protocol.Epoch.slot_exit (Atomic.get slot));
   { rcu; index; slot; nesting = 0; entry_cookie = 0 }
 
 let unregister th =
@@ -82,11 +82,12 @@ let unregister th =
 let read_lock th =
   if Lockdep.enabled () then Lockdep.rcu_read_enter ~slot:th.index;
   if th.nesting = 0 then begin
-    let count = Atomic.get th.slot lsr 1 in
-    (* One SC store publishes both the new count and the flag. *)
-    Atomic.set th.slot (((count + 1) lsl 1) lor 1);
+    (* One SC store publishes both the new count and the flag
+       (Protocol.Epoch.slot_enter). *)
+    Atomic.set th.slot (Protocol.Epoch.slot_enter (Atomic.get th.slot));
     if San.enabled () then
-      th.entry_cookie <- Atomic.get th.rcu.gp_started + 1;
+      th.entry_cookie <-
+        Protocol.Epoch.snap ~gp_started:(Atomic.get th.rcu.gp_started);
     if Metrics.enabled () then
       Stats.incr Metrics.rcu_read_sections th.index;
     Trace.record Read_enter th.index
@@ -102,14 +103,17 @@ let read_unlock th =
     invalid_arg "Epoch_rcu.read_unlock: not inside a read-side critical section";
   th.nesting <- th.nesting - 1;
   if th.nesting = 0 then begin
-    Atomic.set th.slot (Atomic.get th.slot land lnot 1);
+    Atomic.set th.slot (Protocol.Epoch.slot_exit (Atomic.get th.slot));
     Trace.record Read_exit th.index
   end
 
 let read_depth th = th.nesting
 
-let read_gp_seq rcu = Atomic.get rcu.gp_started + 1
-let poll rcu snap = Atomic.get rcu.gp_completed >= snap
+let read_gp_seq rcu =
+  Protocol.Epoch.snap ~gp_started:(Atomic.get rcu.gp_started)
+
+let poll rcu snap =
+  Protocol.Epoch.covered ~gp_completed:(Atomic.get rcu.gp_completed) ~snap
 
 (* Monotonic-max post: concurrent scans finish out of order, and an older
    scan must never regress the completed number a newer one published. *)
@@ -128,7 +132,10 @@ let rec post_completed completed n =
    have left. Aborting posts nothing — the overtaking scan already did. *)
 let scan rcu t0 my =
   let overtaken () =
-    Gp.coalescing () && Atomic.get rcu.gp_completed >= my
+    Gp.coalescing ()
+    && Protocol.Epoch.covered
+         ~gp_completed:(Atomic.get rcu.gp_completed)
+         ~snap:my
   in
   let armed = Stall.armed () in
   let thr = if armed then Stall.threshold_ns () else 0 in
@@ -138,7 +145,7 @@ let scan rcu t0 my =
   while (not !aborted) && !i < n do
     let slot = Registry.get rcu.slots !i in
     let snapshot = Atomic.get slot in
-    if snapshot land 1 = 1 then begin
+    if Protocol.Epoch.slot_in_section snapshot then begin
       let b = Backoff.create () in
       let deadline = ref (t0 + thr) in
       while (not !aborted) && Atomic.get slot = snapshot do
@@ -178,11 +185,11 @@ let synchronize rcu =
      scan numbered >= [snap] completes, because such a scan took all its
      slot snapshots after this point and therefore waited out every reader
      already in a critical section here. *)
-  let snap = Atomic.get rcu.gp_started + 1 in
+  let snap = Protocol.Epoch.snap ~gp_started:(Atomic.get rcu.gp_started) in
   let coalesced = ref false in
   let finished = ref false in
   while not !finished do
-    if Gp.coalescing () && Atomic.get rcu.gp_completed >= snap then begin
+    if Gp.coalescing () && poll rcu snap then begin
       (* A scan numbered >= [snap] already finished: someone else's grace
          period covers this call entirely. *)
       coalesced := true;
@@ -236,7 +243,7 @@ let synchronize rcu =
          check and the wait cannot be missed (the scanner broadcasts
          under the same mutex). *)
       coalesced := true;
-      let covered () = Atomic.get rcu.gp_completed >= snap in
+      let covered () = poll rcu snap in
       let spins = ref 0 in
       while (not (covered ())) && Atomic.get rcu.scanning > 0 && !spins < 64 do
         Domain.cpu_relax ();

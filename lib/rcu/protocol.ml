@@ -1,0 +1,73 @@
+(* Pure word-level encodings of the three RCU flavour protocols, shared
+   between the real implementations (epoch_rcu.ml, urcu.ml, qsbr.ml) and
+   their model-checker models (lib/modelcheck/models.ml). The models
+   exist to exhaustively explore the racy windows of exactly these
+   encodings, so the bit layouts and covered/blocking predicates live
+   here once: a change to an encoding that forgot to update the model
+   would not type-check or would be caught the moment the model checker
+   runs against the shared function.
+
+   Everything here is a total function on ints — no atomics, no state:
+   the real code applies them to Atomic cells, the models to traced
+   cells. *)
+
+module Epoch = struct
+  (* Slot word: [(count lsl 1) lor flag] — see epoch_rcu.ml. *)
+
+  let slot_in_section v = v land 1 = 1
+  let slot_count v = v lsr 1
+
+  (* One SC store publishes both the bumped count and the flag. *)
+  let slot_enter v = ((slot_count v + 1) lsl 1) lor 1
+  let slot_exit v = v land lnot 1
+
+  (* A synchronize snapshot: satisfied exactly when a scan numbered
+     >= [gp_started + 1] completes (such a scan took all its slot
+     snapshots after this point). *)
+  let snap ~gp_started = gp_started + 1
+  let covered ~gp_completed ~snap = gp_completed >= snap
+end
+
+module Urcu = struct
+  (* Per-thread word (liburcu layout): low 16 bits nesting, bit 16
+     phase. gp_seq: [(completed lsl 1) lor in_progress]. *)
+
+  let nest_mask = 0xFFFF
+  let phase_bit = 1 lsl 16
+  let nesting v = v land nest_mask
+
+  (* Outermost read_lock word: adopt [phase] with nesting 1. *)
+  let enter_word ~phase = phase lor 1
+
+  (* A reader blocks the current phase if it is inside a critical
+     section it entered before the latest phase flip. *)
+  let ongoing ~gp_phase v =
+    v land nest_mask <> 0 && v land phase_bit <> gp_phase
+
+  let seq_in_progress ~completed = (completed lsl 1) lor 1
+  let seq_idle ~completed = completed lsl 1
+  let seq_completed s = s lsr 1
+
+  (* The "one extra if started" rule (Linux get_state_synchronize_rcu):
+     an in-progress grace period may have flipped before our updates
+     were published, so the snapshot demands the next full one. *)
+  let snap ~gp_seq = (gp_seq lsr 1) + 1 + (gp_seq land 1)
+  let covered ~gp_seq ~snap = gp_seq lsr 1 >= snap
+end
+
+module Qsbr = struct
+  (* Slot: 0 = offline, otherwise an (odd) snapshot of the global
+     grace-period counter. *)
+
+  let offline = 0
+
+  (* A synchronize snapshot: satisfied once a scan targeting at least
+     [gp + 2] completes — such a scan advanced the counter, and then
+     checked every slot, after this point. *)
+  let snap ~gp = gp + 2
+
+  (* Does slot value [v] block a scan with target [target]? Offline
+     threads and threads already caught up never do. *)
+  let blocks ~target v = v <> 0 && v < target
+  let covered ~gp_completed ~snap = gp_completed >= snap
+end

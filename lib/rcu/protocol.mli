@@ -1,0 +1,57 @@
+(** Pure word-level encodings of the RCU flavour protocols, shared
+    between the real implementations and the model-checker models
+    (lib/modelcheck). Total functions on ints — no state. *)
+
+module Epoch : sig
+  val slot_in_section : int -> bool
+  val slot_count : int -> int
+
+  val slot_enter : int -> int
+  (** New slot word for an outermost read_lock, given the old word:
+      count bumped, in-section flag set, in one store. *)
+
+  val slot_exit : int -> int
+  (** New slot word for an outermost read_unlock: flag cleared. *)
+
+  val snap : gp_started:int -> int
+  (** The scan number whose completion satisfies a synchronize that
+      starts now. *)
+
+  val covered : gp_completed:int -> snap:int -> bool
+end
+
+module Urcu : sig
+  val nest_mask : int
+  val phase_bit : int
+  val nesting : int -> int
+
+  val enter_word : phase:int -> int
+  (** Outermost read_lock slot word: current phase, nesting 1. *)
+
+  val ongoing : gp_phase:int -> int -> bool
+  (** Does slot word [v] block a grace period at phase [gp_phase]? *)
+
+  val seq_in_progress : completed:int -> int
+  val seq_idle : completed:int -> int
+  val seq_completed : int -> int
+
+  val snap : gp_seq:int -> int
+  (** Completed-count target for a synchronize starting now, with the
+      "one extra if a grace period is in progress" rule. *)
+
+  val covered : gp_seq:int -> snap:int -> bool
+end
+
+module Qsbr : sig
+  val offline : int
+
+  val snap : gp:int -> int
+  (** Scan target whose completion satisfies a synchronize starting
+      now. *)
+
+  val blocks : target:int -> int -> bool
+  (** Does slot value [v] (0 = offline, else a counter snapshot) block
+      a scan with target [target]? *)
+
+  val covered : gp_completed:int -> snap:int -> bool
+end

@@ -107,7 +107,8 @@ let read_lock th =
   if Lockdep.enabled () then Lockdep.rcu_read_enter ~slot:th.index;
   if th.nesting = 0 then begin
     online th;
-    if San.enabled () then th.entry_cookie <- Atomic.get th.rcu.gp + 2;
+    if San.enabled () then
+      th.entry_cookie <- Protocol.Qsbr.snap ~gp:(Atomic.get th.rcu.gp);
     if Metrics.enabled () then
       Stats.incr Metrics.rcu_read_sections th.index;
     Trace.record Read_enter th.index
@@ -130,8 +131,10 @@ let read_unlock th =
     Trace.record Read_exit th.index
   end
 
-let read_gp_seq rcu = Atomic.get rcu.gp + 2
-let poll rcu snap = Atomic.get rcu.gp_completed >= snap
+let read_gp_seq rcu = Protocol.Qsbr.snap ~gp:(Atomic.get rcu.gp)
+
+let poll rcu snap =
+  Protocol.Qsbr.covered ~gp_completed:(Atomic.get rcu.gp_completed) ~snap
 
 let rec post_completed completed n =
   let cur = Atomic.get completed in
@@ -147,7 +150,10 @@ let scan rcu t0 =
   let target = Atomic.fetch_and_add rcu.gp 2 + 2 in
   if Fault.enabled () then Fault.inject fault_wait;
   let overtaken () =
-    Gp.coalescing () && Atomic.get rcu.gp_completed >= target
+    Gp.coalescing ()
+    && Protocol.Qsbr.covered
+         ~gp_completed:(Atomic.get rcu.gp_completed)
+         ~snap:target
   in
   let armed = Stall.armed () in
   let thr = if armed then Stall.threshold_ns () else 0 in
@@ -161,7 +167,7 @@ let scan rcu t0 =
     let waiting = ref true in
     while !waiting do
       let v = Atomic.get slot in
-      if not (v <> 0 && v < target) then waiting := false
+      if not (Protocol.Qsbr.blocks ~target v) then waiting := false
       else if overtaken () then begin
         aborted := true;
         waiting := false
@@ -172,7 +178,7 @@ let scan rcu t0 =
           let now = Metrics.now_ns () in
           if now > !deadline then begin
             let v = Atomic.get slot in
-            if v <> 0 && v < target then
+            if Protocol.Qsbr.blocks ~target v then
               (* nesting: 1 = online behind the target; phase: the
                  grace-period snapshot the reader is stuck at. *)
               Stall.note
@@ -196,11 +202,11 @@ let synchronize rcu =
   (* Snapshot before anything else: satisfied once a scan targeting at
      least [gp + 2] completes — such a scan advanced the counter, and then
      checked every slot, after this point. *)
-  let snap = Atomic.get rcu.gp + 2 in
+  let snap = Protocol.Qsbr.snap ~gp:(Atomic.get rcu.gp) in
   let coalesced = ref false in
   let finished = ref false in
   while not !finished do
-    if Gp.coalescing () && Atomic.get rcu.gp_completed >= snap then begin
+    if Gp.coalescing () && poll rcu snap then begin
       (* A scan targeting >= [snap] already finished: someone else's grace
          period covers this call entirely. *)
       coalesced := true;
@@ -235,7 +241,7 @@ let synchronize rcu =
          mutex so a completion between the gate check and the wait
          cannot be missed. *)
       coalesced := true;
-      let covered () = Atomic.get rcu.gp_completed >= snap in
+      let covered () = poll rcu snap in
       let spins = ref 0 in
       while (not (covered ())) && Atomic.get rcu.scanning > 0 && !spins < 64 do
         Domain.cpu_relax ();

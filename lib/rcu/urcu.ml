@@ -11,9 +11,10 @@ module Lockdep = Repro_lockdep.Lockdep
 (* Per-thread word layout (as in liburcu): low 16 bits = nesting count,
    bit 16 = phase. A thread is a quiescent reader when its nesting bits are
    zero; it blocks a grace period when it is nested *and* its phase bit
-   differs from the current global phase. *)
-let nest_mask = 0xFFFF
-let phase_bit = 1 lsl 16
+   differs from the current global phase. The encodings themselves live
+   in Protocol.Urcu, shared with the model checker (lib/modelcheck). *)
+let nest_mask = Protocol.Urcu.nest_mask
+let phase_bit = Protocol.Urcu.phase_bit
 
 type t = {
   gp_ctr : int Atomic.t; (* phase bit only; low bits unused globally *)
@@ -100,11 +101,8 @@ let unregister th =
    must demand the *next* full grace period: completed + 2 in-progress vs
    completed + 1 idle — the same "one extra if started" rule as Linux's
    get_state_synchronize_rcu. *)
-let read_gp_seq rcu =
-  let s = Atomic.get rcu.gp_seq in
-  (s lsr 1) + 1 + (s land 1)
-
-let poll rcu snap = Atomic.get rcu.gp_seq lsr 1 >= snap
+let read_gp_seq rcu = Protocol.Urcu.snap ~gp_seq:(Atomic.get rcu.gp_seq)
+let poll rcu snap = Protocol.Urcu.covered ~gp_seq:(Atomic.get rcu.gp_seq) ~snap
 
 let read_lock th =
   if Lockdep.enabled () then Lockdep.rcu_read_enter ~slot:th.index;
@@ -113,7 +111,7 @@ let read_lock th =
     (* Outermost: adopt the current global phase with nesting 1. *)
     let phase = Atomic.get th.rcu.gp_ctr in
     if Fault.enabled () then Fault.inject fault_read_enter;
-    Atomic.set th.slot (phase lor 1);
+    Atomic.set th.slot (Protocol.Urcu.enter_word ~phase);
     if San.enabled () then th.entry_cookie <- read_gp_seq th.rcu;
     if Metrics.enabled () then
       Stats.incr Metrics.rcu_read_sections th.index;
@@ -132,7 +130,7 @@ let read_unlock th =
 
 (* A reader blocks the current phase if it is inside a critical section it
    entered before the latest phase flip. *)
-let ongoing gp_phase v = v land nest_mask <> 0 && v land phase_bit <> gp_phase
+let ongoing gp_phase v = Protocol.Urcu.ongoing ~gp_phase v
 
 let wait_for_readers rcu t0 =
   let gp_phase = Atomic.get rcu.gp_ctr in
@@ -189,8 +187,8 @@ let synchronize rcu =
   let coalesced = Gp.coalescing () && poll rcu snap in
   if not coalesced then begin
     if Fault.enabled () then Fault.inject fault_pre_flip;
-    let completed = Atomic.get rcu.gp_seq lsr 1 in
-    Atomic.set rcu.gp_seq ((completed lsl 1) lor 1);
+    let completed = Protocol.Urcu.seq_completed (Atomic.get rcu.gp_seq) in
+    Atomic.set rcu.gp_seq (Protocol.Urcu.seq_in_progress ~completed);
     (* Two phase flips, as in liburcu: a single flip cannot distinguish a
        reader that started just before the flip from one that started just
        after, so the grace period performs the handshake twice. *)
@@ -208,10 +206,10 @@ let synchronize rcu =
           the global lock so other updaters are not wedged behind an
           abandoned grace period. The phase flips already performed are
           harmless — the next synchronize flips again and waits properly. *)
-       Atomic.set rcu.gp_seq (completed lsl 1);
+       Atomic.set rcu.gp_seq (Protocol.Urcu.seq_idle ~completed);
        Spinlock.release rcu.gp_lock;
        raise e);
-    Atomic.set rcu.gp_seq ((completed + 1) lsl 1)
+    Atomic.set rcu.gp_seq (Protocol.Urcu.seq_idle ~completed:(completed + 1))
   end;
   ignore (Atomic.fetch_and_add rcu.gps 1);
   Spinlock.release rcu.gp_lock;

@@ -1,0 +1,2 @@
+(* BAD (rule 2): unsound cast. *)
+let reinterpret (x : int) : bool = Obj.magic x

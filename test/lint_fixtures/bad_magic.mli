@@ -1,0 +1,1 @@
+val reinterpret : int -> bool

@@ -1,0 +1,6 @@
+(* BAD (rule 1): blocking primitive outside lib/rcu/gp.ml. *)
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f

@@ -1,0 +1,1 @@
+val locked : (unit -> 'a) -> 'a

@@ -1,0 +1,2 @@
+(* BAD (rule 4): no matching .mli seals this module. *)
+let answer = 42

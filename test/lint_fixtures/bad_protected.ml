@@ -1,0 +1,5 @@
+(* BAD (rule 3): raw Atomic write to urcu's lock-protected [gp_seq] from
+   a file that does not own it. *)
+type fake = { gp_seq : int Atomic.t }
+
+let corrupt (r : fake) = Atomic.set r.gp_seq 42

@@ -1,0 +1,3 @@
+type fake = { gp_seq : int Atomic.t }
+
+val corrupt : fake -> unit

@@ -1,0 +1,6 @@
+(* BAD (rule 6): get-then-set read-modify-write on a racy protocol
+   counter — a concurrent post between the get and the set is lost. *)
+type t = { gp_completed : int Atomic.t }
+
+let post (r : t) =
+  Atomic.set r.gp_completed (Atomic.get r.gp_completed + 1)

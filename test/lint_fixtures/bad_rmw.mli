@@ -1,0 +1,3 @@
+type t = { gp_completed : int Atomic.t }
+
+val post : t -> unit

@@ -1,0 +1,7 @@
+(* Clean module: explicit seeds, RMW through fetch_and_add, sealed by an
+   .mli — no lint pass may fire here. *)
+type t = { counter : int Atomic.t }
+
+let create () = { counter = Atomic.make 0 }
+let bump t = ignore (Atomic.fetch_and_add t.counter 1)
+let read t = Atomic.get t.counter

@@ -1,0 +1,6 @@
+(* Clean fixture: no lint pass may fire on the implementation. *)
+type t
+
+val create : unit -> t
+val bump : t -> unit
+val read : t -> int

@@ -1,0 +1,3 @@
+(* BAD (rule 5): Random in the serving layer breaks replayability. *)
+let () = Random.self_init ()
+let jitter () = Random.int 100

@@ -1,0 +1,1 @@
+val jitter : unit -> int

@@ -1,0 +1,5 @@
+(* Clean: the Rng is seeded from the config's explicit seed, so runs
+   replay — rule 5 must not fire. *)
+type cfg = { seed : int64 }
+
+let rng_of (c : cfg) = Rng.create c.seed

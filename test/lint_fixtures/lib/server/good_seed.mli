@@ -1,0 +1,3 @@
+type cfg = { seed : int64 }
+
+val rng_of : cfg -> Rng.t

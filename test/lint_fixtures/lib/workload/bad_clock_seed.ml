@@ -1,0 +1,3 @@
+(* BAD (rule 5): wall-clock-fed seed in the workload layer — every run
+   gets a different schedule, so nothing replays. *)
+let rng () = Rng.create (Int64.of_float (Unix.gettimeofday ()))
